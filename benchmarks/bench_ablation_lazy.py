@@ -1,0 +1,131 @@
+"""Ablations: lazy subset construction and suffix minimization (Theorem 5.5).
+
+DESIGN.md calls out two design choices in the s-projector confidence path:
+
+* **lazy determinization** — only subsets reachable jointly with the
+  Markov sequence are materialized, instead of the eager ``2^|Q|`` blowup;
+* **suffix minimization** — the run time is exponential in ``|Q_E|``
+  only, so Hopcroft-minimizing ``E`` first is an exponential win whenever
+  the user's suffix DFA is non-minimal.
+
+Both are measured here: materialized-transition counts (lazy vs eager
+state counts) and wall-clock with minimization on/off against a DFA
+padded with redundant states.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.markov.builders import random_sequence
+from repro.automata.determinize import LazyDeterminizer, determinize
+from repro.automata.minimize import minimize
+from repro.automata.operations import chain_automaton, concatenate
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.sprojector import confidence_sprojector
+
+from benchmarks.shape import print_series, timed
+from tests.conftest import make_random_dfa
+
+ALPHABET = tuple("ab")
+
+
+def _padded_suffix(copies: int):
+    """A suffix DFA for b* padded with redundant (equivalent) states."""
+    base = regex_to_dfa("b*", ALPHABET)
+    # Pad by chaining 'copies' extra states that all behave like the start.
+    states = set(range(copies + 1)) | {"dead"}
+    delta = {}
+    for i in range(copies + 1):
+        delta[(i, "b")] = i + 1 if i < copies else copies
+        delta[(i, "a")] = "dead"
+    delta[("dead", "a")] = "dead"
+    delta[("dead", "b")] = "dead"
+    from repro.automata.dfa import DFA
+
+    padded = DFA(ALPHABET, states, 0, set(range(copies + 1)), delta)
+    assert len(minimize(padded).states) <= len(base.states) + 1
+    return padded
+
+
+def bench_lazy_vs_eager_subsets(benchmark) -> None:
+    rng = random.Random(31)
+    rows = []
+    for suffix_states in (3, 5, 7):
+        projector = SProjector(
+            make_random_dfa(ALPHABET, 3, rng),
+            regex_to_dfa("a+", ALPHABET),
+            make_random_dfa(ALPHABET, suffix_states, rng),
+        )
+        language = concatenate(
+            concatenate(
+                projector.prefix.to_nfa(), chain_automaton(("a",), ALPHABET)
+            ),
+            projector.suffix.to_nfa(),
+        )
+        eager_states = len(determinize(language).states)
+        sequence = random_sequence(ALPHABET, 30, rng)
+        lazy = LazyDeterminizer(language)
+        # Drive the lazy automaton exactly like the confidence DP would.
+        subsets = {lazy.initial}
+        frontier = [lazy.initial]
+        for _i in range(sequence.length):
+            new = set()
+            for subset in frontier:
+                for symbol in ALPHABET:
+                    new.add(lazy.step(subset, symbol))
+            frontier = [s for s in new if s not in subsets]
+            subsets |= new
+        rows.append((suffix_states, eager_states, len(subsets)))
+    print_series(
+        "Ablation: eager vs lazily-materialized subsets (Theorem 5.5 path)",
+        ["|Q_E|", "eager DFA states", "lazily reached subsets"],
+        rows,
+    )
+    for _qe, eager, lazy_count in rows:
+        assert lazy_count <= eager + 1
+
+    projector = SProjector(
+        make_random_dfa(ALPHABET, 3, rng),
+        regex_to_dfa("a+", ALPHABET),
+        make_random_dfa(ALPHABET, 5, rng),
+    )
+    sequence = random_sequence(ALPHABET, 30, rng)
+    benchmark(confidence_sprojector, sequence, projector, ("a",))
+
+
+def bench_suffix_minimization(benchmark) -> None:
+    rng = random.Random(37)
+    sequence = random_sequence(ALPHABET, 30, rng)
+    rows = []
+    for padding in (4, 8, 12):
+        suffix = _padded_suffix(padding)
+        projector = SProjector(
+            regex_to_dfa(".*", ALPHABET), regex_to_dfa("a+", ALPHABET), suffix
+        )
+        with_min = timed(
+            lambda: confidence_sprojector(sequence, projector, ("a",), minimize_suffix=True)
+        )
+        without_min = timed(
+            lambda: confidence_sprojector(
+                sequence, projector, ("a",), minimize_suffix=False
+            )
+        )
+        value_a = confidence_sprojector(sequence, projector, ("a",), minimize_suffix=True)
+        value_b = confidence_sprojector(
+            sequence, projector, ("a",), minimize_suffix=False
+        )
+        assert abs(value_a - value_b) < 1e-9
+        rows.append((len(suffix.states), with_min, without_min))
+    print_series(
+        "Ablation: suffix minimization before the exponential-in-|Q_E| step",
+        ["raw |Q_E|", "seconds (minimized)", "seconds (raw)"],
+        rows,
+    )
+
+    suffix = _padded_suffix(8)
+    projector = SProjector(
+        regex_to_dfa(".*", ALPHABET), regex_to_dfa("a+", ALPHABET), suffix
+    )
+    benchmark(confidence_sprojector, sequence, projector, ("a",))

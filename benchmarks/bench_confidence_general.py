@@ -1,0 +1,113 @@
+"""Experiment T2-C1: Table 2, confidence for *general* transducers.
+
+Paper claims: FP^#P-complete, both in combined and in data complexity
+(Proposition 4.7 and Theorem 4.9 — a fixed non-uniform nondeterministic
+transducer already makes confidence #P-hard). Shapes reproduced:
+
+* the end-to-end counting chain: model counts of monotone bipartite
+  2-DNFs are recovered *exactly* from confidence values (the reduction
+  behind the hardness);
+* the only general-purpose algorithm (the possible-world oracle) scales
+  exponentially in ``n``, in stark contrast to the PTIME columns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_confidence
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.hardness.counting import (
+    count_dnf_models,
+    exact_count_via_confidence,
+    two_dnf_counting_instance,
+)
+
+from benchmarks.shape import print_series, timed
+
+
+def _fixed_non_uniform_transducer() -> Transducer:
+    """A small non-selective, non-uniform, nondeterministic transducer
+    (the Theorem 4.9 regime: |Q|=3, emissions of length 0 and 2).
+
+    Nondeterminism branches once per world (state 0 splits into the
+    absorbing states 1 and 2), so the per-world run count stays bounded
+    and the oracle's cost is governed by the 2^n world count alone.
+    """
+    alphabet = ("a", "b")
+    nfa = NFA(
+        alphabet,
+        {0, 1, 2},
+        0,
+        {0, 1, 2},
+        {
+            (0, "a"): {1, 2},
+            (0, "b"): {0},
+            (1, "a"): {1},
+            (1, "b"): {1},
+            (2, "a"): {2},
+            (2, "b"): {2},
+        },
+    )
+    omega = {
+        (0, "a", 1): ("x", "y"),
+        (0, "a", 2): ("x",),
+        (2, "b", 2): ("y",),
+    }
+    return Transducer(nfa, omega)
+
+
+def bench_counting_chain_2dnf(benchmark) -> None:
+    rng = random.Random(9)
+    rows = []
+    for nx, ny, num_clauses in ((2, 2, 2), (3, 2, 3), (3, 3, 4)):
+        clauses = [
+            (rng.randint(1, nx), rng.randint(1, ny)) for _ in range(num_clauses)
+        ]
+        instance = two_dnf_counting_instance(clauses, nx, ny)
+        confidence = confidence_uniform(
+            instance.sequence, instance.transducer, instance.answer
+        )
+        recovered = exact_count_via_confidence(instance, confidence)
+        expected = count_dnf_models(clauses, nx, ny)
+        rows.append((f"{nx}+{ny} vars", num_clauses, recovered, expected))
+        assert recovered == expected
+    print_series(
+        "Theorem 4.9 regime: #2-DNF models recovered from confidence values",
+        ["instance", "clauses", "recovered count", "true count"],
+        rows,
+    )
+
+    clauses = [(1, 1), (2, 2), (1, 2)]
+    instance = two_dnf_counting_instance(clauses, 2, 2)
+    benchmark(
+        confidence_uniform, instance.sequence, instance.transducer, instance.answer
+    )
+
+
+def bench_brute_force_is_exponential(benchmark) -> None:
+    transducer = _fixed_non_uniform_transducer()
+    rows, times = [], []
+    for n in (7, 9, 11, 13):
+        sequence = uniform_iid(("a", "b"), n)
+        output = next(iter(transducer.transduce(sequence.sample(random.Random(0)))))
+        seconds = timed(
+            lambda: brute_force_confidence(sequence, transducer, output)
+        )
+        rows.append((n, 2**n, seconds))
+        times.append(seconds)
+    print_series(
+        "General nondeterministic confidence: possible-world oracle vs n "
+        "(exponential — Prop. 4.7 / Thm 4.9 say nothing better exists)",
+        ["n", "worlds", "seconds"],
+        rows,
+    )
+    # Exponential shape: +6 to n (64x worlds) costs far more than noise.
+    assert times[-1] > max(times[0], 1e-4) * 8
+
+    sequence = uniform_iid(("a", "b"), 9)
+    output = next(iter(transducer.transduce(sequence.sample(random.Random(0)))))
+    benchmark(brute_force_confidence, sequence, transducer, output)

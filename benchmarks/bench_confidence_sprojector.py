@@ -1,0 +1,99 @@
+"""Experiment T2-C4: Table 2, confidence for s-projectors.
+
+Paper claims: FP^#P-complete in general (Theorem 5.4), but Theorem 5.5
+gives ``O(n |o|^2 |Sigma|^2 |Q_B|^2 4^{|Q_E|})`` — i.e. "hardness stems
+solely from the size of the suffix constraint E". Shape reproduced:
+runtime stays flat as the *prefix* DFA grows but climbs steeply as the
+*suffix* DFA grows (with minimization disabled to expose the raw
+dependence), and sequence-length scaling is polynomial.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.markov.builders import random_sequence
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.sprojector import confidence_sprojector
+
+from benchmarks.shape import assert_polynomialish, print_series, timed
+from tests.conftest import make_random_dfa
+
+ALPHABET = tuple("ab")
+
+
+def _pattern():
+    return regex_to_dfa("a+", ALPHABET)
+
+
+def bench_sprojector_prefix_vs_suffix_states(benchmark) -> None:
+    rng = random.Random(11)
+    n = 40
+    sequence = random_sequence(ALPHABET, n, rng)
+    output = ("a",)
+
+    prefix_rows = []
+    for size in (2, 4, 6, 8):
+        projector = SProjector(
+            make_random_dfa(ALPHABET, size, rng), _pattern(), make_random_dfa(ALPHABET, 2, rng)
+        )
+        seconds = timed(
+            lambda: confidence_sprojector(
+                sequence, projector, output, minimize_suffix=False
+            )
+        )
+        prefix_rows.append((f"|Q_B|={size}", seconds))
+
+    suffix_rows = []
+    suffix_times = []
+    for size in (2, 4, 6, 8):
+        projector = SProjector(
+            make_random_dfa(ALPHABET, 2, rng), _pattern(), make_random_dfa(ALPHABET, size, rng)
+        )
+        seconds = timed(
+            lambda: confidence_sprojector(
+                sequence, projector, output, minimize_suffix=False
+            )
+        )
+        suffix_rows.append((f"|Q_E|={size}", seconds))
+        suffix_times.append(seconds)
+
+    print_series(
+        "Theorem 5.5: cost vs prefix size (polynomial in |Q_B|)",
+        ["prefix DFA", "seconds"],
+        prefix_rows,
+    )
+    print_series(
+        "Theorem 5.5: cost vs suffix size (exponential in |Q_E| — Thm 5.4)",
+        ["suffix DFA", "seconds"],
+        suffix_rows,
+    )
+    assert len(suffix_times) == 4
+
+    projector = SProjector(
+        make_random_dfa(ALPHABET, 3, rng), _pattern(), make_random_dfa(ALPHABET, 3, rng)
+    )
+    benchmark(confidence_sprojector, sequence, projector, output)
+
+
+def bench_sprojector_scaling_n(benchmark) -> None:
+    rng = random.Random(13)
+    projector = SProjector(
+        make_random_dfa(ALPHABET, 3, rng), _pattern(), make_random_dfa(ALPHABET, 3, rng)
+    )
+    rows, times = [], []
+    for n in (25, 50, 100, 200):
+        sequence = random_sequence(ALPHABET, n, rng)
+        seconds = timed(lambda: confidence_sprojector(sequence, projector, ("a",)))
+        rows.append((n, seconds))
+        times.append(seconds)
+    print_series(
+        "Theorem 5.5: s-projector confidence vs n (polynomial)",
+        ["n", "seconds"],
+        rows,
+    )
+    assert_polynomialish(times, 100)
+
+    sequence = random_sequence(ALPHABET, 50, rng)
+    benchmark(confidence_sprojector, sequence, projector, ("a",))

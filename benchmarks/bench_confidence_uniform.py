@@ -1,0 +1,84 @@
+"""Experiment T2-C2: Table 2, confidence under *uniform emission*.
+
+Paper claims: FP^#P-complete in combined complexity, but PTIME in data
+complexity — Theorem 4.8's subset DP runs in ``O(n k |Sigma|^2 4^{|Q|})``.
+Shape reproduced: runtime is ~linear in the sequence length ``n`` at a
+fixed transducer, but grows exponentially as the NFA state count grows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.markov.builders import random_sequence
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.constraints import best_evidence
+
+from benchmarks.shape import assert_polynomialish, print_series, timed
+from tests.conftest import make_random_uniform_transducer
+
+ALPHABET = tuple("ab")
+
+
+def _answer_for(sequence, transducer):
+    """Some nonzero-confidence output, found in polynomial time (Viterbi)."""
+    found = best_evidence(sequence, transducer)
+    if found is None:
+        return None
+    _score, output, _world = found
+    return output
+
+
+def bench_uniform_confidence_scaling_n(benchmark) -> None:
+    rng = random.Random(3)
+    transducer = make_random_uniform_transducer(ALPHABET, 3, rng, k=1)
+    rows, times = [], []
+    for n in (40, 80, 160, 320):
+        sequence = random_sequence(ALPHABET, n, rng)
+        output = _answer_for(sequence, transducer)
+        assert output is not None
+        seconds = timed(lambda: confidence_uniform(sequence, transducer, output))
+        rows.append((n, seconds))
+        times.append(seconds)
+    print_series(
+        "Theorem 4.8: subset-DP confidence vs n (fixed |Q|=3) — PTIME data complexity",
+        ["n", "seconds"],
+        rows,
+    )
+    assert_polynomialish(times, 100)  # ~linear in n (8x end to end)
+
+    sequence = random_sequence(ALPHABET, 80, rng)
+    output = _answer_for(sequence, transducer)
+    benchmark(confidence_uniform, sequence, transducer, output)
+
+
+def bench_uniform_confidence_scaling_states(benchmark) -> None:
+    n = 40
+    rows = []
+    for num_states in (2, 4, 6, 8):
+        # Retry seeds until the random machine has an answer at this length
+        # (tiny dense NFAs over two symbols sometimes die out).
+        output = None
+        for seed in range(40):
+            rng = random.Random(1000 * num_states + seed)
+            transducer = make_random_uniform_transducer(
+                ALPHABET, num_states, rng, k=1, out_alphabet=("x", "y")
+            )
+            sequence = random_sequence(ALPHABET, n, rng)
+            output = _answer_for(sequence, transducer)
+            if output is not None:
+                break
+        assert output is not None
+        seconds = timed(lambda: confidence_uniform(sequence, transducer, output))
+        rows.append((num_states, 2**num_states, seconds))
+    print_series(
+        "Theorem 4.8: subset-DP confidence vs |Q| (n=40) — exponential in |Q|",
+        ["|Q|", "2^|Q| (worst-case subsets)", "seconds"],
+        rows,
+    )
+    # The worst-case subset space doubles per state; observed timings of
+    # random NFAs are noisy, so the series itself is the artifact and the
+    # 4^{|Q|} bound is the documented shape.
+    assert len(rows) == 4
+
+    benchmark(confidence_uniform, sequence, transducer, output)

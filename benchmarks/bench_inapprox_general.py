@@ -1,0 +1,90 @@
+"""Experiments T2-I1 and X3: the 2^{n^{1-delta}} inapproximability row.
+
+Paper claims (Theorems 4.4 and 4.5): approximating a top answer within any
+sub-exponential factor is NP-hard, already for one-state Mealy machines
+and for a fixed one-state projector over four symbols; the proofs amplify
+a constant gap by concatenating copies of the Markov sequence
+(Section 4.2). Shapes reproduced:
+
+* on the Mealy gap family, the ratio between the true top confidence and
+  the confidence of the (worst-case-optimal) E_max pick grows as ``c^n``
+  — a straight line in log scale;
+* the same for the fixed projector family;
+* amplification multiplies gaps across independent copies exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.enumeration.emax import top_answer_emax
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+
+from benchmarks.shape import print_series
+
+
+def bench_mealy_gap_growth(benchmark) -> None:
+    rows = []
+    log_ratios = []
+    for n in (4, 8, 12, 16, 20):
+        instance = mealy_gap_instance(n)
+        # The heuristic's pick, computed by the actual Theorem 4.3 machinery.
+        _score, picked = top_answer_emax(instance.sequence, instance.query)
+        assert picked == instance.emax_top_answer
+        ratio = float(instance.ratio)
+        rows.append((n, float(instance.best_confidence), float(instance.emax_top_confidence), ratio))
+        log_ratios.append(math.log(ratio))
+    print_series(
+        "Theorem 4.4: one-state Mealy gap family — conf(top)/conf(E_max pick)",
+        ["n", "top confidence", "heuristic pick confidence", "ratio (grows as c^n)"],
+        rows,
+    )
+    # Straight line in log scale: equal increments per step of n.
+    increments = [b - a for a, b in zip(log_ratios, log_ratios[1:])]
+    assert all(abs(inc - increments[0]) < 1e-9 for inc in increments)
+    assert rows[-1][3] > 10_000  # exponential blow-up is visible
+
+    instance = mealy_gap_instance(12)
+    benchmark(top_answer_emax, instance.sequence, instance.query)
+
+
+def bench_projector_gap_growth(benchmark) -> None:
+    rows = []
+    ratios = []
+    for n in (4, 8, 12, 16):
+        instance = projector_gap_instance(n)
+        _score, picked = top_answer_emax(instance.sequence, instance.query)
+        assert picked == instance.emax_top_answer
+        ratios.append(float(instance.ratio))
+        rows.append((n, float(instance.ratio)))
+    print_series(
+        "Theorem 4.5: fixed 1-state projector (|Sigma|=4) — gap vs n",
+        ["n", "conf(top)/conf(E_max pick)"],
+        rows,
+    )
+    assert all(b > a * 1.5 for a, b in zip(ratios, ratios[1:]))  # exponential-ish
+
+    instance = projector_gap_instance(12)
+    benchmark(top_answer_emax, instance.sequence, instance.query)
+
+
+def bench_amplification_multiplies_gaps(benchmark) -> None:
+    base = mealy_gap_instance(3)
+    rows = []
+    for copies in (1, 2, 3, 4):
+        amplified = amplified_gap_instance(base, copies)
+        rows.append(
+            (copies, amplified.sequence.length, float(amplified.ratio))
+        )
+        assert amplified.ratio == base.ratio**copies
+    print_series(
+        "Section 4.2 amplification: gap of c copies = (base gap)^c",
+        ["copies", "n", "ratio"],
+        rows,
+    )
+
+    benchmark(amplified_gap_instance, base, 4)

@@ -1,0 +1,50 @@
+"""Experiment T2-I2: the n^{1/2-delta} inapproximability row for s-projectors.
+
+Paper claims (Theorems 5.2 and 5.3): the I_max order guarantees an
+n-approximation, and no polynomial algorithm achieves ``n^{1/2-delta}``
+for a fixed simple s-projector (via independent set) — so the realized
+conf/I_max gap genuinely grows with ``n`` and cannot be capped by a
+constant. Shape reproduced: on the many-occurrence family the realized
+ratio of the *top answer* grows linearly with ``n``, approaching the
+factor-n guarantee and staying above sqrt(n) — bracketing the open gap
+between Theorem 5.2's upper bound and Theorem 5.3's lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.confidence.sprojector import confidence_sprojector
+from repro.enumeration.sprojector_ranked import top_answer_imax
+from repro.hardness.independent_set import occurrence_gap_instance
+
+from benchmarks.shape import print_series
+
+
+def bench_occurrence_gap_growth(benchmark) -> None:
+    rows = []
+    ratios = []
+    for n in (4, 8, 16, 32):
+        instance = occurrence_gap_instance(n)
+        imax, answer = top_answer_imax(instance.sequence, instance.projector)
+        assert answer == instance.answer
+        confidence = confidence_sprojector(
+            instance.sequence, instance.projector, instance.answer
+        )
+        ratio = float(confidence / imax)
+        ratios.append(ratio)
+        rows.append((n, float(imax), float(confidence), ratio, math.sqrt(n), n))
+    print_series(
+        "Theorems 5.2/5.3 regime: conf/I_max of the top answer vs n "
+        "(between sqrt(n) and n)",
+        ["n", "I_max", "conf", "ratio", "sqrt(n) lower-bound regime", "n guarantee"],
+        rows,
+    )
+    # Strictly growing with n, below the guarantee, above sqrt(n) for n>=16.
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    for (n, _i, _c, ratio, _s, _g), r in zip(rows, ratios):
+        assert ratio <= n + 1e-9
+    assert ratios[-1] > math.sqrt(32)
+
+    instance = occurrence_gap_instance(16)
+    benchmark(top_answer_imax, instance.sequence, instance.projector)

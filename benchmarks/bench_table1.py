@@ -1,0 +1,46 @@
+"""Experiment T1: regenerate Table 1 and Example 3.4's conf(12).
+
+Paper artifact: Table 1 (random strings, probabilities, outputs) and the
+confidence computation conf(12) = 0.3969 + 0.0049 + 0.002 = 0.4038.
+Benchmarked operation: the Theorem 4.6 confidence DP on the running
+example (exact rational arithmetic).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.examples_data.hospital import (
+    CONF_12,
+    TABLE_1_ROWS,
+    hospital_sequence,
+    room_change_transducer,
+)
+from repro.confidence.deterministic import confidence_deterministic
+from repro.semiring import VITERBI
+
+from benchmarks.shape import print_series
+
+
+def bench_table1_confidence(benchmark) -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+
+    rows = []
+    for name, world, probability, output in TABLE_1_ROWS:
+        rows.append(
+            (name, " ".join(world), float(probability), output if output else "N/A")
+        )
+        assert mu.prob_of(world) == probability
+    print_series("Table 1 (reconstructed)", ["string", "value", "probability", "output"], rows)
+
+    conf12 = benchmark(confidence_deterministic, mu, query, ("1", "2"))
+    assert conf12 == CONF_12 == Fraction("0.4038")
+
+    emax12 = confidence_deterministic(mu, query, ("1", "2"), semiring=VITERBI)
+    assert emax12 == Fraction("0.3969")  # Example 4.2
+    print_series(
+        "Example 3.4 / 4.2",
+        ["quantity", "value", "paper"],
+        [("conf(12)", float(conf12), 0.4038), ("E_max(12)", float(emax12), 0.3969)],
+    )

@@ -1,0 +1,67 @@
+"""Helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (a Table 1 row set, a
+Table 2 cell, or an inapproximability curve). Beyond timing (via
+pytest-benchmark), every bench *prints* the series it measured in a
+paper-style table and *asserts* its qualitative shape — who wins, what
+grows, where the exponential lives — so the harness doubles as a
+regression check on the reproduction claims in EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+printed series).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Wall-clock one call (seconds). Used for the shape *series*; the
+    representative operation is separately timed by pytest-benchmark."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def print_series(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print a paper-style results table."""
+    print()
+    print(f"--- {title} ---")
+    widths = [
+        max(len(str(header[i])), max((len(_fmt(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.3e}"
+        return f"{cell:.5f}"
+    return str(cell)
+
+
+def growth_ratios(values: Sequence[float]) -> list[float]:
+    """Consecutive ratios of a positive series (for shape assertions)."""
+    return [values[i + 1] / values[i] for i in range(len(values) - 1)]
+
+
+def assert_polynomialish(times: Sequence[float], factor: float) -> None:
+    """Assert end-to-end growth of a timing series stays under ``factor``.
+
+    Noise-robust form of "this scales polynomially, not exponentially":
+    compares last to first with the first floored at one millisecond (tiny
+    measurements are dominated by interpreter noise).
+    """
+    base = max(times[0], 1e-3)
+    assert times[-1] < base * factor, (list(times), factor)
+
+
+def timed_best(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock timing (noise reduction)."""
+    return min(timed(fn) for _ in range(repeats))

@@ -1,0 +1,96 @@
+"""A gallery of the paper's lower-bound phenomena, executed.
+
+Run:  python examples/hardness_gallery.py
+
+Walks through the negative results of Sections 4-5 on concrete instances:
+
+1. Theorem 4.4: a one-state Mealy machine where the E_max heuristic's top
+   answer is exponentially worse (in confidence) than the true top;
+2. Theorem 4.5: the same with a fixed 1-state projector over 4 symbols;
+3. Section 4.2: amplification by concatenating independent copies;
+4. Proposition 4.7 / Theorem 4.9: #2-DNF model counts recovered exactly
+   from a confidence computation (why confidence is #P-hard);
+5. Theorem 5.3's regime: the conf/I_max gap of s-projectors growing with
+   the sequence length.
+"""
+
+from __future__ import annotations
+
+from repro.confidence.sprojector import confidence_sprojector
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.emax import top_answer_emax
+from repro.enumeration.sprojector_ranked import top_answer_imax
+from repro.hardness.counting import (
+    count_dnf_models,
+    exact_count_via_confidence,
+    two_dnf_counting_instance,
+)
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+from repro.hardness.independent_set import occurrence_gap_instance
+
+
+def main() -> None:
+    print("1. Theorem 4.4 — one-state Mealy machine, exponential E_max gap")
+    for n in (5, 10, 15, 20):
+        instance = mealy_gap_instance(n)
+        _score, pick = top_answer_emax(instance.sequence, instance.query)
+        assert pick == instance.emax_top_answer
+        print(
+            f"   n={n:>2}  conf(true top)={float(instance.best_confidence):9.3e}  "
+            f"conf(heuristic pick)={float(instance.emax_top_confidence):9.3e}  "
+            f"ratio={float(instance.ratio):10.1f}"
+        )
+
+    print()
+    print("2. Theorem 4.5 — fixed 1-state projector over {a,b,c,d}")
+    for n in (5, 10, 15):
+        instance = projector_gap_instance(n)
+        print(
+            f"   n={n:>2}  ratio conf(top)/conf(pick) = {float(instance.ratio):10.1f}"
+        )
+
+    print()
+    print("3. Section 4.2 — amplification by independent concatenation")
+    base = mealy_gap_instance(3)
+    for copies in (1, 2, 3):
+        amplified = amplified_gap_instance(base, copies)
+        print(
+            f"   copies={copies}  n={amplified.sequence.length:>2}  "
+            f"ratio={float(amplified.ratio):10.2f}  (= base^{copies})"
+        )
+
+    print()
+    print("4. Prop 4.7 / Thm 4.9 — counting 2-DNF models via confidence")
+    clauses = [(1, 1), (2, 2), (1, 2), (3, 1)]
+    instance = two_dnf_counting_instance(clauses, 3, 2)
+    confidence = confidence_uniform(
+        instance.sequence, instance.transducer, instance.answer
+    )
+    recovered = exact_count_via_confidence(instance, confidence)
+    print(f"   formula: {' v '.join(f'(x{i} & y{j})' for i, j in clauses)}")
+    print(f"   conf(1^n) = {confidence} over the uniform sequence")
+    print(
+        f"   recovered model count = {recovered}   "
+        f"(brute force: {count_dnf_models(clauses, 3, 2)})"
+    )
+
+    print()
+    print("5. Theorem 5.3 regime — s-projector conf/I_max gap grows with n")
+    for n in (5, 10, 20, 40):
+        instance = occurrence_gap_instance(n)
+        imax, answer = top_answer_imax(instance.sequence, instance.projector)
+        conf = confidence_sprojector(
+            instance.sequence, instance.projector, instance.answer
+        )
+        print(
+            f"   n={n:>2}  I_max={float(imax):8.5f}  conf={float(conf):8.5f}  "
+            f"ratio={float(conf / imax):6.2f}  (guarantee: {n})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""A Lahar-style warehouse of Markov streams (Sections 1 and 6).
+
+Run:  python examples/stream_warehouse.py
+
+Registers several tracked objects (synthetic hospital carts), a reusable
+room-trace query, and runs per-stream and cross-stream top-k — the
+query-processing setting the paper aims to strengthen with transducers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import MarkovStreamDatabase
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.markov.builders import hospital_model
+
+
+def main() -> None:
+    rng = random.Random(7)
+    db = MarkovStreamDatabase()
+
+    db.register_stream("crash-cart-17", hospital_sequence())
+    for k in (23, 31, 42):
+        db.register_stream(f"crash-cart-{k}", hospital_model(2, 5, rng))
+    db.register_query("room-trace", room_change_transducer())
+
+    print("Streams:", ", ".join(db.streams()))
+    print()
+
+    print("Per-stream top-2 room traces:")
+    for stream in db.streams():
+        answers = db.top_k(stream, "room-trace", 2)
+        rendered = ", ".join(
+            f"{a.rendered()} ({float(a.confidence):.3f})" for a in answers
+        )
+        print(f"  {stream:<15} {rendered if rendered else '(no answers)'}")
+
+    print()
+    print("Global top-5 across all carts (merged by score):")
+    for item in db.top_k_across("room-trace", 5):
+        answer = item.answer
+        print(
+            f"  {item.stream:<15} {answer.rendered():<8} "
+            f"score = {float(answer.score):.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

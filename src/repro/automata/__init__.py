@@ -1,0 +1,51 @@
+"""Finite automata substrate (Section 2.1 of the paper).
+
+The paper's queries are built from nondeterministic finite automata (NFAs)
+and deterministic finite automata (DFAs) over the node alphabet of a Markov
+sequence. This subpackage is a self-contained implementation of everything
+the query engine needs:
+
+* :class:`~repro.automata.nfa.NFA` and :class:`~repro.automata.dfa.DFA`
+  (epsilon-free, single initial state — exactly the paper's definition);
+* the subset construction, both eager (:func:`determinize`) and lazy
+  (:class:`LazyDeterminizer`, used where only reachable subsets matter,
+  e.g. Theorem 5.5);
+* Hopcroft minimization and language-equivalence testing;
+* the boolean algebra (product intersection/union, complement) and the
+  concatenation construction used for s-projector confidence;
+* a regular-expression compiler for convenient query authoring
+  (Example 5.1 uses Perl-style patterns).
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.determinize import LazyDeterminizer, determinize
+from repro.automata.minimize import equivalent, minimize
+from repro.automata.operations import (
+    chain_automaton,
+    complement,
+    concatenate,
+    intersect,
+    reverse,
+    sigma_star,
+    union,
+)
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "determinize",
+    "LazyDeterminizer",
+    "minimize",
+    "equivalent",
+    "intersect",
+    "union",
+    "complement",
+    "concatenate",
+    "reverse",
+    "chain_automaton",
+    "sigma_star",
+    "regex_to_nfa",
+    "regex_to_dfa",
+]

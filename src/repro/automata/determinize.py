@@ -1,0 +1,86 @@
+"""Subset construction: eager and lazy determinization.
+
+Theorem 4.8 and Theorem 5.5 both rely on forms of the subset construction,
+and both only ever touch subsets *reachable* in a particular dynamic
+program. :class:`LazyDeterminizer` exposes exactly that interface — a
+deterministic transition function over frozensets of NFA states, computed
+and memoized on demand — so the exponential blow-up is paid only for the
+subsets that actually occur.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+Subset = frozenset
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Eager subset construction producing a total DFA.
+
+    States of the result are frozensets of NFA states; only reachable
+    subsets are materialized (the empty subset acts as the sink).
+    """
+    initial: Subset = frozenset({nfa.initial})
+    states: set[Subset] = {initial}
+    delta: dict[tuple[Subset, Symbol], Subset] = {}
+    frontier: list[Subset] = [initial]
+    while frontier:
+        subset = frontier.pop()
+        for symbol in nfa.alphabet:
+            target = nfa.step(subset, symbol)
+            delta[(subset, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    accepting = {subset for subset in states if subset & nfa.accepting}
+    return DFA(nfa.alphabet, states, initial, accepting, delta)
+
+
+class LazyDeterminizer:
+    """On-demand subset construction over an NFA.
+
+    The object behaves like a total DFA whose states are frozensets of NFA
+    states but materializes transitions only when queried. This is the
+    workhorse behind :func:`repro.confidence.language.language_probability`
+    (and hence Theorems 4.1's emptiness tests and 5.5's s-projector
+    confidence): the dynamic programs only visit subsets reachable jointly
+    with the Markov sequence, which is typically far fewer than ``2^|Q|``.
+    """
+
+    __slots__ = ("nfa", "initial", "_cache")
+
+    def __init__(self, nfa: NFA) -> None:
+        self.nfa = nfa
+        self.initial: Subset = frozenset({nfa.initial})
+        self._cache: dict[tuple[Subset, Symbol], Subset] = {}
+
+    def step(self, subset: Subset, symbol: Symbol) -> Subset:
+        """Deterministic successor of ``subset`` under ``symbol`` (memoized)."""
+        key = (subset, symbol)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.nfa.step(subset, symbol)
+            self._cache[key] = cached
+        return cached
+
+    def is_accepting(self, subset: Subset) -> bool:
+        """True iff the subset contains an accepting NFA state."""
+        return bool(subset & self.nfa.accepting)
+
+    def run(self, string: Sequence[Symbol]) -> Subset:
+        """Subset reached after reading ``string`` from the initial subset."""
+        subset = self.initial
+        for symbol in string:
+            subset = self.step(subset, symbol)
+        return subset
+
+    @property
+    def num_materialized(self) -> int:
+        """How many (subset, symbol) transitions have been computed so far."""
+        return len(self._cache)

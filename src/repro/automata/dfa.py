@@ -1,0 +1,211 @@
+"""Deterministic finite automata.
+
+Per the paper (Section 2.1), a DFA is an NFA whose transition function maps
+every ``(state, symbol)`` pair to exactly one state — i.e. the transition
+function is *total*. We keep DFAs as a dedicated class with a
+``(q, a) -> q`` transition map, which makes the dynamic programs downstream
+simpler and faster than going through singleton sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import InvalidAutomatonError
+from repro.automata.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+#: Name of the sink state added by :meth:`DFA.from_partial`.
+SINK = "__sink__"
+
+
+class DFA:
+    """A total deterministic finite automaton.
+
+    Parameters
+    ----------
+    alphabet:
+        Iterable of input symbols.
+    states:
+        Iterable of states.
+    initial:
+        Initial state.
+    accepting:
+        Iterable of accepting states.
+    delta:
+        Mapping ``(state, symbol) -> state`` defined for *every* pair of a
+        state and an alphabet symbol (the paper's DFAs are total).
+    """
+
+    __slots__ = ("alphabet", "states", "initial", "accepting", "_delta")
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        accepting: Iterable[State],
+        delta: Mapping[tuple[State, Symbol], State],
+    ) -> None:
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.states: frozenset[State] = frozenset(states)
+        self.initial: State = initial
+        self.accepting: frozenset[State] = frozenset(accepting)
+        self._delta: dict[tuple[State, Symbol], State] = dict(delta)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise InvalidAutomatonError(f"initial state {self.initial!r} not in states")
+        if not self.accepting <= self.states:
+            raise InvalidAutomatonError("accepting states not a subset of states")
+        for state in self.states:
+            for symbol in self.alphabet:
+                if (state, symbol) not in self._delta:
+                    raise InvalidAutomatonError(
+                        f"DFA transition undefined for ({state!r}, {symbol!r}); "
+                        "use DFA.from_partial to complete with a sink state"
+                    )
+        for (state, symbol), target in self._delta.items():
+            if state not in self.states or target not in self.states:
+                raise InvalidAutomatonError(
+                    f"transition ({state!r}, {symbol!r}) -> {target!r} uses unknown state"
+                )
+            if symbol not in self.alphabet:
+                raise InvalidAutomatonError(f"transition symbol {symbol!r} not in alphabet")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_partial(
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        accepting: Iterable[State],
+        delta: Mapping[tuple[State, Symbol], State],
+        sink: State = SINK,
+    ) -> "DFA":
+        """Complete a partial deterministic transition map with a sink.
+
+        Any missing ``(state, symbol)`` pair is routed to a fresh
+        non-accepting ``sink`` state (added only if needed).
+        """
+        alphabet = frozenset(alphabet)
+        states = set(states)
+        full: dict[tuple[State, Symbol], State] = dict(delta)
+        missing = [
+            (state, symbol)
+            for state in states
+            for symbol in alphabet
+            if (state, symbol) not in full
+        ]
+        if missing:
+            states.add(sink)
+            for pair in missing:
+                full[pair] = sink
+            for symbol in alphabet:
+                full[(sink, symbol)] = sink
+        return DFA(alphabet, states, initial, accepting, full)
+
+    # ------------------------------------------------------------------
+    # Transition access
+    # ------------------------------------------------------------------
+
+    def step(self, state: State, symbol: Symbol) -> State:
+        """Return ``delta(state, symbol)``."""
+        return self._delta[(state, symbol)]
+
+    def run(self, string: Sequence[Symbol], start: State | None = None) -> State:
+        """Return the state reached after reading ``string``."""
+        state = self.initial if start is None else start
+        for symbol in string:
+            state = self._delta[(state, symbol)]
+        return state
+
+    def trace(self, string: Sequence[Symbol]) -> list[State]:
+        """Return the full state trajectory ``[q0, rho(1), ..., rho(n)]``."""
+        state = self.initial
+        trajectory = [state]
+        for symbol in string:
+            state = self._delta[(state, symbol)]
+            trajectory.append(state)
+        return trajectory
+
+    def accepts(self, string: Sequence[Symbol]) -> bool:
+        """Decide language membership of ``string``."""
+        return self.run(string) in self.accepting
+
+    def transitions(self) -> Iterator[tuple[State, Symbol, State]]:
+        """Iterate over all transitions as ``(source, symbol, target)``."""
+        for (state, symbol), target in self._delta.items():
+            yield state, symbol, target
+
+    def delta_dict(self) -> dict[tuple[State, Symbol], State]:
+        """A copy of the transition mapping."""
+        return dict(self._delta)
+
+    # ------------------------------------------------------------------
+    # Structure / conversions
+    # ------------------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA with singleton successor sets."""
+        delta = {key: {target} for key, target in self._delta.items()}
+        return NFA(self.alphabet, self.states, self.initial, self.accepting, delta)
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen: set[State] = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                nxt = self._delta[(state, symbol)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """Restrict to reachable states (language-preserving, stays total)."""
+        reachable = self.reachable_states()
+        delta = {
+            (state, symbol): target
+            for (state, symbol), target in self._delta.items()
+            if state in reachable
+        }
+        return DFA(self.alphabet, reachable, self.initial, self.accepting & reachable, delta)
+
+    def renamed(self, prefix: str = "d") -> "DFA":
+        """Return an isomorphic DFA with states renamed ``prefix0..prefixN``."""
+        order = sorted(self.states, key=repr)
+        mapping = {state: f"{prefix}{i}" for i, state in enumerate(order)}
+        delta = {
+            (mapping[state], symbol): mapping[target]
+            for (state, symbol), target in self._delta.items()
+        }
+        return DFA(
+            self.alphabet,
+            mapping.values(),
+            mapping[self.initial],
+            {mapping[state] for state in self.accepting},
+            delta,
+        )
+
+    def accepts_everything(self) -> bool:
+        """True iff the language is all of ``Sigma*`` (used for 'simple' s-projectors)."""
+        return all(state in self.accepting for state in self.reachable_states())
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"accepting={len(self.accepting)})"
+        )

@@ -1,0 +1,101 @@
+"""DFA minimization (Hopcroft) and language equivalence.
+
+Minimization is used by the query engine to normalize user-supplied
+constraint DFAs before the exponential-in-``|Q_E|`` algorithm of
+Theorem 5.5 runs — shrinking the suffix constraint is an exponential win.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.automata.dfa import DFA
+
+State = Hashable
+Symbol = Hashable
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return the minimal DFA for the language of ``dfa`` (Hopcroft).
+
+    The input is first trimmed to its reachable part. The result's states
+    are frozensets (the equivalence blocks).
+    """
+    dfa = dfa.trim()
+    states = dfa.states
+    alphabet = dfa.alphabet
+
+    # Predecessor index: (symbol, target) -> set of sources.
+    predecessors: dict[tuple[Symbol, State], set[State]] = {}
+    for source, symbol, target in dfa.transitions():
+        predecessors.setdefault((symbol, target), set()).add(source)
+
+    accepting = set(dfa.accepting)
+    rejecting = set(states) - accepting
+    partition: list[set[State]] = [block for block in (accepting, rejecting) if block]
+    worklist: list[set[State]] = [min(partition, key=len)] if len(partition) == 2 else list(partition)
+
+    while worklist:
+        splitter = worklist.pop()
+        for symbol in alphabet:
+            # X = states with a `symbol` transition into the splitter.
+            x: set[State] = set()
+            for target in splitter:
+                x |= predecessors.get((symbol, target), set())
+            if not x:
+                continue
+            next_partition: list[set[State]] = []
+            for block in partition:
+                inside = block & x
+                outside = block - x
+                if inside and outside:
+                    next_partition.append(inside)
+                    next_partition.append(outside)
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(inside)
+                        worklist.append(outside)
+                    else:
+                        worklist.append(min(inside, outside, key=len))
+                else:
+                    next_partition.append(block)
+            partition = next_partition
+
+    block_of: dict[State, frozenset[State]] = {}
+    blocks: list[frozenset[State]] = []
+    for block in partition:
+        frozen = frozenset(block)
+        blocks.append(frozen)
+        for state in block:
+            block_of[state] = frozen
+
+    delta = {
+        (block, symbol): block_of[dfa.step(next(iter(block)), symbol)]
+        for block in blocks
+        for symbol in alphabet
+    }
+    initial = block_of[dfa.initial]
+    accepting_blocks = {block for block in blocks if block & dfa.accepting}
+    return DFA(alphabet, blocks, initial, accepting_blocks, delta).trim()
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Decide whether two total DFAs accept the same language.
+
+    Uses the standard Hopcroft–Karp union-find style product walk, which is
+    near-linear and avoids building minimal automata.
+    """
+    if left.alphabet != right.alphabet:
+        return False
+    seen: set[tuple[State, State]] = set()
+    frontier: list[tuple[State, State]] = [(left.initial, right.initial)]
+    while frontier:
+        p, q = frontier.pop()
+        if (p, q) in seen:
+            continue
+        seen.add((p, q))
+        if (p in left.accepting) != (q in right.accepting):
+            return False
+        for symbol in left.alphabet:
+            frontier.append((left.step(p, symbol), right.step(q, symbol)))
+    return True

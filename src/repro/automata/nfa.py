@@ -1,0 +1,238 @@
+"""Nondeterministic finite automata (epsilon-free, single initial state).
+
+This matches the paper's Definition in Section 2.1: an NFA is a tuple
+``(Sigma, Q, q0, F, delta)`` with ``delta : Q x Sigma -> 2^Q``. There are no
+epsilon transitions and exactly one initial state. A run on ``s_1 ... s_n``
+is a map ``rho : {1..n} -> Q`` with ``rho(1) in delta(q0, s_1)`` and
+``rho(i) in delta(rho(i-1), s_i)``; it is accepting if ``rho(n) in F``. Note
+the paper's convention that the *empty string* is accepted iff ``q0 in F``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.errors import InvalidAutomatonError
+
+State = Hashable
+Symbol = Hashable
+
+
+class NFA:
+    """An epsilon-free NFA with a single initial state.
+
+    Parameters
+    ----------
+    alphabet:
+        Iterable of input symbols (any hashable values).
+    states:
+        Iterable of states (any hashable values).
+    initial:
+        The initial state ``q0``.
+    accepting:
+        Iterable of accepting states ``F``.
+    delta:
+        Mapping from ``(state, symbol)`` pairs to an iterable of successor
+        states. Pairs that are absent denote the empty successor set.
+    """
+
+    __slots__ = ("alphabet", "states", "initial", "accepting", "_delta")
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        accepting: Iterable[State],
+        delta: Mapping[tuple[State, Symbol], Iterable[State]],
+    ) -> None:
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.states: frozenset[State] = frozenset(states)
+        self.initial: State = initial
+        self.accepting: frozenset[State] = frozenset(accepting)
+        self._delta: dict[tuple[State, Symbol], frozenset[State]] = {
+            key: frozenset(value) for key, value in delta.items() if value
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise InvalidAutomatonError(f"initial state {self.initial!r} not in states")
+        if not self.accepting <= self.states:
+            bad = self.accepting - self.states
+            raise InvalidAutomatonError(f"accepting states {bad!r} not in states")
+        for (state, symbol), successors in self._delta.items():
+            if state not in self.states:
+                raise InvalidAutomatonError(f"delta source {state!r} not in states")
+            if symbol not in self.alphabet:
+                raise InvalidAutomatonError(f"delta symbol {symbol!r} not in alphabet")
+            if not successors <= self.states:
+                bad = successors - self.states
+                raise InvalidAutomatonError(f"delta targets {bad!r} not in states")
+
+    # ------------------------------------------------------------------
+    # Transition access
+    # ------------------------------------------------------------------
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
+        """Return ``delta(state, symbol)`` (empty set when undefined)."""
+        return self._delta.get((state, symbol), frozenset())
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """Image of a *set* of states under one input symbol."""
+        result: set[State] = set()
+        for state in states:
+            result |= self.successors(state, symbol)
+        return frozenset(result)
+
+    def transitions(self) -> Iterator[tuple[State, Symbol, State]]:
+        """Iterate over all transitions as ``(source, symbol, target)``."""
+        for (state, symbol), successors in self._delta.items():
+            for target in successors:
+                yield state, symbol, target
+
+    @property
+    def num_transitions(self) -> int:
+        """Total number of ``(q, a, q')`` transition triples."""
+        return sum(len(targets) for targets in self._delta.values())
+
+    # ------------------------------------------------------------------
+    # Language membership
+    # ------------------------------------------------------------------
+
+    def accepts(self, string: Sequence[Symbol]) -> bool:
+        """Decide whether ``string`` is in the language of this NFA."""
+        if len(string) == 0:
+            return self.initial in self.accepting
+        current: frozenset[State] = frozenset({self.initial})
+        for symbol in string:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def runs(self, string: Sequence[Symbol]) -> Iterator[tuple[State, ...]]:
+        """Yield every run (accepting or not reaching the end is skipped).
+
+        A run is a tuple ``(rho(1), ..., rho(n))`` of states; only complete
+        runs (defined on every position) are yielded. For the empty string
+        the single empty run ``()`` is yielded.
+        """
+        if len(string) == 0:
+            yield ()
+            return
+        stack: list[tuple[int, tuple[State, ...]]] = []
+        for first in self.successors(self.initial, string[0]):
+            stack.append((1, (first,)))
+        while stack:
+            index, prefix = stack.pop()
+            if index == len(string):
+                yield prefix
+                continue
+            for nxt in self.successors(prefix[-1], string[index]):
+                stack.append((index + 1, prefix + (nxt,)))
+
+    def accepting_runs(self, string: Sequence[Symbol]) -> Iterator[tuple[State, ...]]:
+        """Yield only the accepting runs on ``string``."""
+        for run in self.runs(string):
+            if len(run) == 0:
+                if self.initial in self.accepting:
+                    yield run
+            elif run[-1] in self.accepting:
+                yield run
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def is_deterministic(self) -> bool:
+        """True if every ``delta(q, a)`` has size exactly one (total DFA)."""
+        for state in self.states:
+            for symbol in self.alphabet:
+                if len(self.successors(state, symbol)) != 1:
+                    return False
+        return True
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen: set[State] = {self.initial}
+        frontier: list[State] = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                for nxt in self.successors(state, symbol):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Restrict to reachable states (language-preserving)."""
+        reachable = self.reachable_states()
+        delta = {
+            (state, symbol): targets & reachable
+            for (state, symbol), targets in self._delta.items()
+            if state in reachable
+        }
+        return NFA(self.alphabet, reachable, self.initial, self.accepting & reachable, delta)
+
+    def renamed(self, prefix: str = "q") -> "NFA":
+        """Return an isomorphic NFA with states renamed ``prefix0..prefixN``.
+
+        Useful before disjoint-union constructions to avoid state clashes.
+        """
+        order = sorted(self.states, key=repr)
+        mapping: dict[State, str] = {state: f"{prefix}{i}" for i, state in enumerate(order)}
+        delta = {
+            (mapping[state], symbol): {mapping[t] for t in targets}
+            for (state, symbol), targets in self._delta.items()
+        }
+        return NFA(
+            self.alphabet,
+            mapping.values(),
+            mapping[self.initial],
+            {mapping[state] for state in self.accepting},
+            delta,
+        )
+
+    def is_empty(self) -> bool:
+        """True iff the language of this NFA is empty."""
+        return not (self.reachable_states() & self.accepting) and not (
+            self.initial in self.accepting
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"transitions={self.num_transitions}, accepting={len(self.accepting)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion helpers
+    # ------------------------------------------------------------------
+
+    def delta_dict(self) -> dict[tuple[State, Symbol], frozenset[State]]:
+        """A copy of the transition mapping (only non-empty entries)."""
+        return dict(self._delta)
+
+    @staticmethod
+    def from_transitions(
+        alphabet: Iterable[Symbol],
+        initial: State,
+        accepting: Iterable[State],
+        triples: Iterable[tuple[State, Symbol, State]],
+        extra_states: Iterable[State] = (),
+    ) -> "NFA":
+        """Build an NFA from ``(source, symbol, target)`` triples.
+
+        The state set is inferred from the triples plus ``initial``,
+        ``accepting`` and ``extra_states``.
+        """
+        delta: dict[tuple[State, Symbol], set[State]] = {}
+        states: set[State] = {initial} | set(accepting) | set(extra_states)
+        for source, symbol, target in triples:
+            states.add(source)
+            states.add(target)
+            delta.setdefault((source, symbol), set()).add(target)
+        return NFA(alphabet, states, initial, accepting, delta)

@@ -1,0 +1,167 @@
+"""The automaton algebra used throughout the query engine.
+
+All constructions stay epsilon-free (the paper's NFAs have no empty
+transitions). The key nonstandard piece is :func:`concatenate`, the
+epsilon-free NFA concatenation behind Theorem 5.5: the language
+``L(B) . {o} . L(E)`` of worlds admitting a valid s-projector split is
+built as ``concatenate(concatenate(B, chain(o)), E)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.errors import InvalidAutomatonError
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+
+def intersect(left: DFA, right: DFA) -> DFA:
+    """Product DFA for ``L(left) & L(right)`` (reachable part only)."""
+    _check_alphabets(left.alphabet, right.alphabet)
+    return _product(left, right, lambda a, b: a and b)
+
+
+def union(left: DFA, right: DFA) -> DFA:
+    """Product DFA for ``L(left) | L(right)`` (reachable part only)."""
+    _check_alphabets(left.alphabet, right.alphabet)
+    return _product(left, right, lambda a, b: a or b)
+
+
+def difference(left: DFA, right: DFA) -> DFA:
+    """Product DFA for ``L(left) - L(right)`` (reachable part only)."""
+    _check_alphabets(left.alphabet, right.alphabet)
+    return _product(left, right, lambda a, b: a and not b)
+
+
+def complement(dfa: DFA) -> DFA:
+    """DFA for the complement language (flips acceptance; needs totality)."""
+    return DFA(
+        dfa.alphabet,
+        dfa.states,
+        dfa.initial,
+        dfa.states - dfa.accepting,
+        dfa.delta_dict(),
+    )
+
+
+def reverse(nfa: NFA) -> NFA:
+    """NFA for the reversal language ``{ s_n ... s_1 : s in L }``.
+
+    Implemented with a fresh initial state wired to the predecessors of the
+    original accepting states (epsilon-free single-initial construction).
+    """
+    base = nfa.renamed("r")
+    fresh_initial = "r_init"
+    delta: dict[tuple[State, Symbol], set[State]] = {}
+    for source, symbol, target in base.transitions():
+        delta.setdefault((target, symbol), set()).add(source)
+        if target in base.accepting:
+            delta.setdefault((fresh_initial, symbol), set()).add(source)
+    accepting: set[State] = {base.initial}
+    if base.initial in base.accepting:
+        # Empty string is in L iff it is in the reversal.
+        accepting.add(fresh_initial)
+    states = set(base.states) | {fresh_initial}
+    return NFA(base.alphabet, states, fresh_initial, accepting, delta)
+
+
+def concatenate(first: NFA, second: NFA) -> NFA:
+    """Epsilon-free NFA for the concatenation ``L(first) . L(second)``.
+
+    Construction: disjoint union of the two state sets; from every state of
+    ``first`` that is accepting, each symbol additionally behaves like
+    ``second``'s initial state. Accepting states are ``second``'s, plus
+    ``first``'s if the empty string is in ``L(second)``.
+    """
+    _check_alphabets(first.alphabet, second.alphabet)
+    left = first.renamed("a")
+    right = second.renamed("b")
+
+    delta: dict[tuple[State, Symbol], set[State]] = {
+        key: set(targets) for key, targets in left.delta_dict().items()
+    }
+    for key, targets in right.delta_dict().items():
+        delta.setdefault(key, set()).update(targets)
+
+    # A jump into `second` happens after `first` has accepted the prefix:
+    # any state of `first` that is accepting also gets `second`'s initial
+    # transitions.
+    for source in left.accepting:
+        for symbol in left.alphabet:
+            targets = right.successors(right.initial, symbol)
+            if targets:
+                delta.setdefault((source, symbol), set()).update(targets)
+
+    accepting: set[State] = set(right.accepting)
+    if right.initial in right.accepting:
+        accepting |= left.accepting
+
+    states = set(left.states) | set(right.states)
+    return NFA(left.alphabet, states, left.initial, accepting, delta)
+
+
+def chain_automaton(string: Sequence[Symbol], alphabet: Iterable[Symbol]) -> NFA:
+    """NFA accepting exactly the one-string language ``{ string }``.
+
+    States are positions ``0..len(string)``; position ``len(string)`` is the
+    unique accepting state. Used for the ``L(B) . {o} . L(E)`` construction.
+    """
+    alphabet = frozenset(alphabet)
+    for symbol in string:
+        if symbol not in alphabet:
+            raise InvalidAutomatonError(f"chain symbol {symbol!r} not in alphabet")
+    states = list(range(len(string) + 1))
+    delta = {(i, string[i]): {i + 1} for i in range(len(string))}
+    return NFA(alphabet, states, 0, {len(string)}, delta)
+
+
+def sigma_star(alphabet: Iterable[Symbol]) -> DFA:
+    """One-state total DFA accepting every string over ``alphabet``.
+
+    This is the ``[*]`` constraint of *simple* s-projectors (Section 5).
+    """
+    alphabet = frozenset(alphabet)
+    delta = {("all", symbol): "all" for symbol in alphabet}
+    return DFA(alphabet, {"all"}, "all", {"all"}, delta)
+
+
+def empty_string_only(alphabet: Iterable[Symbol]) -> DFA:
+    """Total DFA accepting only the empty string (used by Theorem 5.4's gadget)."""
+    alphabet = frozenset(alphabet)
+    delta: dict[tuple[State, Symbol], State] = {}
+    for symbol in alphabet:
+        delta[("start", symbol)] = "dead"
+        delta[("dead", symbol)] = "dead"
+    return DFA(alphabet, {"start", "dead"}, "start", {"start"}, delta)
+
+
+def _product(left: DFA, right: DFA, accept) -> DFA:
+    """Reachable product construction with acceptance combined by ``accept``."""
+    initial = (left.initial, right.initial)
+    states: set[tuple[State, State]] = {initial}
+    delta: dict[tuple[tuple[State, State], Symbol], tuple[State, State]] = {}
+    frontier = [initial]
+    while frontier:
+        pair = frontier.pop()
+        p, q = pair
+        for symbol in left.alphabet:
+            target = (left.step(p, symbol), right.step(q, symbol))
+            delta[(pair, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    accepting = {
+        (p, q) for (p, q) in states if accept(p in left.accepting, q in right.accepting)
+    }
+    return DFA(left.alphabet, states, initial, accepting, delta)
+
+
+def _check_alphabets(left: frozenset, right: frozenset) -> None:
+    if left != right:
+        raise InvalidAutomatonError(
+            f"alphabet mismatch: {sorted(map(repr, left))} vs {sorted(map(repr, right))}"
+        )

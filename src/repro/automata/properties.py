@@ -1,0 +1,161 @@
+"""Language analysis: counting, sampling, and decision procedures.
+
+The counting problem ``|L(A) ∩ Sigma^n|`` is the source of the paper's
+#P-hardness for nondeterministic confidence (Proposition 4.7, via
+Kannan–Sweedyk–Mahaney). This module provides its *tractable* side:
+
+* exact counting for DFAs by dynamic programming (polynomial — which is
+  exactly why determinism makes confidence easy in Theorem 4.6);
+* exact counting for NFAs via determinization (exponential worst case —
+  why Theorem 4.8 pays ``2^|Q|``);
+* uniform random sampling of length-``n`` words from a DFA language
+  (counting + backward weights), used by workload generators;
+* inclusion / equivalence / emptiness / universality decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from repro.errors import ReproError
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.operations import complement, difference
+
+Symbol = Hashable
+
+
+def count_words(automaton: DFA | NFA, length: int) -> int:
+    """``|L(automaton) ∩ Sigma^length|``.
+
+    Polynomial for DFAs; determinizes NFAs first (the #P-hardness of the
+    NFA case — Proposition 4.7's engine — is precisely the absence of
+    anything better than this in the worst case).
+    """
+    if length < 0:
+        raise ReproError("length must be non-negative")
+    dfa = automaton if isinstance(automaton, DFA) else determinize(automaton)
+    counts: dict = {dfa.initial: 1}
+    for _ in range(length):
+        nxt: dict = {}
+        for state, count in counts.items():
+            for symbol in dfa.alphabet:
+                target = dfa.step(state, symbol)
+                nxt[target] = nxt.get(target, 0) + count
+        counts = nxt
+    return sum(count for state, count in counts.items() if state in dfa.accepting)
+
+
+def count_words_per_length(automaton: DFA | NFA, max_length: int) -> list[int]:
+    """``[|L ∩ Sigma^0|, ..., |L ∩ Sigma^max_length|]`` in one pass."""
+    dfa = automaton if isinstance(automaton, DFA) else determinize(automaton)
+    results: list[int] = []
+    counts: dict = {dfa.initial: 1}
+    for _ in range(max_length + 1):
+        results.append(
+            sum(count for state, count in counts.items() if state in dfa.accepting)
+        )
+        nxt: dict = {}
+        for state, count in counts.items():
+            for symbol in dfa.alphabet:
+                target = dfa.step(state, symbol)
+                nxt[target] = nxt.get(target, 0) + count
+        counts = nxt
+    return results
+
+
+def sample_word(
+    dfa: DFA, length: int, rng: random.Random
+) -> tuple[Symbol, ...]:
+    """Uniformly sample a word of ``length`` from ``L(dfa)``.
+
+    Standard counting-based sampler: ``suffix_counts[i][q]`` counts the
+    accepting completions of length ``length - i`` from state ``q``; the
+    word is drawn symbol by symbol proportionally to the completions each
+    choice leaves open. Raises if no such word exists.
+    """
+    suffix_counts: list[dict] = [dict.fromkeys(dfa.states, 0) for _ in range(length + 1)]
+    for state in dfa.accepting:
+        suffix_counts[length][state] = 1
+    for i in range(length - 1, -1, -1):
+        for state in dfa.states:
+            suffix_counts[i][state] = sum(
+                suffix_counts[i + 1][dfa.step(state, symbol)] for symbol in dfa.alphabet
+            )
+    if suffix_counts[0][dfa.initial] == 0:
+        raise ReproError(f"language has no word of length {length}")
+
+    word: list[Symbol] = []
+    state = dfa.initial
+    symbols = sorted(dfa.alphabet, key=repr)
+    for i in range(length):
+        total = suffix_counts[i][state]
+        point = rng.randrange(total)
+        acc = 0
+        for symbol in symbols:
+            weight = suffix_counts[i + 1][dfa.step(state, symbol)]
+            acc += weight
+            if point < acc:
+                word.append(symbol)
+                state = dfa.step(state, symbol)
+                break
+    return tuple(word)
+
+
+def is_empty(automaton: DFA | NFA) -> bool:
+    """Language emptiness."""
+    if isinstance(automaton, DFA):
+        return automaton.is_empty()
+    return automaton.is_empty()
+
+
+def is_universal(dfa: DFA) -> bool:
+    """Does the DFA accept all of ``Sigma*``?"""
+    return complement(dfa).trim().is_empty()
+
+
+def includes(larger: DFA, smaller: DFA) -> bool:
+    """``L(smaller) ⊆ L(larger)``?"""
+    return difference(smaller, larger).is_empty()
+
+
+def shortest_word(automaton: DFA | NFA) -> tuple[Symbol, ...] | None:
+    """A shortest accepted word (None for the empty language), by BFS."""
+    if isinstance(automaton, DFA):
+        initial = automaton.initial
+        accepting = automaton.accepting
+
+        def successors(state):
+            for symbol in sorted(automaton.alphabet, key=repr):
+                yield symbol, automaton.step(state, symbol)
+
+    else:
+        initial = frozenset({automaton.initial})
+        accepting_set = automaton.accepting
+
+        def successors(state):
+            for symbol in sorted(automaton.alphabet, key=repr):
+                yield symbol, automaton.step(state, symbol)
+
+        accepting = None  # handled below
+
+    def is_accepting(state) -> bool:
+        if isinstance(automaton, DFA):
+            return state in accepting
+        return bool(state & accepting_set)
+
+    from collections import deque
+
+    seen = {initial}
+    queue: deque = deque([(initial, ())])
+    while queue:
+        state, word = queue.popleft()
+        if is_accepting(state):
+            return word
+        for symbol, target in successors(state):
+            if target not in seen:
+                seen.add(target)
+                queue.append((target, word + (symbol,)))
+    return None

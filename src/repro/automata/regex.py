@@ -1,0 +1,362 @@
+"""A small regular-expression compiler.
+
+Example 5.1 of the paper writes s-projector components as Perl-style
+patterns (``".*Name:"``, ``"[a-zA-Z,]+"``, ``"\\s.*"``). This module
+compiles such patterns into the library's epsilon-free NFAs/DFAs so
+queries can be authored the same way.
+
+Supported syntax: literal characters, ``\\`` escapes, ``.`` (any symbol of
+the alphabet), character classes ``[abc]``, ranges ``[a-z]``, negated
+classes ``[^abc]``, grouping ``( )``, alternation ``|``, the postfix
+operators ``*``, ``+``, ``?``, and bounded repetition ``{m}``, ``{m,}``,
+``{m,n}``.
+
+Each pattern character is one alphabet symbol. The alphabet defaults to
+the characters mentioned in the pattern, but queries over a Markov sequence
+should pass the sequence's node alphabet explicitly so ``.`` and ``[^...]``
+range over the right set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.errors import RegexSyntaxError
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.automata.nfa import NFA
+
+Symbol = Hashable
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ()
+
+
+class _Empty(_Node):
+    __slots__ = ()
+
+
+class _Literal(_Node):
+    __slots__ = ("chars", "negated")
+
+    def __init__(self, chars: frozenset[str], negated: bool = False) -> None:
+        self.chars = chars
+        self.negated = negated
+
+
+class _Concat(_Node):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[_Node]) -> None:
+        self.parts = parts
+
+
+class _Alt(_Node):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[_Node]) -> None:
+        self.parts = parts
+
+
+class _Star(_Node):
+    __slots__ = ("child",)
+
+    def __init__(self, child: _Node) -> None:
+        self.child = child
+
+
+_DOT = _Literal(frozenset(), negated=True)  # matches every alphabet symbol
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent over the pattern string)
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def parse(self) -> _Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexSyntaxError(
+                f"unexpected {self.pattern[self.pos]!r} at position {self.pos}"
+            )
+        return node
+
+    def _peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _take(self) -> str:
+        char = self.pattern[self.pos]
+        self.pos += 1
+        return char
+
+    def _alternation(self) -> _Node:
+        parts = [self._concatenation()]
+        while self._peek() == "|":
+            self._take()
+            parts.append(self._concatenation())
+        if len(parts) == 1:
+            return parts[0]
+        return _Alt(parts)
+
+    def _concatenation(self) -> _Node:
+        parts: list[_Node] = []
+        while self._peek() is not None and self._peek() not in "|)":
+            parts.append(self._repetition())
+        if not parts:
+            return _Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return _Concat(parts)
+
+    def _repetition(self) -> _Node:
+        node = self._atom()
+        while self._peek() in ("*", "+", "?", "{"):
+            op = self._take()
+            if op == "*":
+                node = _Star(node)
+            elif op == "+":
+                node = _Concat([node, _Star(node)])
+            elif op == "?":
+                node = _Alt([node, _Empty()])
+            else:
+                node = self._bounded_repetition(node)
+        return node
+
+    def _bounded_repetition(self, node: _Node) -> _Node:
+        """Parse the body of ``{m}``, ``{m,}`` or ``{m,n}`` (after '{')."""
+
+        def digits() -> str:
+            text = ""
+            while self._peek() is not None and self._peek().isdigit():
+                text += self._take()
+            return text
+
+        low_text = digits()
+        if not low_text:
+            raise RegexSyntaxError(f"expected a count after '{{' at position {self.pos}")
+        low = int(low_text)
+        high: int | None = low
+        if self._peek() == ",":
+            self._take()
+            high_text = digits()
+            high = int(high_text) if high_text else None
+        if self._peek() != "}":
+            raise RegexSyntaxError(f"unterminated repetition at position {self.pos}")
+        self._take()
+        if high is not None and high < low:
+            raise RegexSyntaxError(f"bad repetition bounds {{{low},{high}}}")
+
+        # Expand: m mandatory copies, then (n - m) optionals or a star.
+        # AST nodes are immutable, so sharing subtrees is safe.
+        parts: list[_Node] = [node] * low
+        if high is None:
+            parts.append(_Star(node))
+        else:
+            parts.extend([_Alt([node, _Empty()])] * (high - low))
+        if not parts:
+            return _Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return _Concat(parts)
+
+    def _atom(self) -> _Node:
+        char = self._peek()
+        if char is None:
+            raise RegexSyntaxError("unexpected end of pattern")
+        if char == "(":
+            self._take()
+            node = self._alternation()
+            if self._peek() != ")":
+                raise RegexSyntaxError(f"unbalanced '(' at position {self.pos}")
+            self._take()
+            return node
+        if char == ")":
+            raise RegexSyntaxError(f"unbalanced ')' at position {self.pos}")
+        if char == "[":
+            return self._char_class()
+        if char == ".":
+            self._take()
+            return _DOT
+        if char == "\\":
+            self._take()
+            if self._peek() is None:
+                raise RegexSyntaxError("dangling escape at end of pattern")
+            return _Literal(frozenset({self._take()}))
+        if char in "*+?":
+            raise RegexSyntaxError(f"nothing to repeat at position {self.pos}")
+        return _Literal(frozenset({self._take()}))
+
+    def _char_class(self) -> _Node:
+        self._take()  # consume '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._take()
+        chars: set[str] = set()
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise RegexSyntaxError("unterminated character class")
+            if char == "]" and not first:
+                self._take()
+                break
+            first = False
+            if char == "\\":
+                self._take()
+                if self._peek() is None:
+                    raise RegexSyntaxError("dangling escape in character class")
+                chars.add(self._take())
+                continue
+            self._take()
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[
+                self.pos + 1
+            ] not in "]":
+                self._take()  # '-'
+                end = self._take()
+                if ord(end) < ord(char):
+                    raise RegexSyntaxError(f"bad range {char}-{end}")
+                chars.update(chr(c) for c in range(ord(char), ord(end) + 1))
+            else:
+                chars.add(char)
+        return _Literal(frozenset(chars), negated=negated)
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction (with epsilon), followed by epsilon removal
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    """Builds an epsilon-NFA fragment per AST node, then removes epsilons."""
+
+    def __init__(self, alphabet: frozenset[str]) -> None:
+        self.alphabet = alphabet
+        self.counter = 0
+        self.symbol_edges: dict[tuple[int, str], set[int]] = {}
+        self.epsilon_edges: dict[int, set[int]] = {}
+
+    def fresh(self) -> int:
+        self.counter += 1
+        return self.counter - 1
+
+    def add_symbol(self, source: int, symbol: str, target: int) -> None:
+        self.symbol_edges.setdefault((source, symbol), set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon_edges.setdefault(source, set()).add(target)
+
+    def build(self, node: _Node) -> tuple[int, int]:
+        """Return (start, accept) of the fragment for ``node``."""
+        if isinstance(node, _Empty):
+            start = self.fresh()
+            return start, start
+        if isinstance(node, _Literal):
+            symbols = (self.alphabet - node.chars) if node.negated else (
+                node.chars & self.alphabet
+            )
+            start, accept = self.fresh(), self.fresh()
+            for symbol in symbols:
+                self.add_symbol(start, symbol, accept)
+            return start, accept
+        if isinstance(node, _Concat):
+            start, accept = self.build(node.parts[0])
+            for part in node.parts[1:]:
+                nxt_start, nxt_accept = self.build(part)
+                self.add_epsilon(accept, nxt_start)
+                accept = nxt_accept
+            return start, accept
+        if isinstance(node, _Alt):
+            start, accept = self.fresh(), self.fresh()
+            for part in node.parts:
+                part_start, part_accept = self.build(part)
+                self.add_epsilon(start, part_start)
+                self.add_epsilon(part_accept, accept)
+            return start, accept
+        if isinstance(node, _Star):
+            start = self.fresh()
+            child_start, child_accept = self.build(node.child)
+            self.add_epsilon(start, child_start)
+            self.add_epsilon(child_accept, start)
+            return start, start
+        raise RegexSyntaxError(f"unknown AST node {node!r}")  # pragma: no cover
+
+    def closure(self, state: int) -> frozenset[int]:
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.epsilon_edges.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def to_nfa(self, start: int, accept: int) -> NFA:
+        """Epsilon-removal yielding an epsilon-free single-initial NFA."""
+        closures = {state: self.closure(state) for state in range(self.counter)}
+        delta: dict[tuple[int, str], set[int]] = {}
+        for state in range(self.counter):
+            for symbol in self.alphabet:
+                targets: set[int] = set()
+                for mid in closures[state]:
+                    for hit in self.symbol_edges.get((mid, symbol), ()):
+                        targets |= closures[hit]
+                if targets:
+                    delta[(state, symbol)] = targets
+        accepting = {state for state in range(self.counter) if accept in closures[state]}
+        nfa = NFA(self.alphabet, range(self.counter), start, accepting, delta)
+        return nfa.trim()
+
+
+def regex_to_nfa(pattern: str, alphabet: Iterable[Symbol] | None = None) -> NFA:
+    """Compile ``pattern`` into an epsilon-free NFA.
+
+    Parameters
+    ----------
+    pattern:
+        The regular expression (each character is one alphabet symbol).
+    alphabet:
+        Symbols that ``.`` and negated classes range over. Defaults to the
+        literal characters appearing in the pattern.
+    """
+    ast = _Parser(pattern).parse()
+    if alphabet is None:
+        alphabet = frozenset(_collect_literals(ast))
+    else:
+        alphabet = frozenset(alphabet)
+    builder = _Builder(alphabet)
+    start, accept = builder.build(ast)
+    return builder.to_nfa(start, accept)
+
+
+def regex_to_dfa(pattern: str, alphabet: Iterable[Symbol] | None = None) -> DFA:
+    """Compile ``pattern`` into a minimal total DFA."""
+    return minimize(determinize(regex_to_nfa(pattern, alphabet)))
+
+
+def _collect_literals(node: _Node) -> set[str]:
+    if isinstance(node, _Literal):
+        return set(node.chars)
+    if isinstance(node, _Concat) or isinstance(node, _Alt):
+        chars: set[str] = set()
+        for part in node.parts:
+            chars |= _collect_literals(part)
+        return chars
+    if isinstance(node, _Star):
+        return _collect_literals(node.child)
+    return set()

@@ -1,0 +1,239 @@
+"""Command-line interface: query Markov sequences from JSON documents.
+
+Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
+
+    repro info      --sequence seq.json [--query query.json]
+    repro sample    --sequence seq.json [--count 5] [--seed 0]
+    repro evaluate  --sequence seq.json --query query.json
+                    [--order unranked|emax|imax|confidence] [--limit K]
+                    [--no-confidence] [--allow-exponential]
+    repro confidence --sequence seq.json --query query.json
+                     --answer 1,2 [--index I]
+    repro dot       --sequence seq.json | --query query.json
+
+The JSON formats are documented in :mod:`repro.io.json_format`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.errors import ReproError
+from repro.core.engine import compute_confidence, evaluate, top_k
+from repro.io.json_format import read_query, read_sequence
+from repro.lahar.monitor import occurrence_profile
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+from repro.viz.dot import sequence_to_dot, transducer_to_dot
+
+
+def _parse_answer(text: str) -> tuple:
+    """Parse a comma-separated answer string ('' means the empty answer)."""
+    if text == "":
+        return ()
+    return tuple(text.split(","))
+
+
+def _describe_query(query) -> str:
+    if isinstance(query, IndexedSProjector):
+        return (
+            f"indexed s-projector |Q_B|={len(query.prefix.states)} "
+            f"|Q_A|={len(query.pattern.states)} |Q_E|={len(query.suffix.states)}"
+        )
+    if isinstance(query, SProjector):
+        return (
+            f"s-projector |Q_B|={len(query.prefix.states)} "
+            f"|Q_A|={len(query.pattern.states)} |Q_E|={len(query.suffix.states)}"
+            + (" (simple)" if query.is_simple() else "")
+        )
+    assert isinstance(query, Transducer)
+    labels = []
+    labels.append("deterministic" if query.is_deterministic() else "nondeterministic")
+    labels.append("selective" if query.is_selective() else "non-selective")
+    k = query.uniformity()
+    labels.append(f"{k}-uniform" if k is not None else "non-uniform")
+    if query.is_mealy():
+        labels.append("Mealy")
+    if query.is_projector():
+        labels.append("projector")
+    return f"transducer |Q|={len(query.nfa.states)} ({', '.join(labels)})"
+
+
+def _cmd_info(args) -> int:
+    sequence = read_sequence(args.sequence)
+    print(
+        f"Markov sequence: length {sequence.length}, "
+        f"{len(sequence.symbols)} node symbols, "
+        f"support of {sequence.support_size()} worlds"
+    )
+    if args.query:
+        query = read_query(args.query)
+        print(f"Query: {_describe_query(query)}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    sequence = read_sequence(args.sequence)
+    rng = random.Random(args.seed)
+    for _ in range(args.count):
+        world = sequence.sample(rng)
+        print(" ".join(str(s) for s in world))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    sequence = read_sequence(args.sequence)
+    query = read_query(args.query)
+    answers = evaluate(
+        sequence,
+        query,
+        order=args.order,
+        with_confidence=not args.no_confidence,
+        limit=args.limit,
+        allow_exponential=args.allow_exponential,
+    )
+    for answer in answers:
+        fields = [answer.rendered()]
+        if answer.score is not None:
+            fields.append(f"score={float(answer.score):.6g}")
+        if answer.confidence is not None:
+            fields.append(f"confidence={float(answer.confidence):.6g}")
+        print("\t".join(fields))
+    return 0
+
+
+def _cmd_confidence(args) -> int:
+    sequence = read_sequence(args.sequence)
+    query = read_query(args.query)
+    output = _parse_answer(args.answer)
+    if isinstance(query, IndexedSProjector):
+        if args.index is None:
+            raise ReproError("indexed s-projector answers need --index")
+        answer = (output, args.index)
+    else:
+        answer = output
+    value = compute_confidence(
+        sequence, query, answer, allow_exponential=args.allow_exponential
+    )
+    print(f"{float(value):.10g}")
+    return 0
+
+
+def _cmd_top_k(args) -> int:
+    sequence = read_sequence(args.sequence)
+    query = read_query(args.query)
+    for answer in top_k(sequence, query, args.k):
+        fields = [answer.rendered()]
+        if answer.score is not None:
+            fields.append(f"score={float(answer.score):.6g}")
+        if answer.confidence is not None:
+            fields.append(f"confidence={float(answer.confidence):.6g}")
+        print("\t".join(fields))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    sequence = read_sequence(args.sequence)
+    query = read_query(args.query)
+    if isinstance(query, SProjector):
+        pattern = query.pattern.to_nfa()
+    elif isinstance(query, Transducer):
+        pattern = query.nfa
+    else:  # pragma: no cover - read_query only returns the above
+        raise ReproError("profile needs a transducer or s-projector query")
+    profile = occurrence_profile(sequence, pattern)
+    for i, probability in enumerate(profile, start=1):
+        bar = "#" * int(float(probability) * 40)
+        print(f"{i}\t{float(probability):.6f}\t{bar}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    if args.sequence:
+        print(sequence_to_dot(read_sequence(args.sequence)))
+    elif args.query:
+        query = read_query(args.query)
+        if isinstance(query, SProjector):
+            query = query.to_transducer()
+        print(transducer_to_dot(query))
+    else:
+        raise ReproError("dot needs --sequence or --query")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query Markov sequences with finite-state transducers (PODS 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a sequence (and optionally a query)")
+    info.add_argument("--sequence", required=True)
+    info.add_argument("--query")
+    info.set_defaults(handler=_cmd_info)
+
+    sample = sub.add_parser("sample", help="draw random worlds")
+    sample.add_argument("--sequence", required=True)
+    sample.add_argument("--count", type=int, default=5)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.set_defaults(handler=_cmd_sample)
+
+    run = sub.add_parser("evaluate", help="evaluate a query")
+    run.add_argument("--sequence", required=True)
+    run.add_argument("--query", required=True)
+    run.add_argument(
+        "--order",
+        default="unranked",
+        choices=["unranked", "emax", "imax", "confidence"],
+    )
+    run.add_argument("--limit", type=int, default=None)
+    run.add_argument("--no-confidence", action="store_true")
+    run.add_argument("--allow-exponential", action="store_true")
+    run.set_defaults(handler=_cmd_evaluate)
+
+    conf = sub.add_parser("confidence", help="confidence of one answer")
+    conf.add_argument("--sequence", required=True)
+    conf.add_argument("--query", required=True)
+    conf.add_argument("--answer", required=True, help="comma-separated output symbols")
+    conf.add_argument("--index", type=int, default=None)
+    conf.add_argument("--allow-exponential", action="store_true")
+    conf.set_defaults(handler=_cmd_confidence)
+
+    best = sub.add_parser("top-k", help="top answers under the class's best order")
+    best.add_argument("--sequence", required=True)
+    best.add_argument("--query", required=True)
+    best.add_argument("-k", type=int, default=5)
+    best.set_defaults(handler=_cmd_top_k)
+
+    profile = sub.add_parser(
+        "profile", help="per-timestep match probability (Lahar event query)"
+    )
+    profile.add_argument("--sequence", required=True)
+    profile.add_argument("--query", required=True)
+    profile.set_defaults(handler=_cmd_profile)
+
+    dot = sub.add_parser("dot", help="emit a graphviz rendering")
+    dot.add_argument("--sequence")
+    dot.add_argument("--query")
+    dot.set_defaults(handler=_cmd_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

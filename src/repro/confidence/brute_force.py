@@ -1,0 +1,78 @@
+"""Brute-force oracles by possible-world enumeration.
+
+These enumerate the support of the Markov sequence explicitly and apply
+the query to each world — exponential in ``n`` and intended for (a) the
+general nondeterministic case, where Proposition 4.7 / Theorem 4.9 rule
+out anything polynomial, and (b) cross-checking every polynomial algorithm
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.markov.sequence import MarkovSequence, Number
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+
+def _apply(query, world) -> set:
+    """All answers of ``query`` on a single world."""
+    if isinstance(query, (IndexedSProjector, SProjector, Transducer)):
+        return query.transduce(world)
+    raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def brute_force_answers(sequence: MarkovSequence, query) -> dict:
+    """The full evaluation result: every answer mapped to its confidence.
+
+    ``query`` may be a :class:`Transducer`, an :class:`SProjector`
+    (answers are output tuples), or an :class:`IndexedSProjector`
+    (answers are ``(output, index)`` pairs).
+    """
+    confidences: dict = {}
+    for world, prob in sequence.worlds():
+        for answer in _apply(query, world):
+            confidences[answer] = confidences.get(answer, 0) + prob
+    return confidences
+
+
+def brute_force_confidence(sequence: MarkovSequence, query, answer) -> Number:
+    """Confidence of one answer, by world enumeration."""
+    total: Number = 0
+    for world, prob in sequence.worlds():
+        if answer in _apply(query, world):
+            total = total + prob
+    return total
+
+
+def brute_force_emax(sequence: MarkovSequence, query) -> dict:
+    """``E_max`` of every answer: the probability of its best evidence."""
+    scores: dict = {}
+    for world, prob in sequence.worlds():
+        for answer in _apply(query, world):
+            if prob > scores.get(answer, 0):
+                scores[answer] = prob
+    return scores
+
+
+def brute_force_top_answer(sequence: MarkovSequence, query):
+    """An answer of maximal confidence, with its confidence.
+
+    Returns ``(answer, confidence)`` or ``(None, 0)`` when the query has
+    no answers. This is the gold standard that the approximation-ratio
+    benchmarks compare heuristics against.
+    """
+    confidences = brute_force_answers(sequence, query)
+    if not confidences:
+        return None, 0
+    best = max(confidences.items(), key=lambda item: item[1])
+    return best
+
+
+def world_table(sequence: MarkovSequence, query) -> list[tuple[tuple, Number, frozenset]]:
+    """Table 1 style dump: ``(world, probability, answers)`` per world."""
+    return [
+        (world, prob, frozenset(_apply(query, world)))
+        for world, prob in sequence.worlds()
+    ]

@@ -1,0 +1,98 @@
+"""Dense (numpy) fast path for deterministic k-uniform confidence.
+
+The Theorem 4.6 dynamic program over ``(Markov node, transducer state)``
+pairs is a sequence of vector-matrix products. For k-uniform
+deterministic transducers the output position is forced, so each step is
+one multiplication by an ``S x S`` matrix (``S = |Sigma| * |Q|``) whose
+entries combine the Markov transition with the emission check. This
+module materializes those matrices with numpy — an engineering ablation
+of the sparse-dict DP used by :mod:`repro.confidence.deterministic`; the
+two are verified equal in the test suite and raced in
+``benchmarks/bench_ablation_dense.py``.
+
+Float-only (numpy); for exact rationals use the sparse DP.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidTransducerError
+from repro.markov.sequence import MarkovSequence
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+
+def confidence_deterministic_dense(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    output: Sequence,
+) -> float:
+    """``Pr(S -> [A^omega] -> output)`` via dense numpy DP.
+
+    Requires a deterministic transducer with k-uniform emission; raises
+    :class:`InvalidTransducerError` otherwise.
+    """
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError("dense path requires a deterministic transducer")
+    k = transducer.uniformity()
+    if k is None:
+        raise InvalidTransducerError("dense path requires k-uniform emission")
+    target = tuple(output)
+    n = sequence.length
+    if len(target) != k * n:
+        return 0.0
+
+    symbols = list(sequence.symbols)
+    states = sorted(transducer.nfa.states, key=repr)
+    symbol_index = {s: i for i, s in enumerate(symbols)}
+    state_index = {q: i for i, q in enumerate(states)}
+    size = len(symbols) * len(states)
+
+    def pair_index(symbol: Symbol, state) -> int:
+        return symbol_index[symbol] * len(states) + state_index[state]
+
+    # Single deterministic move per (state, symbol): precompute.
+    move: dict[tuple, tuple] = {}
+    for state in states:
+        for symbol in symbols:
+            successors = transducer.nfa.successors(state, symbol)
+            if successors:
+                (target_state,) = successors
+                move[(state, symbol)] = (
+                    target_state,
+                    transducer.emission(state, symbol, target_state),
+                )
+
+    # Initial vector (position 1).
+    vector = np.zeros(size)
+    first = target[0:k]
+    for symbol, prob in sequence.initial_support():
+        entry = move.get((transducer.nfa.initial, symbol))
+        if entry is not None and entry[1] == first:
+            vector[pair_index(symbol, entry[0])] += float(prob)
+
+    # One dense matrix per step.
+    for i in range(1, n):
+        expected = target[k * i : k * (i + 1)]
+        matrix = np.zeros((size, size))
+        for symbol in symbols:
+            for target_symbol, prob in sequence.successors(i, symbol):
+                for state in states:
+                    entry = move.get((state, target_symbol))
+                    if entry is not None and entry[1] == expected:
+                        matrix[
+                            pair_index(symbol, state),
+                            pair_index(target_symbol, entry[0]),
+                        ] += float(prob)
+        vector = vector @ matrix
+
+    accepting = transducer.nfa.accepting
+    mask = np.zeros(size)
+    for symbol in symbols:
+        for state in accepting:
+            mask[pair_index(symbol, state)] = 1.0
+    return float(vector @ mask)

@@ -1,0 +1,137 @@
+"""Confidence computation for deterministic transducers (Theorem 4.6).
+
+A deterministic transducer has at most one run per world, so summing over
+runs in a layered dynamic program counts every world exactly once:
+
+    DP[i][(sigma, q, j)] = Pr( S_{[1,i]} ends in sigma, drives A to q,
+                               and the run has emitted exactly o[0:j] )
+
+and ``conf(o)`` is the mass at ``i = n`` with ``q`` accepting and
+``j = |o|``. Time ``O(|o| * n * |Sigma|^2 * |Q|)`` in the general case; the
+k-uniform fast path drops the explicit ``j`` coordinate because the output
+position is forced to ``k * i``, matching the sharper bound of the theorem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.errors import InvalidTransducerError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.semiring import REAL, Semiring
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+
+def confidence_deterministic(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    output: Sequence,
+    semiring: Semiring = REAL,
+) -> Number:
+    """``Pr(S -> [A^omega] -> output)`` for a deterministic transducer.
+
+    Raises :class:`InvalidTransducerError` if the transducer is
+    nondeterministic (the DP would double-count worlds with several
+    accepting runs; use :func:`~repro.confidence.uniform_subset.confidence_uniform`
+    or the brute-force oracle instead).
+
+    With ``semiring=VITERBI`` the same DP computes ``E_max(output)``, the
+    best-evidence score of Section 4.2 — for deterministic transducers the
+    max over worlds factorizes over the same layered graph.
+    """
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError(
+            "confidence_deterministic requires a deterministic transducer"
+        )
+    transducer.check_alphabet(sequence.alphabet)
+    target = tuple(output)
+
+    uniformity = transducer.uniformity()
+    if uniformity is not None:
+        return _confidence_uniform_deterministic(
+            sequence, transducer, target, uniformity, semiring
+        )
+    return _confidence_general_deterministic(sequence, transducer, target, semiring)
+
+
+def _match(target: tuple, j: int, emission: tuple) -> int | None:
+    """Advance output progress ``j`` by ``emission``; None if mismatched."""
+    end = j + len(emission)
+    if end > len(target):
+        return None
+    if tuple(target[j:end]) != emission:
+        return None
+    return end
+
+
+def _confidence_general_deterministic(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    target: tuple,
+    semiring: Semiring,
+) -> Number:
+    nfa = transducer.nfa
+    layer: dict[tuple[Symbol, object, int], Number] = {}
+    for symbol, prob in sequence.initial_support():
+        for state, emission in transducer.moves(nfa.initial, symbol):
+            j = _match(target, 0, emission)
+            if j is not None:
+                key = (symbol, state, j)
+                layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object, int], Number] = {}
+        for (symbol, state, j), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                for target_state, emission in transducer.moves(state, target_symbol):
+                    j2 = _match(target, j, emission)
+                    if j2 is None:
+                        continue
+                    key = (target_symbol, target_state, j2)
+                    weight = semiring.mul(mass, prob)
+                    nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+
+    return semiring.sum(
+        mass
+        for (_symbol, state, j), mass in layer.items()
+        if j == len(target) and state in nfa.accepting
+    )
+
+
+def _confidence_uniform_deterministic(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    target: tuple,
+    k: int,
+    semiring: Semiring,
+) -> Number:
+    """Fast path: with k-uniform emission the output position is ``k * i``."""
+    if len(target) != k * sequence.length:
+        return semiring.zero
+    nfa = transducer.nfa
+    layer: dict[tuple[Symbol, object], Number] = {}
+    for symbol, prob in sequence.initial_support():
+        for state, emission in transducer.moves(nfa.initial, symbol):
+            if emission == tuple(target[0:k]):
+                key = (symbol, state)
+                layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+
+    for i in range(1, sequence.length):
+        expected = tuple(target[k * i : k * (i + 1)])
+        nxt: dict[tuple[Symbol, object], Number] = {}
+        for (symbol, state), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                for target_state, emission in transducer.moves(state, target_symbol):
+                    if emission != expected:
+                        continue
+                    key = (target_symbol, target_state)
+                    weight = semiring.mul(mass, prob)
+                    nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+
+    return semiring.sum(
+        mass for (_symbol, state), mass in layer.items() if state in nfa.accepting
+    )

@@ -1,0 +1,199 @@
+"""Confidence for indexed s-projectors (Theorem 5.8).
+
+For ``P = [B]↓A[E]`` an answer is a pair ``(o, i)`` — the substring plus
+the position where emission begins. Fixing the position makes the event a
+*conjunction over disjoint segments* of the world, so the confidence
+factorizes:
+
+    conf((o, i)) = Pr( S[1..i-1] in L(B), S[i..i+m-1] = o,
+                       S[i+m..n] in L(E) )
+                 = W_B(i, o_1) * prod_t mu_{i+t-1}(o_t, o_{t+1})
+                                       * W_E(i+m-1, o_m),
+
+where ``W_B`` is a forward DP over ``(Markov node, B-state)`` pairs and
+``W_E`` is a backward DP over ``(Markov node, E-state)`` pairs — all
+polynomial, matching the ``O(n |Sigma|^2 |Q|^2)`` bound. Contrast with the
+non-indexed case (Theorem 5.4): there the union over positions makes the
+problem #P-hard; here the position is part of the answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.errors import AlphabetMismatchError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.semiring import REAL, Semiring
+from repro.transducers.sprojector import SProjector
+
+Symbol = Hashable
+
+
+def _check(sequence: MarkovSequence, projector: SProjector) -> None:
+    if projector.alphabet != sequence.alphabet:
+        raise AlphabetMismatchError(
+            "s-projector alphabet does not match the Markov sequence alphabet"
+        )
+
+
+def forward_prefix_weights(
+    sequence: MarkovSequence, projector: SProjector, semiring: Semiring = REAL
+) -> list[dict[tuple[Symbol, object], Number]]:
+    """Forward DP: ``layers[j][(sigma, q)]`` is the mass of worlds whose
+    first ``j`` symbols end in ``sigma`` and drive ``B`` to state ``q``.
+
+    ``layers[0]`` is empty by convention (no symbols read yet); the
+    B-state for ``j = 0`` is ``B``'s initial state.
+    """
+    prefix = projector.prefix
+    layers: list[dict[tuple[Symbol, object], Number]] = [{}]
+    layer: dict[tuple[Symbol, object], Number] = {}
+    for symbol, prob in sequence.initial_support():
+        key = (symbol, prefix.step(prefix.initial, symbol))
+        layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+    layers.append(dict(layer))
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object], Number] = {}
+        for (symbol, state), mass in layer.items():
+            for target, prob in sequence.successors(i, symbol):
+                key = (target, prefix.step(state, target))
+                weight = semiring.mul(mass, prob)
+                nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+        layers.append(dict(layer))
+    return layers
+
+
+def backward_suffix_weights(
+    sequence: MarkovSequence, projector: SProjector, semiring: Semiring = REAL
+) -> list[dict[tuple[Symbol, object], Number]]:
+    """Backward DP: ``layers[j][(sigma, q)]`` is the probability that,
+    given ``S_j = sigma``, the remaining symbols ``S[j+1..n]`` drive ``E``
+    from state ``q`` into an accepting state.
+
+    Index ``j`` runs from 1 to ``n``; ``layers[n][(sigma, q)]`` is 1 if
+    ``q`` is accepting (empty suffix) and 0 otherwise.
+    """
+    suffix = projector.suffix
+    n = sequence.length
+    final = {
+        (symbol, state): (semiring.one if state in suffix.accepting else semiring.zero)
+        for symbol in sequence.symbols
+        for state in suffix.states
+    }
+    layers: list[dict[tuple[Symbol, object], Number]] = [final]
+    layer = final
+    for j in range(n - 1, 0, -1):
+        prev: dict[tuple[Symbol, object], Number] = {}
+        for symbol in sequence.symbols:
+            for state in suffix.states:
+                total = semiring.zero
+                for target, prob in sequence.successors(j, symbol):
+                    cont = layer[(target, suffix.step(state, target))]
+                    total = semiring.add(total, semiring.mul(prob, cont))
+                prev[(symbol, state)] = total
+        layers.insert(0, prev)
+        layer = prev
+    # Pad index 0 so layers[j] matches position j (1-based).
+    layers.insert(0, {})
+    return layers
+
+
+def confidence_indexed(
+    sequence: MarkovSequence,
+    projector: SProjector,
+    output: Sequence,
+    index: int,
+    semiring: Semiring = REAL,
+    _forward=None,
+    _backward=None,
+) -> Number:
+    """``Pr(S -> [B]↓A[E] -> (output, index))`` (index is 1-based).
+
+    ``_forward`` / ``_backward`` let callers that evaluate many answers on
+    one sequence (the ranked-enumeration engine) share the two DP tables.
+    """
+    _check(sequence, projector)
+    target = tuple(output)
+    n = sequence.length
+    m = len(target)
+    if index < 1 or index + m - 1 > n or (m == 0 and index > n + 1):
+        return semiring.zero
+    if not projector.pattern.accepts(target):
+        return semiring.zero
+
+    prefix, suffix = projector.prefix, projector.suffix
+    forward = _forward if _forward is not None else forward_prefix_weights(
+        sequence, projector, semiring
+    )
+    backward = _backward if _backward is not None else backward_suffix_weights(
+        sequence, projector, semiring
+    )
+
+    if m == 0:
+        return _confidence_empty_match(sequence, projector, index, semiring, forward, backward)
+
+    # Start weight: mass of worlds with S[1..index-1] in L(B) and S_index = o_1.
+    if index == 1:
+        if prefix.initial not in prefix.accepting:
+            return semiring.zero
+        start = sequence.initial_prob(target[0])
+        if semiring.is_zero(start) and start == 0:
+            return semiring.zero
+    else:
+        start = semiring.zero
+        for (symbol, state), mass in forward[index - 1].items():
+            if state in prefix.accepting:
+                prob = sequence.transition_prob(index - 1, symbol, target[0])
+                if prob != 0:
+                    start = semiring.add(start, semiring.mul(mass, prob))
+
+    # Segment weight: the fixed match o at positions index .. index+m-1.
+    segment = semiring.one
+    for t in range(m - 1):
+        prob = sequence.transition_prob(index + t, target[t], target[t + 1])
+        segment = semiring.mul(segment, prob)
+
+    # End weight: suffix acceptance from position index+m-1.
+    end_pos = index + m - 1
+    end = backward[end_pos][(target[-1], suffix.initial)]
+
+    return semiring.mul(semiring.mul(start, segment), end)
+
+
+def _confidence_empty_match(
+    sequence: MarkovSequence,
+    projector: SProjector,
+    index: int,
+    semiring: Semiring,
+    forward,
+    backward,
+) -> Number:
+    """Answers ``(epsilon, i)``: prefix of length ``i-1`` in L(B), suffix
+    ``S[i..n]`` in L(E), nothing in between."""
+    prefix, suffix = projector.prefix, projector.suffix
+    n = sequence.length
+    if index == n + 1:
+        # The whole world is the prefix; the suffix is empty.
+        if suffix.initial not in suffix.accepting:
+            return semiring.zero
+        return semiring.sum(
+            mass for (_symbol, state), mass in forward[n].items()
+            if state in prefix.accepting
+        )
+    if index == 1:
+        if prefix.initial not in prefix.accepting:
+            return semiring.zero
+        total = semiring.zero
+        for symbol, prob in sequence.initial_support():
+            cont = backward[1][(symbol, suffix.step(suffix.initial, symbol))]
+            total = semiring.add(total, semiring.mul(prob, cont))
+        return total
+    total = semiring.zero
+    for (symbol, state), mass in forward[index - 1].items():
+        if state not in prefix.accepting:
+            continue
+        for target, prob in sequence.successors(index - 1, symbol):
+            cont = backward[index][(target, suffix.step(suffix.initial, target))]
+            total = semiring.add(total, semiring.mul(semiring.mul(mass, prob), cont))
+    return total

@@ -1,0 +1,117 @@
+"""Log-space confidence computation for long sequences.
+
+The sparse DPs multiply path probabilities directly; for sequences of
+thousands of positions those products underflow IEEE doubles (every world
+probability can be below ``1e-308`` while the *confidence* — a sum of
+astronomically many of them — is still meaningful). These variants run
+the same layered DPs in log space with stable log-sum-exp accumulation,
+returning natural-log probabilities.
+
+Only the deterministic-transducer case (Theorem 4.6) needs this in
+practice — it is the one whose instances realistically reach such
+lengths — but ``log_language_probability`` covers acceptance probabilities
+for DFAs as well.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+
+from repro.errors import InvalidTransducerError
+from repro.markov.sequence import MarkovSequence
+from repro.automata.dfa import DFA
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+NEG_INF = -math.inf
+
+
+def _log(value) -> float:
+    value = float(value)
+    return math.log(value) if value > 0 else NEG_INF
+
+
+def _log_add(x: float, y: float) -> float:
+    if x == NEG_INF:
+        return y
+    if y == NEG_INF:
+        return x
+    if x < y:
+        x, y = y, x
+    return x + math.log1p(math.exp(y - x))
+
+
+def log_confidence_deterministic(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    output: Sequence,
+) -> float:
+    """``log Pr(S -> [A^omega] -> output)`` (natural log; -inf if zero).
+
+    The log-space twin of
+    :func:`repro.confidence.deterministic.confidence_deterministic` —
+    identical recursion, log-sum-exp accumulation. Use it when ``n`` is
+    large enough that per-world probabilities underflow.
+    """
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError(
+            "log_confidence_deterministic requires a deterministic transducer"
+        )
+    transducer.check_alphabet(sequence.alphabet)
+    target = tuple(output)
+    nfa = transducer.nfa
+
+    def match(j: int, emission: tuple) -> int | None:
+        end = j + len(emission)
+        if end > len(target) or tuple(target[j:end]) != emission:
+            return None
+        return end
+
+    layer: dict[tuple[Symbol, object, int], float] = {}
+    for symbol, prob in sequence.initial_support():
+        for state, emission in transducer.moves(nfa.initial, symbol):
+            j = match(0, emission)
+            if j is not None:
+                key = (symbol, state, j)
+                layer[key] = _log_add(layer.get(key, NEG_INF), _log(prob))
+
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object, int], float] = {}
+        for (symbol, state, j), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                log_step = mass + _log(prob)
+                for target_state, emission in transducer.moves(state, target_symbol):
+                    j2 = match(j, emission)
+                    if j2 is None:
+                        continue
+                    key = (target_symbol, target_state, j2)
+                    nxt[key] = _log_add(nxt.get(key, NEG_INF), log_step)
+        layer = nxt
+
+    result = NEG_INF
+    for (symbol, state, j), mass in layer.items():
+        if j == len(target) and state in nfa.accepting:
+            result = _log_add(result, mass)
+    return result
+
+
+def log_language_probability(sequence: MarkovSequence, dfa: DFA) -> float:
+    """``log Pr(S in L(dfa))`` via the stable layered DP."""
+    layer: dict[tuple[Symbol, object], float] = {}
+    for symbol, prob in sequence.initial_support():
+        key = (symbol, dfa.step(dfa.initial, symbol))
+        layer[key] = _log_add(layer.get(key, NEG_INF), _log(prob))
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object], float] = {}
+        for (symbol, state), mass in layer.items():
+            for target, prob in sequence.successors(i, symbol):
+                key = (target, dfa.step(state, target))
+                nxt[key] = _log_add(nxt.get(key, NEG_INF), mass + _log(prob))
+        layer = nxt
+    result = NEG_INF
+    for (_symbol, state), mass in layer.items():
+        if state in dfa.accepting:
+            result = _log_add(result, mass)
+    return result

@@ -1,0 +1,123 @@
+"""Monte Carlo confidence estimation (Section 7's open problem, addressed
+empirically).
+
+The paper leaves approximating the confidence of an answer for general
+nondeterministic transducers open (an FPRAS would resolve a long-standing
+question about counting words in NFA languages). What *is* available is
+the unbiased Monte Carlo estimator: sample worlds, check whether each is
+transduced into the answer, and average. This gives an additive
+(Hoeffding) guarantee — not the multiplicative guarantee an FPRAS needs,
+matching exactly the theoretical state of affairs — and is the practical
+fallback for the FP^#P-complete cells of Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence
+from repro.transducers.sprojector import SProjector
+from repro.transducers.transducer import Transducer
+
+
+@dataclass(frozen=True)
+class ConfidenceEstimate:
+    """A Monte Carlo estimate with its additive error guarantee.
+
+    ``half_width`` is the Hoeffding bound: with probability at least
+    ``1 - delta``, the true confidence lies within
+    ``estimate ± half_width``.
+    """
+
+    estimate: float
+    samples: int
+    hits: int
+    delta: float
+
+    @property
+    def half_width(self) -> float:
+        """Hoeffding additive half-width at confidence level 1 - delta."""
+        return math.sqrt(math.log(2.0 / self.delta) / (2.0 * self.samples))
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The (clipped) confidence interval."""
+        return (
+            max(0.0, self.estimate - self.half_width),
+            min(1.0, self.estimate + self.half_width),
+        )
+
+
+def _matches(query, world, answer) -> bool:
+    if isinstance(query, (Transducer, SProjector)):
+        return answer in query.transduce(world)
+    raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def estimate_confidence(
+    sequence: MarkovSequence,
+    query,
+    answer,
+    samples: int = 10_000,
+    rng: random.Random | None = None,
+    delta: float = 0.05,
+) -> ConfidenceEstimate:
+    """Estimate ``Pr(S -> [query] -> answer)`` by sampling worlds.
+
+    Works for every query class, including the FP^#P-complete ones; each
+    sample costs one world draw plus one transduction check (polynomial).
+    The additive error shrinks as ``O(sqrt(log(1/delta) / samples))``.
+    """
+    if samples < 1:
+        raise ReproError("need at least one sample")
+    if not 0 < delta < 1:
+        raise ReproError("delta must be in (0, 1)")
+    rng = rng if rng is not None else random.Random()
+    hits = 0
+    for _ in range(samples):
+        if _matches(query, sequence.sample(rng), answer):
+            hits += 1
+    return ConfidenceEstimate(
+        estimate=hits / samples, samples=samples, hits=hits, delta=delta
+    )
+
+
+def sample_answer(
+    sequence: MarkovSequence,
+    query,
+    rng: random.Random | None = None,
+    max_attempts: int = 1000,
+):
+    """Draw one answer with probability proportional to its confidence.
+
+    For a *deterministic* transducer, sampling a world and transducing it
+    samples an answer exactly proportionally to confidence (conditioned on
+    acceptance) — rejection-sampling over rejected worlds. For
+    nondeterministic queries the draw is proportional to confidence only
+    up to multi-answer worlds (a world contributes to every answer it
+    yields; one is picked uniformly). Returns None when ``max_attempts``
+    consecutive worlds were rejected.
+    """
+    rng = rng if rng is not None else random.Random()
+    for _ in range(max_attempts):
+        world = sequence.sample(rng)
+        if isinstance(query, (Transducer, SProjector)):
+            answers = query.transduce(world)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        if answers:
+            ordered = sorted(answers, key=repr)
+            return ordered[rng.randrange(len(ordered))]
+    return None
+
+
+def estimate_samples_needed(epsilon: float, delta: float = 0.05) -> int:
+    """Samples needed for additive error ``epsilon`` at level ``1 - delta``."""
+    if not 0 < epsilon < 1:
+        raise ReproError("epsilon must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ReproError("delta must be in (0, 1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))

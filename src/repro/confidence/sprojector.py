@@ -1,0 +1,49 @@
+"""Confidence for s-projectors (Theorem 5.5).
+
+For ``P = [B]A[E]`` and an answer ``o``, the event "``S`` is transduced
+into ``o``" is exactly "``o in L(A)`` and ``S`` lies in the concatenation
+language ``L(B) . {o} . L(E)``". We build the epsilon-free concatenation
+NFA and evaluate its probability by the lazy-subset DP of
+:func:`repro.confidence.language.language_probability`.
+
+The structure of the concatenation NFA is why the bound is exponential in
+``|Q_E|`` only: the ``B`` part and the ``o`` chain are deterministic, so a
+reachable subset contains at most one B-state and at most ``|o| + 1``
+chain positions, while the ``E`` part contributes a genuine subset — the
+paper derives the same shape from the state complexity of concatenation.
+Theorem 5.4 shows the exponential dependence is unavoidable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.markov.sequence import MarkovSequence, Number
+from repro.semiring import REAL, Semiring
+from repro.automata.minimize import minimize
+from repro.automata.operations import chain_automaton, concatenate
+from repro.confidence.language import language_probability
+from repro.transducers.sprojector import SProjector
+
+
+def confidence_sprojector(
+    sequence: MarkovSequence,
+    projector: SProjector,
+    output: Sequence,
+    semiring: Semiring = REAL,
+    minimize_suffix: bool = True,
+) -> Number:
+    """``Pr(S -> [P] -> output)`` for an s-projector ``P = [B]A[E]``.
+
+    ``minimize_suffix`` minimizes the suffix DFA first — the run time is
+    exponential in ``|Q_E|``, so shrinking ``E`` is an exponential win.
+    """
+    target = tuple(output)
+    if not projector.pattern.accepts(target):
+        return semiring.zero
+    suffix = minimize(projector.suffix) if minimize_suffix else projector.suffix
+    language = concatenate(
+        concatenate(projector.prefix.to_nfa(), chain_automaton(target, projector.alphabet)),
+        suffix.to_nfa(),
+    )
+    return language_probability(sequence, language, semiring)

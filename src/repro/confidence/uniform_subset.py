@@ -1,0 +1,93 @@
+"""Confidence for uniform-emission nondeterministic transducers (Theorem 4.8).
+
+With k-uniform emission, after reading ``i`` input symbols every run has
+emitted exactly ``k * i`` output symbols, so "some run so far emits a
+prefix of ``o``" is a *deterministic* function of the world prefix. The DP
+therefore tracks, per world prefix, the subset
+
+    S_i = { q in Q : some run on the prefix reaches q while emitting
+            o[0 : k*i] }
+
+together with the last Markov node:
+
+    DP[i][(sigma, S)] = Pr( S_{[1,i]} ends in sigma and induces subset S ).
+
+Each world contributes to exactly one subset per layer (no double
+counting), and ``conf(o)`` is the mass of subsets intersecting ``F`` at
+``i = n``. Time is polynomial in everything except ``2^{|Q_A|}`` — which
+Theorem 4.9 shows is unavoidable once uniformity is dropped, and
+Proposition 4.7 shows cannot be improved to polynomial in ``|Q_A|``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.errors import InvalidTransducerError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.semiring import REAL, Semiring
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+
+def confidence_uniform(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    output: Sequence,
+    semiring: Semiring = REAL,
+) -> Number:
+    """``Pr(S -> [A^omega] -> output)`` for a k-uniform transducer.
+
+    The transducer may be nondeterministic. Raises
+    :class:`InvalidTransducerError` if the emission is not uniform (the
+    subset DP is unsound there — exactly the content of Theorem 4.9).
+    """
+    k = transducer.uniformity()
+    if k is None:
+        raise InvalidTransducerError(
+            "confidence_uniform requires uniform emission; "
+            "use the brute-force oracle for non-uniform nondeterministic transducers"
+        )
+    transducer.check_alphabet(sequence.alphabet)
+    target = tuple(output)
+    if len(target) != k * sequence.length:
+        return semiring.zero
+
+    nfa = transducer.nfa
+
+    def advance(subset: frozenset, symbol: Symbol, expected: tuple) -> frozenset:
+        result = set()
+        for state in subset:
+            for nxt, emission in transducer.moves(state, symbol):
+                if emission == expected:
+                    result.add(nxt)
+        return frozenset(result)
+
+    layer: dict[tuple[Symbol, frozenset], Number] = {}
+    first = tuple(target[0:k])
+    for symbol, prob in sequence.initial_support():
+        subset = advance(frozenset({nfa.initial}), symbol, first)
+        key = (symbol, subset)
+        layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+
+    for i in range(1, sequence.length):
+        expected = tuple(target[k * i : k * (i + 1)])
+        nxt: dict[tuple[Symbol, frozenset], Number] = {}
+        for (symbol, subset), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                # The empty subset is absorbing and never accepts; keeping
+                # it explicit preserves "each world appears exactly once"
+                # without affecting the final sum, but dropping it is the
+                # usual optimization:
+                new_subset = advance(subset, target_symbol, expected) if subset else subset
+                if not new_subset:
+                    continue
+                key = (target_symbol, new_subset)
+                weight = semiring.mul(mass, prob)
+                nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+
+    return semiring.sum(
+        mass for (_symbol, subset), mass in layer.items() if subset & nfa.accepting
+    )

@@ -1,0 +1,12 @@
+"""The query-evaluation facade (the library's primary public API).
+
+:func:`evaluate` and :func:`top_k` tie the algorithm catalog together:
+they inspect the query's class (Table 2's columns), pick the right
+enumeration order and confidence algorithm, and stream
+:class:`~repro.core.results.Answer` records.
+"""
+
+from repro.core.engine import compute_confidence, evaluate, top_k
+from repro.core.results import Answer, Order
+
+__all__ = ["evaluate", "top_k", "compute_confidence", "Answer", "Order"]

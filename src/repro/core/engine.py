@@ -1,0 +1,274 @@
+"""Query evaluation over a Markov sequence — the public facade.
+
+The engine mirrors the paper's complexity landscape (Table 2): it
+dispatches on the query's class to the best available algorithm, and
+refuses combinations the paper proves intractable unless the caller
+explicitly opts into exponential work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.transducers.sprojector import (
+    IndexedSProjector,
+    SProjector,
+    decode_indexed_output,
+)
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers, brute_force_confidence
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.indexed import confidence_indexed
+from repro.confidence.sprojector import confidence_sprojector
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
+from repro.enumeration.sprojector_ranked import enumerate_sprojector_imax
+from repro.enumeration.unranked import enumerate_unranked
+from repro.core.results import Answer, Order
+
+
+def compute_confidence(
+    sequence: MarkovSequence, query, output, allow_exponential: bool = True
+) -> Number:
+    """Confidence of one answer, via the best algorithm for the query class.
+
+    * indexed s-projector → Theorem 5.8 (polynomial);
+    * s-projector → Theorem 5.5 (exponential in ``|Q_E|`` only);
+    * deterministic transducer → Theorem 4.6 (polynomial);
+    * uniform nondeterministic transducer → Theorem 4.8 (exp. in ``|Q_A|``);
+    * anything else → FP^#P-complete (Prop. 4.7 / Thm 4.9); the
+      brute-force oracle runs only if ``allow_exponential`` is True.
+    """
+    if isinstance(query, IndexedSProjector):
+        answer_output, index = output
+        return confidence_indexed(sequence, query, answer_output, index)
+    if isinstance(query, SProjector):
+        return confidence_sprojector(sequence, query, output)
+    if isinstance(query, Transducer):
+        if query.is_deterministic():
+            return confidence_deterministic(sequence, query, output)
+        if query.is_uniform():
+            return confidence_uniform(sequence, query, output)
+        if allow_exponential:
+            return brute_force_confidence(sequence, query, output)
+        raise ReproError(
+            "confidence for a non-uniform nondeterministic transducer is "
+            "FP^#P-complete (Theorem 4.9); pass allow_exponential=True to "
+            "run the possible-world oracle"
+        )
+    raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def evaluate(
+    sequence: MarkovSequence,
+    query,
+    order: Order | str = Order.UNRANKED,
+    with_confidence: bool = True,
+    limit: int | None = None,
+    allow_exponential: bool = False,
+    min_confidence: Number | None = None,
+) -> Iterator[Answer]:
+    """Evaluate ``query`` over ``sequence``, streaming :class:`Answer` records.
+
+    Parameters
+    ----------
+    sequence:
+        The probabilistic data.
+    query:
+        A :class:`Transducer`, :class:`SProjector`, or
+        :class:`IndexedSProjector` over the sequence's node alphabet.
+    order:
+        An :class:`Order` (or its string value). Availability follows
+        Table 2: ``CONFIDENCE`` is native only to indexed s-projectors;
+        for other classes it requires ``allow_exponential=True`` and runs
+        the brute-force oracle (intended for small instances and tests).
+        ``IMAX`` requires a (non-indexed) s-projector.
+    with_confidence:
+        Also compute each answer's exact confidence (skipped automatically
+        when the order already is the confidence).
+    limit:
+        Stop after this many answers (top-k when the order is ranked).
+    allow_exponential:
+        Permit exponential-time fallbacks that the paper proves necessary.
+    min_confidence:
+        Only return answers with at least this confidence. Under the
+        ``CONFIDENCE`` order the stream simply stops at the threshold
+        (exact and output-sensitive); under the heuristic orders the
+        ``E_max``/``I_max`` bounds give a sound early stop (an answer
+        satisfies ``conf <= support * E_max`` and ``conf <= n * I_max``)
+        with per-answer exact filtering; unranked evaluation filters.
+        Requires ``with_confidence=True`` (except for ``CONFIDENCE``).
+    """
+    order = Order(order)
+    if min_confidence is not None and order is not Order.CONFIDENCE:
+        if not with_confidence:
+            raise ReproError("min_confidence requires with_confidence=True")
+
+    if order is Order.CONFIDENCE:
+        answers = _evaluate_confidence_order(sequence, query, None, allow_exponential)
+    elif order is Order.IMAX:
+        answers = _evaluate_imax(sequence, query, with_confidence, None)
+    elif order is Order.EMAX:
+        answers = _evaluate_emax(
+            sequence, query, with_confidence, None, allow_exponential
+        )
+    else:
+        answers = _evaluate_unranked(
+            sequence, query, with_confidence, None, allow_exponential
+        )
+
+    if min_confidence is not None:
+        answers = _apply_threshold(sequence, order, answers, min_confidence)
+    yield from _take(answers, limit)
+
+
+def _apply_threshold(sequence, order, answers, min_confidence):
+    """Filter by confidence with the soundest early stop the order allows."""
+    if order is Order.CONFIDENCE:
+        for answer in answers:
+            if answer.confidence < min_confidence:
+                return
+            yield answer
+        return
+    if order is Order.EMAX:
+        # conf(o) <= support_size * E_max(o): once E_max falls below the
+        # scaled threshold no later answer can qualify.
+        cutoff = min_confidence / sequence.support_size()
+        for answer in answers:
+            if answer.score < cutoff:
+                return
+            if answer.confidence >= min_confidence:
+                yield answer
+        return
+    if order is Order.IMAX:
+        # Proposition 5.9: conf(o) <= n * I_max(o).
+        cutoff = min_confidence / sequence.length
+        for answer in answers:
+            if answer.score < cutoff:
+                return
+            if answer.confidence >= min_confidence:
+                yield answer
+        return
+    for answer in answers:
+        if answer.confidence >= min_confidence:
+            yield answer
+
+
+def _take(iterator, limit):
+    if limit is None:
+        yield from iterator
+        return
+    for count, item in enumerate(iterator):
+        if count >= limit:
+            return
+        yield item
+
+
+def _evaluate_unranked(sequence, query, with_confidence, limit, allow_exponential):
+    if isinstance(query, IndexedSProjector):
+        compiled = query.to_transducer()
+        raw = enumerate_unranked(sequence, compiled)
+        for output in _take(raw, limit):
+            answer = decode_indexed_output(output)
+            confidence = (
+                compute_confidence(sequence, query, answer) if with_confidence else None
+            )
+            yield Answer(answer, confidence, None, Order.UNRANKED)
+        return
+    raw = enumerate_unranked(sequence, query)
+    for output in _take(raw, limit):
+        confidence = (
+            compute_confidence(sequence, query, output, allow_exponential=True)
+            if with_confidence
+            else None
+        )
+        yield Answer(output, confidence, None, Order.UNRANKED)
+
+
+def _evaluate_emax(sequence, query, with_confidence, limit, allow_exponential):
+    if isinstance(query, IndexedSProjector):
+        compiled = query.to_transducer()
+        for score, output in _take(enumerate_emax(sequence, compiled), limit):
+            answer = decode_indexed_output(output)
+            confidence = (
+                compute_confidence(sequence, query, answer) if with_confidence else None
+            )
+            yield Answer(answer, confidence, score, Order.EMAX)
+        return
+    for score, output in _take(enumerate_emax(sequence, query), limit):
+        confidence = (
+            compute_confidence(sequence, query, output, allow_exponential=True)
+            if with_confidence
+            else None
+        )
+        yield Answer(output, confidence, score, Order.EMAX)
+
+
+def _evaluate_imax(sequence, query, with_confidence, limit):
+    if isinstance(query, IndexedSProjector) or not isinstance(query, SProjector):
+        raise ReproError(
+            "the I_max order (Lemma 5.10) applies to non-indexed s-projectors; "
+            "use CONFIDENCE for indexed s-projectors and EMAX for transducers"
+        )
+    raw = enumerate_sprojector_imax(sequence, query, with_confidence=with_confidence)
+    for item in _take(raw, limit):
+        if with_confidence:
+            score, output, confidence = item
+            yield Answer(output, confidence, score, Order.IMAX)
+        else:
+            score, output = item
+            yield Answer(output, None, score, Order.IMAX)
+
+
+def _evaluate_confidence_order(sequence, query, limit, allow_exponential):
+    if isinstance(query, IndexedSProjector):
+        raw = enumerate_indexed_ranked(sequence, query)
+        for confidence, answer in _take(raw, limit):
+            yield Answer(answer, confidence, confidence, Order.CONFIDENCE)
+        return
+    if not allow_exponential:
+        raise ReproError(
+            "exact decreasing-confidence enumeration is intractable for this "
+            "query class (Theorems 4.4/5.3); it is native only to indexed "
+            "s-projectors (Theorem 5.7). Pass allow_exponential=True to run "
+            "the brute-force oracle on a small instance."
+        )
+    confidences = brute_force_answers(sequence, query)
+    ranked = sorted(confidences.items(), key=lambda item: (-item[1], repr(item[0])))
+    for output, confidence in _take(iter(ranked), limit):
+        yield Answer(output, confidence, confidence, Order.CONFIDENCE)
+
+
+def top_k(
+    sequence: MarkovSequence,
+    query,
+    k: int,
+    order: Order | str | None = None,
+    allow_exponential: bool = False,
+) -> list[Answer]:
+    """The first ``k`` answers under the best ranked order for the class.
+
+    Default orders: indexed s-projector → exact confidence (Theorem 5.7);
+    s-projector → ``I_max`` (n-approximate, Theorem 5.2); transducer →
+    ``E_max`` (the Theorem 4.3 heuristic, worst-case optimal by
+    Theorem 4.4).
+    """
+    if order is None:
+        if isinstance(query, IndexedSProjector):
+            order = Order.CONFIDENCE
+        elif isinstance(query, SProjector):
+            order = Order.IMAX
+        else:
+            order = Order.EMAX
+    return list(
+        evaluate(
+            sequence,
+            query,
+            order=order,
+            limit=k,
+            allow_exponential=allow_exponential,
+        )
+    )

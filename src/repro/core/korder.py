@@ -1,0 +1,60 @@
+"""Query evaluation over k-order Markov sequences (footnote 3).
+
+The paper notes all results generalize to order-k Markov sequences for
+fixed k. This module makes that generalization a one-liner: it reduces
+the order-k specification to a first-order sequence over sliding windows
+(:meth:`KOrderMarkovSequence.to_first_order`), lifts the deterministic
+transducer to window symbols (:func:`lift_transducer`), and routes the
+pair through the standard engine. Emissions of the lifted machine are the
+original output symbols, so answers come back unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import InvalidTransducerError
+from repro.markov.korder import KOrderMarkovSequence, lift_transducer
+from repro.transducers.transducer import Transducer
+from repro.core.engine import compute_confidence, evaluate
+from repro.core.results import Answer, Order
+
+
+def evaluate_korder(
+    spec: KOrderMarkovSequence,
+    transducer: Transducer,
+    order: Order | str = Order.UNRANKED,
+    with_confidence: bool = True,
+    limit: int | None = None,
+) -> Iterator[Answer]:
+    """Evaluate a deterministic transducer over an order-k Markov sequence.
+
+    Answers and confidences are identical to evaluating the transducer on
+    the original order-k distribution; the reduction is internal.
+    """
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError(
+            "k-order evaluation lifts the transducer, which requires determinism"
+        )
+    sequence = spec.to_first_order()
+    lifted = lift_transducer(transducer, spec.k)
+    return evaluate(
+        sequence,
+        lifted,
+        order=order,
+        with_confidence=with_confidence,
+        limit=limit,
+    )
+
+
+def confidence_korder(
+    spec: KOrderMarkovSequence, transducer: Transducer, output
+) -> object:
+    """Confidence of one answer over an order-k Markov sequence."""
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError(
+            "k-order evaluation lifts the transducer, which requires determinism"
+        )
+    sequence = spec.to_first_order()
+    lifted = lift_transducer(transducer, spec.k)
+    return compute_confidence(sequence, lifted, tuple(output))

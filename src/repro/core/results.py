@@ -1,0 +1,73 @@
+"""Result records for query evaluation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.markov.sequence import Number
+
+
+class Order(enum.Enum):
+    """Enumeration orders offered by :func:`repro.core.evaluate`.
+
+    ===============  ===========================================================
+    member           meaning
+    ===============  ===========================================================
+    UNRANKED         any order; polynomial delay + space (Theorem 4.1)
+    EMAX             decreasing best-evidence score (Theorem 4.3);
+                     ``|Sigma|^n``-approximate confidence order
+    IMAX             decreasing max-occurrence confidence (Lemma 5.10);
+                     ``n``-approximate confidence order; s-projectors only
+    CONFIDENCE       exactly decreasing confidence; indexed s-projectors only
+                     (Theorem 5.7) — intractable for other classes
+    ===============  ===========================================================
+    """
+
+    UNRANKED = "unranked"
+    EMAX = "emax"
+    IMAX = "imax"
+    CONFIDENCE = "confidence"
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One answer of a query over a Markov sequence.
+
+    Attributes
+    ----------
+    output:
+        The answer itself: a tuple of output symbols for transducers and
+        s-projectors, or an ``(output, index)`` pair for indexed
+        s-projectors.
+    confidence:
+        ``Pr(S -> [query] -> output)``, when computed (None when the caller
+        asked to skip confidence computation).
+    score:
+        The value that ordered the enumeration (equals the confidence for
+        exact orders, ``E_max``/``I_max`` for heuristic orders, None for
+        unranked).
+    order:
+        Which enumeration produced this answer.
+    """
+
+    output: object
+    confidence: Number | None
+    score: Number | None
+    order: Order
+
+    def rendered(self) -> str:
+        """Human-readable form of the output (joins character symbols)."""
+        payload = self.output
+        index = None
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and isinstance(payload[0], tuple)
+            and isinstance(payload[1], int)
+        ):
+            payload, index = payload
+        text = "".join(str(symbol) for symbol in payload) if payload else "ε"
+        if index is not None:
+            return f"({text}, {index})"
+        return text

@@ -1,0 +1,52 @@
+"""Answer enumeration (Sections 4.1, 4.2, 5.1, 5.2).
+
+The paper's central problem: enumerate the answer set ``A^omega(mu)``,
+ideally in decreasing confidence. This subpackage implements every
+enumeration result:
+
+* :func:`enumerate_unranked` — Theorem 4.1: all answers, polynomial delay
+  and polynomial space, via prefix-constraint space partitioning;
+* :func:`enumerate_emax` — Theorem 4.3: decreasing best-evidence score
+  ``E_max``, polynomial delay, via Lawler–Murty over prefix constraints;
+* :func:`enumerate_indexed_ranked` — Theorem 5.7: indexed s-projectors in
+  exactly decreasing confidence, via increasing-weight path enumeration in
+  a layered DAG;
+* :func:`enumerate_sprojector_imax` — Lemma 5.10 / Theorem 5.2:
+  s-projectors in decreasing ``I_max`` (an n-approximation of decreasing
+  confidence), polynomial delay.
+"""
+
+from repro.enumeration.constraints import (
+    END,
+    PrefixConstraint,
+    best_evidence,
+    has_answer,
+)
+from repro.enumeration.emax import enumerate_emax, top_answer_emax
+from repro.enumeration.indexed_ranked import (
+    build_answer_dag,
+    enumerate_indexed_ranked,
+)
+from repro.enumeration.lawler import lawler_enumerate
+from repro.enumeration.pathenum import WeightedDAG
+from repro.enumeration.sprojector_ranked import (
+    enumerate_sprojector_imax,
+    top_answer_imax,
+)
+from repro.enumeration.unranked import enumerate_unranked
+
+__all__ = [
+    "PrefixConstraint",
+    "END",
+    "has_answer",
+    "best_evidence",
+    "enumerate_unranked",
+    "enumerate_emax",
+    "top_answer_emax",
+    "lawler_enumerate",
+    "WeightedDAG",
+    "build_answer_dag",
+    "enumerate_indexed_ranked",
+    "enumerate_sprojector_imax",
+    "top_answer_imax",
+]

@@ -1,0 +1,199 @@
+"""Increasing-weight path enumeration in weighted DAGs.
+
+Theorem 5.7 reduces ranked evaluation of indexed s-projectors to
+enumerating the s-t paths of an edge-weighted DAG in decreasing weight
+(the paper cites Eppstein's k-shortest paths). We implement the standard
+best-first (A*) enumeration with an exact completion-weight heuristic:
+
+* ``potential[v]`` = the maximum product of edge weights over v→sink
+  paths, computed once in reverse topological order;
+* a priority queue holds partial paths ordered by
+  ``weight-so-far * potential[endpoint]`` — an admissible and consistent
+  bound, so complete paths pop in exactly non-increasing total weight.
+
+Delay: between two consecutive outputs the algorithm pops at most the
+not-yet-popped prefixes of the next output path — at most its length —
+so the delay is polynomial. Space grows with the number of answers
+produced (see DESIGN.md for the deviation from Eppstein's polynomial
+space). Weights may be floats or exact Fractions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Hashable, Iterator
+
+from repro.errors import ReproError
+from repro.enumeration.constraints import PrefixConstraint
+
+Node = Hashable
+
+
+class WeightedDAG:
+    """A directed acyclic multigraph with multiplicative edge weights.
+
+    Edges carry an opaque ``label`` used by callers to decode paths into
+    answers. Parallel edges are allowed (they are distinct paths).
+    """
+
+    __slots__ = ("_adjacency", "_nodes")
+
+    def __init__(self) -> None:
+        self._adjacency: dict[Node, list[tuple[Node, object, object]]] = {}
+        self._nodes: dict[Node, None] = {}
+
+    def add_node(self, node: Node) -> None:
+        self._nodes.setdefault(node, None)
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, source: Node, target: Node, weight, label=None) -> None:
+        """Add an edge; zero-weight edges are dropped (probability zero)."""
+        if weight == 0:
+            return
+        self.add_node(source)
+        self.add_node(target)
+        self._adjacency[source].append((target, weight, label))
+
+    def out_edges(self, node: Node) -> list[tuple[Node, object, object]]:
+        return self._adjacency.get(node, [])
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self._adjacency.values())
+
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; raises if the graph has a cycle."""
+        in_degree: dict[Node, int] = dict.fromkeys(self._nodes, 0)
+        for edges in self._adjacency.values():
+            for target, _weight, _label in edges:
+                in_degree[target] += 1
+        frontier = [node for node, degree in in_degree.items() if degree == 0]
+        order: list[Node] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for target, _weight, _label in self._adjacency.get(node, []):
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    frontier.append(target)
+        if len(order) != len(self._nodes):
+            raise ReproError("WeightedDAG.topological_order: graph has a cycle")
+        return order
+
+    def potentials(self, sink: Node) -> dict[Node, object]:
+        """``potential[v]`` = max product of weights over v→sink paths (0 if none)."""
+        order = self.topological_order()
+        potential: dict[Node, object] = dict.fromkeys(self._nodes, 0)
+        potential[sink] = 1
+        for node in reversed(order):
+            best = potential[node]
+            for target, weight, _label in self._adjacency.get(node, []):
+                candidate = weight * potential[target]
+                if candidate > best:
+                    best = candidate
+            potential[node] = best
+        return potential
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def paths_decreasing(
+        self, source: Node, sink: Node
+    ) -> Iterator[tuple[object, tuple]]:
+        """Yield ``(weight, labels)`` of all source→sink paths, best first.
+
+        Weight is the product of edge weights; ``labels`` is the tuple of
+        edge labels along the path. Paths appear in non-increasing weight.
+        """
+        potential = self.potentials(sink)
+        if potential.get(source, 0) == 0:
+            return
+        counter = itertools.count()
+        # Heap entries: (-bound, tick, node, weight_so_far, labels)
+        heap: list[tuple[object, int, Node, object, tuple]] = [
+            (-potential[source], next(counter), source, 1, ())
+        ]
+        while heap:
+            neg_bound, _tick, node, weight, labels = heapq.heappop(heap)
+            if node == sink:
+                yield weight, labels
+                continue
+            for target, edge_weight, label in self._adjacency.get(node, []):
+                reach = potential.get(target, 0)
+                if reach == 0:
+                    continue
+                new_weight = weight * edge_weight
+                bound = new_weight * reach
+                if bound == 0:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (-bound, next(counter), target, new_weight, labels + (label,)),
+                )
+
+    def best_path_constrained(
+        self,
+        source: Node,
+        sink: Node,
+        constraint: PrefixConstraint,
+        emitted,
+    ) -> tuple[object, tuple] | None:
+        """Max-weight source→sink path whose emitted string obeys ``constraint``.
+
+        ``emitted(label)`` maps an edge label to the tuple of output
+        symbols that edge contributes (possibly empty). This is the
+        constrained optimization that Lemma 5.10's Lawler–Murty loop needs:
+        the best ``I_max`` answer among outputs extending a given prefix.
+
+        Returns ``(weight, labels)`` or None. Viterbi over
+        ``(node, output-progress)`` pairs in topological order.
+        """
+        order = self.topological_order()
+        # state: (node, progress) -> (weight, parent_state, label)
+        best: dict[tuple[Node, int], tuple[object, tuple | None, object]] = {
+            (source, 0): (1, None, None)
+        }
+        for node in order:
+            for progress in range(len(constraint.prefix) + 2):
+                state = (node, progress)
+                entry = best.get(state)
+                if entry is None:
+                    continue
+                weight = entry[0]
+                for target, edge_weight, label in self._adjacency.get(node, []):
+                    new_progress = constraint.advance(progress, tuple(emitted(label)))
+                    if new_progress is None:
+                        continue
+                    new_state = (target, new_progress)
+                    new_weight = weight * edge_weight
+                    current = best.get(new_state)
+                    if current is None or new_weight > current[0]:
+                        best[new_state] = (new_weight, state, label)
+
+        final: tuple[object, tuple | None, object] | None = None
+        final_state = None
+        for progress in range(len(constraint.prefix) + 2):
+            if not constraint.final_ok(progress):
+                continue
+            entry = best.get((sink, progress))
+            if entry is not None and (final is None or entry[0] > final[0]):
+                final = entry
+                final_state = (sink, progress)
+        if final is None:
+            return None
+
+        labels: list = []
+        state = final_state
+        while state is not None:
+            weight, parent, label = best[state]
+            if parent is not None:
+                labels.append(label)
+            state = parent
+        labels.reverse()
+        return final[0], tuple(labels)

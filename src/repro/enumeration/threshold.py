@@ -1,0 +1,68 @@
+"""Confidence-threshold queries.
+
+"All answers with confidence at least theta" is the natural companion of
+top-k. Its tractability tracks Table 2 exactly:
+
+* **indexed s-projectors** — the exact decreasing-confidence enumeration
+  (Theorem 5.7) makes this a simple cut-off: stream until the confidence
+  drops below theta. Output-sensitive and exact.
+* **deterministic / uniform transducers** — exact ranked enumeration is
+  intractable (Theorem 4.4), but the E_max order still yields a *sound
+  pruning rule*: ``conf(o) <= support_size * E_max(o)``, so once
+  ``E_max`` falls below ``theta / support_size`` no later answer can
+  qualify. Each streamed candidate's exact confidence is then checked
+  with the class's confidence algorithm. Complete, but the cut-off may
+  come late when the support is large (that looseness is Theorem 4.4's
+  content).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.markov.sequence import MarkovSequence, Number
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+from repro.core.engine import compute_confidence
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
+
+
+def indexed_answers_above(
+    sequence: MarkovSequence, projector: IndexedSProjector | SProjector, theta: Number
+) -> Iterator[tuple[Number, tuple]]:
+    """All indexed answers with ``conf >= theta``, in decreasing confidence.
+
+    Exact and output-sensitive (Theorem 5.7's enumeration, cut at theta).
+    """
+    for confidence, answer in enumerate_indexed_ranked(sequence, projector):
+        if confidence < theta:
+            return
+        yield confidence, answer
+
+
+def transducer_answers_above(
+    sequence: MarkovSequence,
+    transducer: Transducer,
+    theta: Number,
+    allow_exponential: bool = False,
+) -> Iterator[tuple[Number, tuple]]:
+    """All transducer answers with ``conf >= theta`` (unordered-ish).
+
+    Streams the E_max order and stops once the sound bound
+    ``conf <= support_size * E_max`` rules out all remaining answers;
+    every streamed candidate's exact confidence is computed and filtered.
+    Answers are yielded in E_max order, which is *not* confidence order.
+    """
+    if theta <= 0:
+        raise ValueError("theta must be positive (every answer has conf > 0)")
+    support = sequence.support_size()
+    cutoff = theta / support
+    for emax, answer in enumerate_emax(sequence, transducer):
+        if emax < cutoff:
+            return
+        confidence = compute_confidence(
+            sequence, transducer, answer, allow_exponential=allow_exponential
+        )
+        if confidence >= theta:
+            yield confidence, answer

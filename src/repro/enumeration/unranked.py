@@ -1,0 +1,88 @@
+"""Unranked enumeration of all answers (Theorem 4.1).
+
+The algorithm walks the prefix tree of the output alphabet depth-first.
+At a tree node ``w`` it (a) emits ``w`` if ``w`` itself is an answer and
+(b) recurses into each child ``w . d`` whose subtree contains an answer.
+Both tests are :func:`~repro.enumeration.constraints.has_answer` calls —
+the emptiness test the paper reduces to via its prefix-constraint
+transformation, implemented here as the layered boolean DP.
+
+Guarantees, exactly as in the theorem: every node visited has at least one
+answer in its subtree, so the delay between consecutive answers is bounded
+by (answer length) x |Delta| emptiness tests — polynomial in the input and
+in the two answers surrounding the delay — and the space is one root-to-
+node path plus the DP, i.e. polynomial regardless of how many answers have
+been printed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.markov.sequence import MarkovSequence
+from repro.transducers.sprojector import SProjector
+from repro.transducers.transducer import Transducer
+from repro.enumeration.constraints import PrefixConstraint, has_answer
+
+
+def _as_transducer(query) -> Transducer:
+    if isinstance(query, SProjector):
+        return query.to_transducer()
+    if isinstance(query, Transducer):
+        return query
+    raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def enumerate_unranked(
+    sequence: MarkovSequence, query, max_output_length: int | None = None
+) -> Iterator[tuple]:
+    """Yield every answer of ``query`` on ``sequence``, unordered.
+
+    ``query`` is a :class:`Transducer` or an :class:`SProjector` (compiled
+    on the fly). Answers are output tuples; the iteration order is
+    lexicographic in the canonical output-alphabet order (a by-product of
+    the DFS, not a guarantee the theorem needs).
+
+    ``max_output_length`` optionally truncates the exploration depth —
+    useful as a safety net; the natural bound is ``n`` times the longest
+    emission, past which no answers exist anyway.
+    """
+    transducer = _as_transducer(query)
+    alphabet = sorted(transducer.output_alphabet, key=repr)
+
+    if not has_answer(sequence, transducer, PrefixConstraint.unconstrained()):
+        return
+
+    # Iterative DFS; each stack frame is (prefix, next-child-index, emitted?).
+    stack: list[list] = [[(), 0, False]]
+    while stack:
+        frame = stack[-1]
+        prefix, child_index, emitted = frame
+        if not emitted:
+            frame[2] = True
+            if has_answer(sequence, transducer, PrefixConstraint.exact_string(prefix)):
+                yield prefix
+        if max_output_length is not None and len(prefix) >= max_output_length:
+            stack.pop()
+            continue
+        advanced = False
+        while child_index < len(alphabet):
+            child = prefix + (alphabet[child_index],)
+            child_index += 1
+            frame[1] = child_index
+            if has_answer(sequence, transducer, PrefixConstraint.with_prefix(child)):
+                stack.append([child, 0, False])
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+
+
+def count_answers(sequence: MarkovSequence, query, limit: int | None = None) -> int:
+    """Count answers by running the enumerator (stops early at ``limit``)."""
+    count = 0
+    for _answer in enumerate_unranked(sequence, query):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single exception type at API
+boundaries while still discriminating finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidDistributionError(ReproError):
+    """A probability distribution does not sum to one (or has bad entries)."""
+
+
+class InvalidMarkovSequenceError(ReproError):
+    """A Markov sequence is structurally malformed."""
+
+
+class InvalidAutomatonError(ReproError):
+    """An automaton definition is malformed (e.g. unknown state in delta)."""
+
+
+class InvalidTransducerError(ReproError):
+    """A transducer definition is malformed or violates a class restriction.
+
+    The paper restricts attention to transducers with *deterministic
+    emission*; constructions that would require nondeterministic emission
+    raise this error.
+    """
+
+
+class AlphabetMismatchError(ReproError):
+    """The alphabets of a query and a Markov sequence do not agree.
+
+    The paper assumes ``Sigma_A == Sigma_mu`` throughout (Section 3.1.2);
+    we check the assumption eagerly and fail with this error.
+    """
+
+
+class NotAnAnswerError(ReproError):
+    """A string claimed to be an answer has zero probability."""
+
+
+class RegexSyntaxError(ReproError):
+    """A regular-expression pattern could not be parsed."""

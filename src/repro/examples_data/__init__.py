@@ -1,0 +1,9 @@
+"""Canonical data of the paper's running example (Figures 1–2, Table 1)."""
+
+from repro.examples_data.hospital import (
+    TABLE_1_ROWS,
+    hospital_sequence,
+    room_change_transducer,
+)
+
+__all__ = ["hospital_sequence", "room_change_transducer", "TABLE_1_ROWS"]

@@ -1,0 +1,157 @@
+"""The paper's running example: the hospital crash cart (Figures 1-2, Table 1).
+
+The node set comprises six locations — two sub-locations in each of Room 1
+(``r1a``, ``r1b``), Room 2 (``r2a``, ``r2b``) and the lab (``la``, ``lb``)
+— and the Markov sequence has length 5.
+
+Reconstruction notes
+--------------------
+Figure 1 itself is an image we cannot read, so the sequence below is
+reconstructed from every number the text states:
+
+* ``mu_0(r1a) = 0.7`` and ``mu_3(la, lb) = 0.1`` (Example 3.1);
+* the factorization of string **s**, ``0.7 * 0.9 * 0.9 * 0.7 * 1.0``
+  (Example 3.2), pinning ``mu_1(r1a, la)``, ``mu_2(la, la)``,
+  ``mu_3(la, r1a)`` and ``mu_4(r1a, r2a)``;
+* the Table 1 probabilities of **s** (0.3969), **t** (0.0049),
+  **u** (0.002), **v** (0.0315) and **x** (0.007);
+* ``conf(12) = 0.3969 + 0.0049 + 0.002 = 0.4038``, together with the claim
+  that **s**, **t**, **u** are *all* the worlds transduced into ``12``
+  (Example 3.4).
+
+One published row cannot be honoured simultaneously with the rest: if
+**w** = ``r1b r1b la lb lb`` had positive probability, then the five
+factors it shares with **s** would force the world
+``r1b r1b la r1a r2a`` — which also transduces into ``12`` — to have
+positive probability, contradicting ``conf(12) = 0.4038``. (Its printed
+probability, "0.0.0252", is also corrupted in the source.) We therefore
+reconstruct the sequence with **w** outside the support, preserving every
+quantitatively checkable claim; the regression tests assert all of them.
+
+All probabilities are exact :class:`fractions.Fraction` values, so the
+reproduced Table 1 numbers are exact equalities, not float approximations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.automata.nfa import NFA
+from repro.markov.sequence import MarkovSequence
+from repro.transducers.transducer import Transducer
+
+#: The six locations of Figure 1.
+LOCATIONS = ("r1a", "r1b", "r2a", "r2b", "la", "lb")
+
+
+def _f(value: str) -> Fraction:
+    return Fraction(value)
+
+
+def hospital_sequence(exact: bool = True) -> MarkovSequence:
+    """The Figure 1 Markov sequence (length 5 over the six locations).
+
+    With ``exact=True`` (default) probabilities are exact rationals; with
+    ``exact=False`` they are floats.
+    """
+    initial = {"r1a": _f("0.7"), "r1b": _f("0.2"), "la": _f("0.1")}
+    mu1 = {
+        "r1a": {"la": _f("0.9"), "r1a": _f("0.1")},
+        "r1b": {"r1b": _f("0.7"), "r2a": _f("0.3")},
+        "la": {"r1b": _f("0.2"), "lb": _f("0.8")},
+        "r2a": {"r2a": _f("1")},
+        "r2b": {"r2b": _f("1")},
+        "lb": {"lb": _f("1")},
+    }
+    mu2 = {
+        "la": {"la": _f("0.9"), "r2a": _f("0.1")},
+        "r1a": {"la": _f("0.1"), "r2b": _f("0.4"), "r1a": _f("0.5")},
+        "r1b": {"r1b": _f("0.5"), "lb": _f("0.5")},
+        "r2a": {"r2a": _f("1")},
+        "r2b": {"r2b": _f("1")},
+        "lb": {"lb": _f("1")},
+    }
+    mu3 = {
+        "la": {"r1a": _f("0.7"), "lb": _f("0.1"), "la": _f("0.2")},
+        "r1b": {"r1a": _f("0.2"), "r1b": _f("0.8")},
+        "r2a": {"r1b": _f("1")},
+        "r2b": {"r1b": _f("0.5"), "r2b": _f("0.5")},
+        "r1a": {"r1a": _f("1")},
+        "lb": {"lb": _f("1")},
+    }
+    mu4 = {
+        "r1a": {"r2a": _f("1")},
+        "r1b": {"lb": _f("0.5"), "r1b": _f("0.5")},
+        "lb": {"lb": _f("0.9"), "la": _f("0.1")},
+        "la": {"la": _f("1")},
+        "r2a": {"r2a": _f("1")},
+        "r2b": {"r2b": _f("1")},
+    }
+    sequence = MarkovSequence(LOCATIONS, initial, [mu1, mu2, mu3, mu4])
+    return sequence if exact else sequence.as_float()
+
+
+def room_change_transducer() -> Transducer:
+    """The Figure 2 transducer ``A^omega``.
+
+    It waits for the cart's first visit to the lab and from then on emits
+    the identifier of each *place* (Room 1 → ``1``, Room 2 → ``2``,
+    lab → ``λ``) whenever the cart enters that place from a different
+    place. States: ``q0`` (before the first lab visit), ``q_lambda``
+    (currently in the lab), ``q1`` (Room 1), ``q2`` (Room 2); all but
+    ``q0`` are accepting — so exactly the strings visiting the lab are
+    accepted. Deterministic, selective, and non-uniform (emissions of
+    lengths 0 and 1), as Example 3.3 observes.
+    """
+    room1 = ("r1a", "r1b")
+    room2 = ("r2a", "r2b")
+    lab = ("la", "lb")
+
+    delta: dict[tuple[str, str], set[str]] = {}
+    omega: dict[tuple[str, str, str], tuple[str, ...]] = {}
+
+    def add(source: str, symbols: tuple[str, ...], target: str, out: str | None) -> None:
+        for symbol in symbols:
+            delta[(source, symbol)] = {target}
+            if out is not None:
+                omega[(source, symbol, target)] = (out,)
+
+    add("q0", room1 + room2, "q0", None)
+    add("q0", lab, "q_lambda", None)
+
+    add("q_lambda", lab, "q_lambda", None)
+    add("q_lambda", room1, "q1", "1")
+    add("q_lambda", room2, "q2", "2")
+
+    add("q1", room1, "q1", None)
+    add("q1", room2, "q2", "2")
+    add("q1", lab, "q_lambda", "λ")
+
+    add("q2", room2, "q2", None)
+    add("q2", room1, "q1", "1")
+    add("q2", lab, "q_lambda", "λ")
+
+    nfa = NFA(
+        LOCATIONS,
+        {"q0", "q_lambda", "q1", "q2"},
+        "q0",
+        {"q_lambda", "q1", "q2"},
+        delta,
+    )
+    return Transducer(nfa, omega)
+
+
+#: Table 1, as reconstructed: (name, world, probability, output). ``None``
+#: output means the world is rejected ("N/A" in the paper); string **w** is
+#: listed with probability 0 (see the module docstring).
+TABLE_1_ROWS: tuple[tuple[str, tuple[str, ...], Fraction, str | None], ...] = (
+    ("s", ("r1a", "la", "la", "r1a", "r2a"), _f("0.3969"), "12"),
+    ("t", ("r1a", "r1a", "la", "r1a", "r2a"), _f("0.0049"), "12"),
+    ("u", ("la", "r1b", "r1b", "r1a", "r2a"), _f("0.002"), "12"),
+    ("v", ("r1a", "la", "r2a", "r1b", "lb"), _f("0.0315"), "21λ"),
+    ("w", ("r1b", "r1b", "la", "lb", "lb"), _f("0"), "ε"),
+    ("x", ("r1a", "r1a", "r2b", "r1b", "r1b"), _f("0.007"), None),
+)
+
+#: conf(12) as stated in Example 3.4.
+CONF_12 = _f("0.4038")

@@ -1,0 +1,45 @@
+"""Executable lower-bound constructions (Theorems 4.4, 4.5, 4.9, 5.3).
+
+The paper's negative results are reductions; their measurable content is
+the growth of approximation ratios and of required work. This subpackage
+provides instance generators realizing each phenomenon (see DESIGN.md for
+what is faithful reduction vs. engineered gap family):
+
+* :mod:`gap_instances` — families where the ``E_max`` heuristic's top
+  answer has confidence an exponential factor below the true top
+  (Theorems 4.4/4.5), including the paper's amplification construction;
+* :mod:`counting` — the Proposition 4.7 reduction from counting
+  ``|L(A) ∩ Sigma^n|`` (non-selective, 1-uniform transducer), composed
+  with a monotone bipartite 2-DNF model-counting front end (Theorem 4.9's
+  source problem);
+* :mod:`max3dnf` — max-3-DNF instances, the source problem of
+  Theorems 4.4/4.5;
+* :mod:`independent_set` — s-projector families exhibiting the
+  ``conf / I_max`` gap approaching the factor ``n`` (Theorem 5.3's regime),
+  built from independent-set-style interval conflicts.
+"""
+
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+from repro.hardness.counting import (
+    dnf_to_nfa,
+    nfa_counting_instance,
+    two_dnf_counting_instance,
+)
+from repro.hardness.max3dnf import Max3DnfInstance, random_3dnf
+from repro.hardness.independent_set import occurrence_gap_instance
+
+__all__ = [
+    "mealy_gap_instance",
+    "projector_gap_instance",
+    "amplified_gap_instance",
+    "nfa_counting_instance",
+    "dnf_to_nfa",
+    "two_dnf_counting_instance",
+    "Max3DnfInstance",
+    "random_3dnf",
+    "occurrence_gap_instance",
+]

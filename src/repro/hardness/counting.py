@@ -1,0 +1,174 @@
+"""The counting connection (Proposition 4.7 / Theorem 4.9's source problem).
+
+Proposition 4.7: computing the confidence of an answer for a
+nondeterministic transducer is FP^#P-complete, already for non-selective,
+1-uniform transducers — by reduction from counting ``|L(A) ∩ Sigma^n|``
+(#P-complete, Kannan–Sweedyk–Mahaney). :func:`nfa_counting_instance`
+implements that reduction faithfully: it produces a non-selective
+1-uniform transducer and an answer whose confidence, under the uniform
+i.i.d. Markov sequence, equals ``|L(A) ∩ Sigma^n| / |Sigma|^n``.
+
+Theorem 4.9's source problem — counting models of a monotone bipartite
+2-DNF — composes with it: :func:`dnf_to_nfa` encodes the satisfying
+assignments of such a formula as a regular language of fixed-length bit
+strings, giving an executable end-to-end chain
+
+    #2-DNF models  →  |L(A) ∩ {0,1}^n|  →  confidence computation.
+
+(The theorem's stronger statement fixes one 3-state transducer; our
+transducer grows with the NFA — see the substitution note in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+
+from repro.errors import ReproError
+from repro.markov.builders import uniform_iid
+from repro.markov.sequence import MarkovSequence
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+
+
+@dataclass(frozen=True)
+class CountingInstance:
+    """Output of the Proposition 4.7 reduction.
+
+    ``confidence(answer) * scale`` equals the number being counted.
+    """
+
+    sequence: MarkovSequence
+    transducer: Transducer
+    answer: tuple
+    scale: int
+
+
+def nfa_counting_instance(nfa: NFA, n: int) -> CountingInstance:
+    """Reduce counting ``|L(nfa) ∩ Sigma^n|`` to a confidence computation.
+
+    Construction: layer the NFA by position and keep only states
+    co-accessible to acceptance at layer ``n`` — then *every* complete
+    layered run is accepting. The transducer's layered transitions emit
+    ``1``; every state also falls to an absorbing ``dead`` state emitting
+    ``0`` (making the machine non-selective and total). Under the uniform
+    i.i.d. sequence of length ``n``,
+
+        conf(1^n) = Pr(some accepting run)  =  |L ∩ Sigma^n| / |Sigma|^n.
+    """
+    if n < 1:
+        raise ReproError("need n >= 1")
+    alphabet = sorted(nfa.alphabet, key=repr)
+
+    # Backward co-accessibility per layer: kept[i] can reach F in n-i steps.
+    kept: list[set] = [set() for _ in range(n + 1)]
+    kept[n] = set(nfa.accepting)
+    for i in range(n - 1, -1, -1):
+        for state in nfa.states:
+            if any(
+                nfa.successors(state, symbol) & kept[i + 1] for symbol in alphabet
+            ):
+                kept[i].add(state)
+
+    delta: dict[tuple, set] = {}
+    omega: dict[tuple, tuple] = {}
+    states: set = {"dead"}
+    initial = ("L", nfa.initial, 0)
+    states.add(initial)
+
+    def fall_to_dead(state) -> None:
+        for symbol in alphabet:
+            delta.setdefault((state, symbol), set()).add("dead")
+            omega[(state, symbol, "dead")] = ("0",)
+
+    fall_to_dead("dead")
+    fall_to_dead(initial)
+
+    frontier = [initial] if nfa.initial in kept[0] else []
+    seen = set(frontier)
+    while frontier:
+        state = frontier.pop()
+        _tag, q, i = state
+        if i == n:
+            continue
+        for symbol in alphabet:
+            for q2 in nfa.successors(q, symbol) & kept[i + 1]:
+                target = ("L", q2, i + 1)
+                delta.setdefault((state, symbol), set()).add(target)
+                omega[(state, symbol, target)] = ("1",)
+                if target not in states:
+                    states.add(target)
+                    fall_to_dead(target)
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+
+    transducer_nfa = NFA(alphabet, states, initial, states, delta)  # non-selective
+    transducer = Transducer(transducer_nfa, omega)
+    sequence = uniform_iid(alphabet, n, exact=True)
+    return CountingInstance(
+        sequence=sequence,
+        transducer=transducer,
+        answer=("1",) * n,
+        scale=len(alphabet) ** n,
+    )
+
+
+def dnf_to_nfa(clauses: list[tuple[int, int]], nx: int, ny: int) -> NFA:
+    """Encode a monotone bipartite 2-DNF as an NFA over ``{'0', '1'}``.
+
+    The formula is ``OR_{(i,j) in clauses} (x_i AND y_j)`` with ``i`` in
+    ``1..nx`` and ``j`` in ``1..ny``. Its models, written as bit strings
+    ``x_1 .. x_nx y_1 .. y_ny``, form the language of the returned NFA:
+    the automaton guesses a clause up front and checks the two required
+    positions carry ``1``.
+    """
+    length = nx + ny
+    for i, j in clauses:
+        if not (1 <= i <= nx and 1 <= j <= ny):
+            raise ReproError(f"clause ({i},{j}) out of range")
+    triples = []
+    for c, (i, j) in enumerate(clauses):
+        required = {i, nx + j}
+        # States (c, pos) after reading pos bits.
+        for pos in range(length):
+            for bit in ("0", "1"):
+                if pos + 1 in required and bit == "0":
+                    continue
+                source = ("c", c, pos) if pos > 0 else "start"
+                triples.append((source, bit, ("c", c, pos + 1)))
+    accepting = {("c", c, length) for c in range(len(clauses))}
+    return NFA.from_transitions(("0", "1"), "start", accepting, triples)
+
+
+def count_dnf_models(clauses: list[tuple[int, int]], nx: int, ny: int) -> int:
+    """Brute-force model count of the monotone bipartite 2-DNF (oracle)."""
+    count = 0
+    for bits in product((0, 1), repeat=nx + ny):
+        if any(bits[i - 1] and bits[nx + j - 1] for i, j in clauses):
+            count += 1
+    return count
+
+
+def two_dnf_counting_instance(
+    clauses: list[tuple[int, int]], nx: int, ny: int
+) -> CountingInstance:
+    """End-to-end Theorem 4.9 chain: #2-DNF models as a confidence value.
+
+    The returned instance satisfies
+    ``confidence(answer) * scale == count_dnf_models(clauses, nx, ny)``
+    (with exact rational arithmetic), where the confidence must be
+    computed for a *nondeterministic* transducer — the computation the
+    theorem proves FP^#P-complete.
+    """
+    nfa = dnf_to_nfa(clauses, nx, ny)
+    return nfa_counting_instance(nfa, nx + ny)
+
+
+def exact_count_via_confidence(instance: CountingInstance, confidence: Fraction) -> int:
+    """Recover the integer count from a computed confidence."""
+    value = confidence * instance.scale
+    if value.denominator != 1:
+        raise ReproError(f"confidence {confidence} does not scale to an integer")
+    return int(value)

@@ -1,0 +1,163 @@
+"""Gap families for the inapproximability results (Theorems 4.4 / 4.5).
+
+Both theorems say: no polynomial algorithm finds a top answer within a
+``2^{n^{1-delta}}`` factor of the best confidence — already for a 1-state
+Mealy machine (Thm 4.4) and for a fixed 1-state deterministic projector
+over a 4-symbol alphabet (Thm 4.5). The engine of both is *collapsing*:
+when many worlds map to one answer, the answer's confidence aggregates
+masses the best-single-evidence heuristic cannot see.
+
+These generators build instances where the gap between the true top
+confidence and the confidence of the ``E_max``-top answer grows as
+``c^n`` — the shape of the lower bound, checkable by brute force on small
+``n`` and extrapolated by the benchmarks on larger ``n`` (where both
+quantities are still computable in closed form for these instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.markov.builders import iid
+from repro.markov.sequence import MarkovSequence
+from repro.automata.dfa import DFA
+from repro.transducers.library import collapse_transducer, projector_from_dfa
+from repro.transducers.transducer import Transducer
+
+
+@dataclass(frozen=True)
+class GapInstance:
+    """A hardness instance with its analytically known gap.
+
+    Attributes
+    ----------
+    sequence, query:
+        The instance itself.
+    emax_top_answer:
+        The answer the ``E_max`` heuristic ranks first.
+    emax_top_confidence:
+        Its true confidence (closed form).
+    best_answer:
+        An answer whose confidence witnesses the gap (for the Mealy family
+        it is the exact top answer; for the projector family it is a
+        near-top binomial-mode answer).
+    best_confidence:
+        Its confidence (closed form).
+    """
+
+    sequence: MarkovSequence
+    query: Transducer
+    emax_top_answer: tuple
+    emax_top_confidence: Fraction
+    best_answer: tuple
+    best_confidence: Fraction
+
+    @property
+    def ratio(self) -> Fraction:
+        """The approximation ratio the heuristic incurs on this instance."""
+        return self.best_confidence / self.emax_top_confidence
+
+
+def mealy_gap_instance(
+    n: int, group_size: int = 4, heavy: Fraction = Fraction(3, 10)
+) -> GapInstance:
+    """Theorem 4.4 phenomenon: one-state Mealy machine, exponential gap.
+
+    Alphabet ``{a_1 .. a_m, b}`` with ``m = group_size``; positions are
+    i.i.d. with ``P(b) = heavy`` and the rest uniform on the ``a_i``. The
+    Mealy machine collapses every ``a_i`` to ``A`` and keeps ``b``.
+
+    Choosing ``(1 - heavy) / m < heavy < 1 - heavy`` makes the single most
+    likely world ``b^n`` (so the ``E_max``-top answer is ``B^n``, with
+    confidence ``heavy^n``) while the answer ``A^n`` has confidence
+    ``(1 - heavy)^n`` — a gap of ``((1-heavy)/heavy)^n``, exponential in
+    ``n`` with a fixed one-state machine, as the theorem requires.
+    """
+    m = group_size
+    light = (1 - heavy) / m
+    if not light < heavy < 1 - heavy:
+        raise ReproError(
+            "need (1-heavy)/group_size < heavy < 1-heavy for the gap to appear"
+        )
+    symbols = [f"a{i}" for i in range(1, m + 1)] + ["b"]
+    distribution = {f"a{i}": light for i in range(1, m + 1)}
+    distribution["b"] = heavy
+    sequence = iid(distribution, n)
+    query = collapse_transducer(
+        {**{f"a{i}": "A" for i in range(1, m + 1)}, "b": "B"}
+    )
+    # Worlds are i.i.d.; most likely world is b^n since heavy > light.
+    return GapInstance(
+        sequence=sequence,
+        query=query,
+        emax_top_answer=("B",) * n,
+        emax_top_confidence=heavy**n,
+        best_answer=("A",) * n,
+        best_confidence=(1 - heavy) ** n,
+    )
+
+
+def projector_gap_instance(n: int, keep_prob: Fraction = Fraction(2, 5)) -> GapInstance:
+    """Theorem 4.5 phenomenon: fixed 1-state deterministic projector.
+
+    Alphabet ``{a, b, c, d}`` (``|Sigma| = 4`` as in the theorem);
+    positions i.i.d. with ``P(a) = keep_prob`` and ``b, c, d`` sharing the
+    rest uniformly. The projector keeps ``a`` and drops the rest, so the
+    answers are ``a^k`` with binomial confidences
+    ``C(n, k) p^k (1-p)^{n-k}``.
+
+    With ``keep_prob > (1 - keep_prob)/3`` the most likely single world is
+    ``a^n``, so the heuristic's top answer is ``a^n`` with confidence
+    ``p^n`` — exponentially below the binomial mode ``a^{k*}``.
+    """
+    p = keep_prob
+    other = (1 - p) / 3
+    if not other < p:
+        raise ReproError("need keep_prob > (1-keep_prob)/3 so the all-a world is modal")
+    sequence = iid({"a": p, "b": other, "c": other, "d": other}, n)
+    alphabet = ("a", "b", "c", "d")
+    dfa = DFA(
+        alphabet, {"q"}, "q", {"q"}, {("q", s): "q" for s in alphabet}
+    )
+    query = projector_from_dfa(dfa, keep={"a"})
+
+    def binom(k: int) -> Fraction:
+        from math import comb
+
+        return comb(n, k) * p**k * (1 - p) ** (n - k)
+
+    k_star = max(range(n + 1), key=binom)
+    return GapInstance(
+        sequence=sequence,
+        query=query,
+        emax_top_answer=("a",) * n,
+        emax_top_confidence=p**n,
+        best_answer=("a",) * k_star,
+        best_confidence=binom(k_star),
+    )
+
+
+def amplified_gap_instance(base: GapInstance, copies: int) -> GapInstance:
+    """The Section 4.2 amplification: concatenate independent copies.
+
+    Concatenating ``c`` independent copies of the Markov sequence turns a
+    per-copy gap ``r`` into ``r^c`` (confidences of blockwise answers
+    multiply across independent blocks), which is how the paper boosts a
+    constant-factor inapproximability to ``2^{n^{1-delta}}``.
+
+    Only valid for the 1-state (position-independent) queries produced by
+    the generators in this module, whose answers concatenate blockwise.
+    """
+    if copies < 1:
+        raise ReproError("need at least one copy")
+    sequence = base.sequence.power(copies)
+    return GapInstance(
+        sequence=sequence,
+        query=base.query,
+        emax_top_answer=base.emax_top_answer * copies,
+        emax_top_confidence=base.emax_top_confidence**copies,
+        best_answer=base.best_answer * copies,
+        best_confidence=base.best_confidence**copies,
+    )

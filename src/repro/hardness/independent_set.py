@@ -1,0 +1,81 @@
+"""s-projector gap families (Theorem 5.3's regime).
+
+Theorem 5.3 (from independent set): even for a fixed *simple* s-projector
+``[*]A[*]``, approximating the top answer within ``n^{1/2 - delta}`` is
+hard, so the factor-``n`` guarantee of the ``I_max`` order (Theorem 5.2)
+cannot be improved to a constant or logarithm. The measurable content is
+the gap ``conf(o) / I_max(o)``, which can approach ``n``: an answer with
+many disjoint low-probability occurrences aggregates confidence the
+best-single-occurrence score cannot see.
+
+:func:`occurrence_gap_instance` builds the canonical such family — a
+fixed two-symbol-pattern projector over an i.i.d. sequence where the
+pattern has ``~n`` potential occurrences of probability ``~p^2`` each —
+realizing ratios ``Theta(n)`` as ``p → 0``. The benchmarks sweep ``n``
+and verify Proposition 5.9's sandwich ``I_max <= conf <= n * I_max`` on
+random instances as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.markov.builders import iid
+from repro.markov.sequence import MarkovSequence
+from repro.automata.dfa import DFA
+from repro.automata.operations import sigma_star
+from repro.transducers.sprojector import SProjector
+
+
+@dataclass(frozen=True)
+class OccurrenceGapInstance:
+    """A simple s-projector instance with a many-occurrence answer."""
+
+    sequence: MarkovSequence
+    projector: SProjector
+    answer: tuple
+
+    @property
+    def n(self) -> int:
+        return self.sequence.length
+
+
+def occurrence_gap_instance(
+    n: int, match_prob: Fraction = Fraction(1, 20)
+) -> OccurrenceGapInstance:
+    """A simple s-projector whose top answer has ``~n`` equal occurrences.
+
+    Alphabet ``{a, b, c}``; positions i.i.d. with ``P(a) = P(b) = p`` and
+    ``P(c) = 1 - 2p``; the pattern DFA accepts exactly ``ab``. The answer
+    ``(a, b)`` has ``n - 1`` possible start positions, each of confidence
+    ``p^2`` (times the free prefix/suffix mass, which is 1 for the simple
+    projector), while ``I_max`` is a single occurrence's confidence — the
+    union bound makes ``conf / I_max → (n-1)`` as ``p → 0``.
+    """
+    if n < 2:
+        raise ReproError("need n >= 2 for the pattern to occur")
+    p = match_prob
+    if not 0 < p < Fraction(1, 2):
+        raise ReproError("match_prob must be in (0, 1/2)")
+    sequence = iid({"a": p, "b": p, "c": 1 - 2 * p}, n)
+    alphabet = ("a", "b", "c")
+    # Pattern DFA accepting exactly the string "ab".
+    delta = {
+        ("s0", "a"): "s1",
+        ("s0", "b"): "dead",
+        ("s0", "c"): "dead",
+        ("s1", "a"): "dead",
+        ("s1", "b"): "s2",
+        ("s1", "c"): "dead",
+        ("s2", "a"): "dead",
+        ("s2", "b"): "dead",
+        ("s2", "c"): "dead",
+        ("dead", "a"): "dead",
+        ("dead", "b"): "dead",
+        ("dead", "c"): "dead",
+    }
+    pattern = DFA(alphabet, {"s0", "s1", "s2", "dead"}, "s0", {"s2"}, delta)
+    projector = SProjector(sigma_star(alphabet), pattern, sigma_star(alphabet))
+    return OccurrenceGapInstance(sequence, projector, ("a", "b"))

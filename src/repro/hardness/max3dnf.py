@@ -1,0 +1,100 @@
+"""max-3-DNF: the source problem of Theorems 4.4 and 4.5.
+
+Both inapproximability theorems reduce from max-3-DNF — maximize the
+number of satisfied conjunctive clauses of three literals — which admits
+no efficient 7/8-approximation unless P = NP. This module supplies the
+problem itself (instances, exact and greedy solvers), so the benchmark
+harness can exhibit the reduction pipeline's source side and the
+amplification arithmetic of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ReproError
+
+#: A literal is ``(variable_index, polarity)``; polarity True = positive.
+Literal = tuple[int, bool]
+Clause = tuple[Literal, Literal, Literal]
+
+
+@dataclass(frozen=True)
+class Max3DnfInstance:
+    """A 3-DNF formula: a disjunction of 3-literal conjunctions."""
+
+    num_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if len(clause) != 3:
+                raise ReproError(f"clause {clause!r} does not have 3 literals")
+            for var, _polarity in clause:
+                if not 0 <= var < self.num_vars:
+                    raise ReproError(f"variable {var} out of range")
+
+    def clause_satisfied(self, clause: Clause, assignment: tuple[bool, ...]) -> bool:
+        """A conjunctive clause holds iff all three literals hold."""
+        return all(assignment[var] == polarity for var, polarity in clause)
+
+    def num_satisfied(self, assignment: tuple[bool, ...]) -> int:
+        """Number of clauses the assignment satisfies."""
+        if len(assignment) != self.num_vars:
+            raise ReproError("assignment length mismatch")
+        return sum(
+            1 for clause in self.clauses if self.clause_satisfied(clause, assignment)
+        )
+
+    def optimum(self) -> tuple[int, tuple[bool, ...]]:
+        """Exact max-3-DNF by exhaustive search (exponential; tests only)."""
+        best_count = -1
+        best_assignment: tuple[bool, ...] = ()
+        for bits in product((False, True), repeat=self.num_vars):
+            count = self.num_satisfied(bits)
+            if count > best_count:
+                best_count, best_assignment = count, bits
+        return best_count, best_assignment
+
+    def greedy(self) -> tuple[int, tuple[bool, ...]]:
+        """A simple greedy baseline: fix variables one by one, keeping the
+        choice that maximizes the expected number of satisfiable clauses
+        under uniform completion (a 1/8-guarantee style heuristic)."""
+        assignment: list[bool | None] = [None] * self.num_vars
+
+        def expected(partial: list[bool | None]) -> float:
+            total = 0.0
+            for clause in self.clauses:
+                prob = 1.0
+                for var, polarity in clause:
+                    value = partial[var]
+                    if value is None:
+                        prob *= 0.5
+                    elif value != polarity:
+                        prob = 0.0
+                        break
+                total += prob
+            return total
+
+        for var in range(self.num_vars):
+            assignment[var] = True
+            with_true = expected(assignment)
+            assignment[var] = False
+            with_false = expected(assignment)
+            assignment[var] = with_true >= with_false
+        final = tuple(bool(v) for v in assignment)
+        return self.num_satisfied(final), final
+
+
+def random_3dnf(num_vars: int, num_clauses: int, rng: random.Random) -> Max3DnfInstance:
+    """A random 3-DNF instance with distinct variables per clause."""
+    if num_vars < 3:
+        raise ReproError("need at least 3 variables")
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(num_vars), 3)
+        clause = tuple((var, rng.random() < 0.5) for var in variables)
+        clauses.append(clause)
+    return Max3DnfInstance(num_vars, tuple(clauses))

@@ -1,0 +1,23 @@
+"""JSON (de)serialization for the library's data objects."""
+
+from repro.io.json_format import (
+    loads_query,
+    loads_sequence,
+    read_query,
+    read_sequence,
+    dumps_query,
+    dumps_sequence,
+    write_query,
+    write_sequence,
+)
+
+__all__ = [
+    "dumps_sequence",
+    "loads_sequence",
+    "write_sequence",
+    "read_sequence",
+    "dumps_query",
+    "loads_query",
+    "write_query",
+    "read_query",
+]

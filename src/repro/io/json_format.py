@@ -1,0 +1,245 @@
+"""A JSON interchange format for Markov sequences and queries.
+
+The paper's convention (Section 3.2) is that probabilities are rational
+numbers given by numerator and denominator; this format honours it:
+probabilities serialize as JSON numbers (floats) or as ``"p/q"`` strings
+(exact rationals), and round-trip losslessly in both representations.
+
+Sequence document::
+
+    {"type": "markov_sequence",
+     "symbols": ["r1a", "la", ...],
+     "initial": {"r1a": "7/10", "la": "1/10", ...},
+     "transitions": [{"r1a": {"la": "9/10", ...}, ...}, ...]}
+
+Query documents::
+
+    {"type": "transducer",
+     "alphabet": [...], "states": [...], "initial": "q0",
+     "accepting": [...],
+     "transitions": [{"from": "q0", "symbol": "la", "to": "q1",
+                      "emit": ["1"]}, ...]}
+
+    {"type": "sprojector" | "indexed_sprojector",
+     "alphabet": [...],
+     "prefix": {<dfa>}, "pattern": {<dfa>}, "suffix": {<dfa>}}
+
+where ``<dfa>`` is ``{"states": [...], "initial": ..., "accepting": [...],
+"transitions": [{"from": ..., "symbol": ..., "to": ...}]}``. All symbols
+and states must be strings (JSON keys).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+
+# ---------------------------------------------------------------------------
+# Numbers
+# ---------------------------------------------------------------------------
+
+
+def _encode_number(value: Number):
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, int):
+        return f"{value}/1"
+    return value
+
+
+def _decode_number(value) -> Number:
+    if isinstance(value, str):
+        try:
+            numerator, denominator = value.split("/")
+            return Fraction(int(numerator), int(denominator))
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ReproError(f"bad rational literal {value!r}") from exc
+    if isinstance(value, (int, float)):
+        return value
+    raise ReproError(f"bad probability value {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Markov sequences
+# ---------------------------------------------------------------------------
+
+
+def sequence_to_dict(sequence: MarkovSequence) -> dict:
+    """Encode a Markov sequence as a JSON-ready dict."""
+    return {
+        "type": "markov_sequence",
+        "symbols": list(sequence.symbols),
+        "initial": {
+            str(symbol): _encode_number(prob)
+            for symbol, prob in sequence.initial_support()
+        },
+        "transitions": [
+            {
+                str(source): {
+                    str(target): _encode_number(prob)
+                    for target, prob in sequence.successors(i, source)
+                }
+                for source in sequence.symbols
+            }
+            for i in range(1, sequence.length)
+        ],
+    }
+
+
+def sequence_from_dict(document: dict) -> MarkovSequence:
+    """Decode a Markov sequence from its dict form (validates)."""
+    if document.get("type") != "markov_sequence":
+        raise ReproError(f"not a markov_sequence document: {document.get('type')!r}")
+    symbols = document["symbols"]
+    initial = {s: _decode_number(p) for s, p in document["initial"].items()}
+    transitions = [
+        {
+            source: {target: _decode_number(p) for target, p in row.items()}
+            for source, row in step.items()
+        }
+        for step in document["transitions"]
+    ]
+    return MarkovSequence(symbols, initial, transitions)
+
+
+def dumps_sequence(sequence: MarkovSequence, indent: int | None = 2) -> str:
+    """Serialize a Markov sequence to a JSON string."""
+    return json.dumps(sequence_to_dict(sequence), indent=indent)
+
+
+def loads_sequence(text: str) -> MarkovSequence:
+    """Parse a Markov sequence from a JSON string."""
+    return sequence_from_dict(json.loads(text))
+
+
+def write_sequence(sequence: MarkovSequence, path: str | Path) -> None:
+    """Write a Markov sequence to a JSON file."""
+    Path(path).write_text(dumps_sequence(sequence))
+
+
+def read_sequence(path: str | Path) -> MarkovSequence:
+    """Read a Markov sequence from a JSON file."""
+    return loads_sequence(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def _dfa_to_dict(dfa: DFA) -> dict:
+    return {
+        "states": sorted(map(str, dfa.states)),
+        "initial": str(dfa.initial),
+        "accepting": sorted(map(str, dfa.accepting)),
+        "transitions": [
+            {"from": str(source), "symbol": str(symbol), "to": str(target)}
+            for source, symbol, target in sorted(dfa.transitions(), key=repr)
+        ],
+    }
+
+
+def _dfa_from_dict(document: dict, alphabet) -> DFA:
+    delta = {
+        (t["from"], t["symbol"]): t["to"] for t in document["transitions"]
+    }
+    return DFA(
+        alphabet,
+        document["states"],
+        document["initial"],
+        document["accepting"],
+        delta,
+    )
+
+
+def query_to_dict(query) -> dict:
+    """Encode a transducer or (indexed) s-projector as a JSON-ready dict."""
+    if isinstance(query, SProjector):
+        kind = "indexed_sprojector" if isinstance(query, IndexedSProjector) else "sprojector"
+        return {
+            "type": kind,
+            "alphabet": sorted(map(str, query.alphabet)),
+            "prefix": _dfa_to_dict(query.prefix),
+            "pattern": _dfa_to_dict(query.pattern),
+            "suffix": _dfa_to_dict(query.suffix),
+        }
+    if isinstance(query, Transducer):
+        transitions = []
+        for source, symbol, target in sorted(query.nfa.transitions(), key=repr):
+            transitions.append(
+                {
+                    "from": str(source),
+                    "symbol": str(symbol),
+                    "to": str(target),
+                    "emit": [str(out) for out in query.emission(source, symbol, target)],
+                }
+            )
+        return {
+            "type": "transducer",
+            "alphabet": sorted(map(str, query.input_alphabet)),
+            "states": sorted(map(str, query.nfa.states)),
+            "initial": str(query.nfa.initial),
+            "accepting": sorted(map(str, query.nfa.accepting)),
+            "transitions": transitions,
+        }
+    raise TypeError(f"unsupported query type {type(query).__name__}")
+
+
+def query_from_dict(document: dict):
+    """Decode a query document into the matching object."""
+    kind = document.get("type")
+    if kind == "transducer":
+        alphabet = document["alphabet"]
+        delta: dict = {}
+        omega: dict = {}
+        for t in document["transitions"]:
+            delta.setdefault((t["from"], t["symbol"]), set()).add(t["to"])
+            emission = tuple(t.get("emit", ()))
+            if emission:
+                omega[(t["from"], t["symbol"], t["to"])] = emission
+        nfa = NFA(
+            alphabet,
+            document["states"],
+            document["initial"],
+            document["accepting"],
+            delta,
+        )
+        return Transducer(nfa, omega)
+    if kind in ("sprojector", "indexed_sprojector"):
+        alphabet = document["alphabet"]
+        cls = IndexedSProjector if kind == "indexed_sprojector" else SProjector
+        return cls(
+            _dfa_from_dict(document["prefix"], alphabet),
+            _dfa_from_dict(document["pattern"], alphabet),
+            _dfa_from_dict(document["suffix"], alphabet),
+        )
+    raise ReproError(f"unknown query document type {kind!r}")
+
+
+def dumps_query(query, indent: int | None = 2) -> str:
+    """Serialize a query to a JSON string."""
+    return json.dumps(query_to_dict(query), indent=indent)
+
+
+def loads_query(text: str):
+    """Parse a query from a JSON string."""
+    return query_from_dict(json.loads(text))
+
+
+def write_query(query, path: str | Path) -> None:
+    """Write a query to a JSON file."""
+    Path(path).write_text(dumps_query(query))
+
+
+def read_query(path: str | Path):
+    """Read a query from a JSON file."""
+    return loads_query(Path(path).read_text())

@@ -1,0 +1,16 @@
+"""A small Lahar-style Markov-stream database (Sections 1 and 6)."""
+
+from repro.lahar.database import MarkovStreamDatabase, StreamAnswer
+from repro.lahar.monitor import (
+    occurrence_profile,
+    prefix_acceptance_profile,
+    unanchored_match_dfa,
+)
+
+__all__ = [
+    "MarkovStreamDatabase",
+    "StreamAnswer",
+    "prefix_acceptance_profile",
+    "occurrence_profile",
+    "unanchored_match_dfa",
+]

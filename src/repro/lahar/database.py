@@ -1,0 +1,132 @@
+"""A Markov-stream database in the spirit of Lahar.
+
+The paper is motivated by Lahar, "a Markov-sequence database that supports
+query processing over a collection of Markov sequences", and its stated
+goal is to bring transducer queries into such a system. This module is the
+system shell: named streams (e.g. one per tracked RFID object), registered
+queries, per-stream and cross-stream top-k evaluation — all routed through
+the :mod:`repro.core` engine, so each stream/query pair automatically gets
+the best algorithm for its class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence
+from repro.core.engine import evaluate, top_k
+from repro.core.results import Answer, Order
+
+
+@dataclass(frozen=True)
+class StreamAnswer:
+    """An answer tagged with the stream that produced it."""
+
+    stream: str
+    answer: Answer
+
+
+class MarkovStreamDatabase:
+    """A named collection of Markov sequences with a query interface."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, MarkovSequence] = {}
+        self._queries: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def register_stream(self, name: str, sequence: MarkovSequence) -> None:
+        """Add (or replace) a stream under ``name``."""
+        if not name:
+            raise ReproError("stream name must be non-empty")
+        self._streams[name] = sequence
+
+    def drop_stream(self, name: str) -> None:
+        """Remove a stream; missing names raise."""
+        if name not in self._streams:
+            raise ReproError(f"unknown stream {name!r}")
+        del self._streams[name]
+
+    def register_query(self, name: str, query) -> None:
+        """Store a reusable named query (transducer or s-projector)."""
+        if not name:
+            raise ReproError("query name must be non-empty")
+        self._queries[name] = query
+
+    def streams(self) -> list[str]:
+        """Registered stream names, sorted."""
+        return sorted(self._streams)
+
+    def queries(self) -> list[str]:
+        """Registered query names, sorted."""
+        return sorted(self._queries)
+
+    def stream(self, name: str) -> MarkovSequence:
+        """Look up one stream."""
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ReproError(f"unknown stream {name!r}") from None
+
+    def _resolve_query(self, query):
+        if isinstance(query, str):
+            try:
+                return self._queries[query]
+            except KeyError:
+                raise ReproError(f"unknown query {query!r}") from None
+        return query
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        stream: str,
+        query,
+        order: Order | str = Order.UNRANKED,
+        limit: int | None = None,
+        with_confidence: bool = True,
+        allow_exponential: bool = False,
+    ) -> Iterator[Answer]:
+        """Evaluate a query (object or registered name) over one stream."""
+        sequence = self.stream(stream)
+        return evaluate(
+            sequence,
+            self._resolve_query(query),
+            order=order,
+            with_confidence=with_confidence,
+            limit=limit,
+            allow_exponential=allow_exponential,
+        )
+
+    def top_k(self, stream: str, query, k: int) -> list[Answer]:
+        """Top-k answers of one stream under the class's best ranked order."""
+        return top_k(self.stream(stream), self._resolve_query(query), k)
+
+    def top_k_across(
+        self, query, k: int, streams: Iterable[str] | None = None
+    ) -> list[StreamAnswer]:
+        """Globally best ``k`` answers across streams, merged by score.
+
+        Runs the per-stream ranked enumeration lazily k answers deep on
+        each stream, then merges — the standard top-k-over-partitions
+        pattern of stream warehouses.
+        """
+        names = list(streams) if streams is not None else self.streams()
+        candidates: list[StreamAnswer] = []
+        resolved = self._resolve_query(query)
+        for name in names:
+            for answer in top_k(self.stream(name), resolved, k):
+                candidates.append(StreamAnswer(name, answer))
+        candidates.sort(
+            key=lambda item: (
+                -(item.answer.score if item.answer.score is not None else 0),
+                item.stream,
+            )
+        )
+        return candidates[:k]

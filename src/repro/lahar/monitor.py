@@ -1,0 +1,95 @@
+"""Lahar-legacy Boolean event queries (Section 6, related work).
+
+Before this paper, Lahar's queries were "essentially linear DFAs ...
+Boolean, and at each time period [the query] returns the probability that
+it is evaluated to true". This module implements that query class over
+our Markov sequences, so the stream database supports both the legacy
+per-timestep probability profiles and the paper's transducer answers:
+
+* :func:`prefix_acceptance_profile` — ``Pr(S[1..i] in L(A))`` per ``i``
+  (the event "the pattern has happened by time i" for monotone patterns);
+* :func:`occurrence_profile` — ``Pr(some window ending at i matches A)``,
+  the standard "event fires at time i" semantics, via a product with the
+  unanchored-match automaton.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.markov.sequence import MarkovSequence, Number
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AlphabetMismatchError
+
+Symbol = Hashable
+
+
+def _check(sequence: MarkovSequence, automaton: DFA | NFA) -> None:
+    if automaton.alphabet != sequence.alphabet:
+        raise AlphabetMismatchError(
+            "event automaton alphabet does not match the stream alphabet"
+        )
+
+
+def prefix_acceptance_profile(sequence: MarkovSequence, dfa: DFA) -> list[Number]:
+    """``profile[i-1] = Pr(S[1..i] in L(dfa))`` for ``i = 1..n``.
+
+    One forward pass over the layered product; the profile is what a
+    Lahar-style dashboard plots per timestep.
+    """
+    _check(sequence, dfa)
+    profile: list[Number] = []
+    layer: dict[tuple[Symbol, object], Number] = {}
+    for symbol, prob in sequence.initial_support():
+        key = (symbol, dfa.step(dfa.initial, symbol))
+        layer[key] = layer.get(key, 0) + prob
+    profile.append(
+        sum(mass for (_s, state), mass in layer.items() if state in dfa.accepting)
+    )
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object], Number] = {}
+        for (symbol, state), mass in layer.items():
+            for target, prob in sequence.successors(i, symbol):
+                key = (target, dfa.step(state, target))
+                nxt[key] = nxt.get(key, 0) + mass * prob
+        layer = nxt
+        profile.append(
+            sum(mass for (_s, state), mass in layer.items() if state in dfa.accepting)
+        )
+    return profile
+
+
+def unanchored_match_dfa(pattern: NFA | DFA) -> DFA:
+    """DFA for ``Sigma* . L(pattern)`` — "some suffix of the prefix matches".
+
+    The classic unanchored-pattern construction: add a self-looping guess
+    of the match start, then determinize.
+    """
+    base = pattern.to_nfa() if isinstance(pattern, DFA) else pattern
+    base = base.renamed("m")
+    fresh = "m_start"
+    delta: dict[tuple, set] = {
+        key: set(targets) for key, targets in base.delta_dict().items()
+    }
+    for symbol in base.alphabet:
+        targets = set(base.successors(base.initial, symbol))
+        targets.add(fresh)  # keep guessing a later start
+        delta.setdefault((fresh, symbol), set()).update(targets)
+    accepting = set(base.accepting)
+    if base.initial in base.accepting:
+        accepting.add(fresh)
+    nfa = NFA(
+        base.alphabet, set(base.states) | {fresh}, fresh, accepting, delta
+    )
+    return determinize(nfa)
+
+
+def occurrence_profile(sequence: MarkovSequence, pattern: NFA | DFA) -> list[Number]:
+    """``profile[i-1] = Pr(some substring of S[1..i] ending at i matches)``.
+
+    The Lahar "event fires at time i" semantics for a regular pattern.
+    """
+    _check(sequence, pattern)
+    return prefix_acceptance_profile(sequence, unanchored_match_dfa(pattern))

@@ -1,0 +1,77 @@
+"""Saving and loading a Markov-stream database as a directory of JSON files.
+
+Layout::
+
+    <root>/
+      catalog.json            {"streams": [...], "queries": [...]}
+      streams/<name>.json     one repro.io sequence document each
+      queries/<name>.json     one repro.io query document each
+
+Names are sanitized to filesystem-safe slugs; the catalog preserves the
+original names.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.io.json_format import read_query, read_sequence, write_query, write_sequence
+from repro.lahar.database import MarkovStreamDatabase
+
+_SLUG = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _slugify(name: str) -> str:
+    slug = _SLUG.sub("_", name).strip("_")
+    return slug or "item"
+
+
+def save_database(database: MarkovStreamDatabase, root: str | Path) -> None:
+    """Write the whole database under ``root`` (created if missing)."""
+    root = Path(root)
+    streams_dir = root / "streams"
+    queries_dir = root / "queries"
+    streams_dir.mkdir(parents=True, exist_ok=True)
+    queries_dir.mkdir(parents=True, exist_ok=True)
+
+    catalog = {"streams": [], "queries": []}
+    used: set[str] = set()
+
+    def unique_slug(name: str) -> str:
+        base = _slugify(name)
+        slug = base
+        counter = 1
+        while slug in used:
+            counter += 1
+            slug = f"{base}_{counter}"
+        used.add(slug)
+        return slug
+
+    for name in database.streams():
+        slug = unique_slug(name)
+        write_sequence(database.stream(name), streams_dir / f"{slug}.json")
+        catalog["streams"].append({"name": name, "file": f"streams/{slug}.json"})
+    for name in database.queries():
+        slug = unique_slug(name)
+        write_query(database._resolve_query(name), queries_dir / f"{slug}.json")
+        catalog["queries"].append({"name": name, "file": f"queries/{slug}.json"})
+
+    (root / "catalog.json").write_text(json.dumps(catalog, indent=2))
+
+
+def load_database(root: str | Path) -> MarkovStreamDatabase:
+    """Load a database saved by :func:`save_database`."""
+    root = Path(root)
+    catalog_path = root / "catalog.json"
+    if not catalog_path.exists():
+        raise ReproError(f"no catalog.json under {root}")
+    catalog = json.loads(catalog_path.read_text())
+    database = MarkovStreamDatabase()
+    for entry in catalog.get("streams", []):
+        database.register_stream(entry["name"], read_sequence(root / entry["file"]))
+    for entry in catalog.get("queries", []):
+        database.register_query(entry["name"], read_query(root / entry["file"]))
+    return database

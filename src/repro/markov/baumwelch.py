@@ -1,0 +1,201 @@
+"""Baum–Welch (EM) training for the HMM substrate.
+
+The paper's pipeline assumes an HMM exists; in a real deployment (Lahar's
+RFID setting) the model is *fit* from observation logs. This module
+completes the substrate with the classical Baum–Welch algorithm:
+expectation-maximization over one or more observation strings, with the
+standard guarantees (the likelihood is non-decreasing per iteration) that
+the test suite checks.
+
+Pure Python, scaled forward/backward (no underflow), supports multiple
+training strings and Laplace smoothing to keep rows valid.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.markov.hmm import HMM
+
+State = Hashable
+Observation = Hashable
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """The fitted model and the per-iteration log-likelihood trace."""
+
+    hmm: HMM
+    log_likelihoods: tuple[float, ...]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.log_likelihoods) - 1
+
+
+def _forward_backward(hmm: HMM, observations: Sequence[Observation]):
+    """Scaled forward/backward returning (alphas, betas, scales, loglik).
+
+    ``alphas[t][s] = Pr(S_t = s | o_1..o_t)``;
+    ``betas[t][s] ∝ Pr(o_{t+1}..o_n | S_t = s)`` scaled so that
+    ``sum_s alphas[t][s] * betas[t][s] == 1`` at every t.
+    """
+    n = len(observations)
+    alphas: list[dict[State, float]] = []
+    scales: list[float] = []
+    current = {
+        s: hmm.initial.get(s, 0.0) * hmm.emission[s].get(observations[0], 0.0)
+        for s in hmm.states
+    }
+    scale = sum(current.values())
+    if scale == 0:
+        raise ReproError("training string has zero likelihood under the model")
+    alphas.append({s: p / scale for s, p in current.items()})
+    scales.append(scale)
+    for t in range(1, n):
+        obs = observations[t]
+        nxt: dict[State, float] = {}
+        for target in hmm.states:
+            emit = hmm.emission[target].get(obs, 0.0)
+            nxt[target] = emit * sum(
+                alphas[-1][source] * hmm.transition[source].get(target, 0.0)
+                for source in hmm.states
+            )
+        scale = sum(nxt.values())
+        if scale == 0:
+            raise ReproError("training string has zero likelihood under the model")
+        alphas.append({s: p / scale for s, p in nxt.items()})
+        scales.append(scale)
+
+    betas: list[dict[State, float]] = [dict.fromkeys(hmm.states, 1.0)]
+    for t in range(n - 2, -1, -1):
+        obs = observations[t + 1]
+        level = {
+            source: sum(
+                hmm.transition[source].get(target, 0.0)
+                * hmm.emission[target].get(obs, 0.0)
+                * betas[0][target]
+                for target in hmm.states
+            )
+            / scales[t + 1]
+            for source in hmm.states
+        }
+        betas.insert(0, level)
+
+    loglik = sum(math.log(s) for s in scales)
+    return alphas, betas, scales, loglik
+
+
+def baum_welch(
+    initial_model: HMM,
+    training_strings: Sequence[Sequence[Observation]],
+    iterations: int = 20,
+    smoothing: float = 1e-6,
+    tolerance: float = 1e-9,
+) -> TrainingResult:
+    """Fit HMM parameters by EM on the given observation strings.
+
+    Parameters
+    ----------
+    initial_model:
+        Starting point (its zero transition/emission entries can be
+        revived by smoothing; its state set is fixed).
+    training_strings:
+        One or more observation strings (each of length >= 1).
+    iterations:
+        Maximum EM iterations.
+    smoothing:
+        Laplace mass added to every accumulator (keeps rows valid and the
+        model able to explain future strings).
+    tolerance:
+        Stop early when the total log-likelihood improves by less.
+    """
+    if not training_strings or any(len(s) == 0 for s in training_strings):
+        raise ReproError("need at least one non-empty training string")
+    model = initial_model
+    trace: list[float] = []
+
+    observations_alphabet: dict[Observation, None] = dict.fromkeys(
+        model.observations
+    )
+    for string in training_strings:
+        for obs in string:
+            observations_alphabet.setdefault(obs, None)
+    obs_symbols = list(observations_alphabet)
+
+    def normalize(row: dict, keys) -> dict:
+        total = sum(row.get(k, 0.0) + smoothing for k in keys)
+        values = {k: (row.get(k, 0.0) + smoothing) / total for k in keys}
+        drift = 1.0 - sum(values.values())
+        top = max(values, key=values.get)
+        values[top] += drift
+        return values
+
+    for _iteration in range(iterations):
+        initial_acc: dict[State, float] = {}
+        transition_acc: dict[State, dict[State, float]] = {
+            s: {} for s in model.states
+        }
+        emission_acc: dict[State, dict[Observation, float]] = {
+            s: {} for s in model.states
+        }
+        total_loglik = 0.0
+
+        for string in training_strings:
+            alphas, betas, _scales, loglik = _forward_backward(model, string)
+            total_loglik += loglik
+            n = len(string)
+            # Gamma: posterior state occupancy.
+            for t in range(n):
+                denominator = sum(
+                    alphas[t][s] * betas[t][s] for s in model.states
+                )
+                for state in model.states:
+                    gamma = alphas[t][state] * betas[t][state] / denominator
+                    if t == 0:
+                        initial_acc[state] = initial_acc.get(state, 0.0) + gamma
+                    emission_acc[state][string[t]] = (
+                        emission_acc[state].get(string[t], 0.0) + gamma
+                    )
+            # Xi: posterior transition counts.
+            for t in range(n - 1):
+                obs = string[t + 1]
+                denominator = 0.0
+                contributions = []
+                for source in model.states:
+                    for target in model.states:
+                        value = (
+                            alphas[t][source]
+                            * model.transition[source].get(target, 0.0)
+                            * model.emission[target].get(obs, 0.0)
+                            * betas[t + 1][target]
+                        )
+                        if value > 0:
+                            contributions.append((source, target, value))
+                            denominator += value
+                for source, target, value in contributions:
+                    transition_acc[source][target] = (
+                        transition_acc[source].get(target, 0.0) + value / denominator
+                    )
+
+        trace.append(total_loglik)
+        model = HMM(
+            initial=normalize(initial_acc, model.states),
+            transition={
+                s: normalize(transition_acc[s], model.states) for s in model.states
+            },
+            emission={
+                s: normalize(emission_acc[s], obs_symbols) for s in model.states
+            },
+        )
+        if len(trace) >= 2 and abs(trace[-1] - trace[-2]) < tolerance:
+            break
+
+    final_loglik = sum(
+        _forward_backward(model, string)[3] for string in training_strings
+    )
+    trace.append(final_loglik)
+    return TrainingResult(hmm=model, log_likelihoods=tuple(trace))

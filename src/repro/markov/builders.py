@@ -1,0 +1,159 @@
+"""Constructors for common and synthetic Markov sequences.
+
+These cover the workloads of the benchmark harness: i.i.d. and homogeneous
+chains for scaling sweeps, random sparse chains for property tests, and a
+synthetic hospital RFID model (rooms + hallway topology with sensor-style
+uncertainty) standing in for the Lahar deployments that motivate the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from fractions import Fraction
+
+from repro.errors import InvalidMarkovSequenceError
+from repro.markov.sequence import MarkovSequence, Number
+
+Symbol = Hashable
+
+
+def iid(distribution: Mapping[Symbol, Number], length: int) -> MarkovSequence:
+    """A Markov sequence whose positions are i.i.d. with ``distribution``.
+
+    Every transition row equals the (position-independent) distribution, so
+    worlds factor into independent per-position draws. This is the standard
+    substrate for the hardness gap families of Section 4.2.
+    """
+    if length < 1:
+        raise InvalidMarkovSequenceError("length must be at least 1")
+    symbols = tuple(distribution)
+    row = dict(distribution)
+    step = {source: dict(row) for source in symbols}
+    return MarkovSequence(symbols, row, [step] * (length - 1))
+
+
+def uniform_iid(symbols: Iterable[Symbol], length: int, exact: bool = False) -> MarkovSequence:
+    """I.i.d. uniform sequence over ``symbols``.
+
+    With ``exact=True`` probabilities are exact ``Fraction`` values.
+    """
+    symbols = tuple(dict.fromkeys(symbols))
+    if not symbols:
+        raise InvalidMarkovSequenceError("need at least one symbol")
+    prob: Number = Fraction(1, len(symbols)) if exact else 1.0 / len(symbols)
+    return iid({s: prob for s in symbols}, length)
+
+
+def homogeneous(
+    initial: Mapping[Symbol, Number],
+    matrix: Mapping[Symbol, Mapping[Symbol, Number]],
+    length: int,
+) -> MarkovSequence:
+    """A time-homogeneous chain: one transition matrix reused at every step."""
+    if length < 1:
+        raise InvalidMarkovSequenceError("length must be at least 1")
+    symbols = tuple(dict.fromkeys(list(initial) + list(matrix)))
+    step = {source: dict(matrix.get(source, {})) for source in symbols}
+    return MarkovSequence(symbols, dict(initial), [step] * (length - 1))
+
+
+def random_sequence(
+    symbols: Sequence[Symbol],
+    length: int,
+    rng: random.Random,
+    branching: int | None = None,
+) -> MarkovSequence:
+    """A random time-inhomogeneous Markov sequence (float probabilities).
+
+    Parameters
+    ----------
+    symbols:
+        Node set.
+    length:
+        Sequence length ``n >= 1``.
+    rng:
+        Source of randomness (pass a seeded ``random.Random`` for
+        reproducible workloads).
+    branching:
+        If given, each transition row has support of exactly
+        ``min(branching, len(symbols))`` successors; otherwise rows are
+        dense. Sparse rows keep brute-force oracles feasible in tests.
+    """
+    symbols = tuple(dict.fromkeys(symbols))
+    if not symbols:
+        raise InvalidMarkovSequenceError("need at least one symbol")
+    if length < 1:
+        raise InvalidMarkovSequenceError("length must be at least 1")
+    width = len(symbols) if branching is None else min(branching, len(symbols))
+
+    def random_row() -> dict[Symbol, float]:
+        support = list(symbols) if width == len(symbols) else rng.sample(symbols, width)
+        weights = [rng.random() + 1e-6 for _ in support]
+        total = sum(weights)
+        row = {s: w / total for s, w in zip(support, weights)}
+        # Force exact stochasticity despite float rounding.
+        drift = 1.0 - sum(row.values())
+        top = max(row, key=lambda s: row[s])
+        row[top] += drift
+        return row
+
+    initial = random_row()
+    transitions = [
+        {source: random_row() for source in symbols} for _ in range(length - 1)
+    ]
+    return MarkovSequence(symbols, initial, transitions)
+
+
+def hospital_model(
+    num_rooms: int,
+    length: int,
+    rng: random.Random,
+    stay_prob: float = 0.8,
+    sublocation_shuffle: float = 0.15,
+) -> MarkovSequence:
+    """A synthetic hospital RFID Markov sequence (the paper's motivating domain).
+
+    The node set mimics Figure 1: each of ``num_rooms`` rooms has two
+    sub-locations (``r{k}a``, ``r{k}b``) plus a lab with sub-locations
+    ``la`` and ``lb``. A tracked object tends to stay where it is
+    (``stay_prob``), wanders between the sub-locations of its current place
+    (``sublocation_shuffle``), and otherwise moves to the ``a``
+    sub-location of a uniformly random other place — the kind of
+    transition structure HMM smoothing of noisy sensor readings produces.
+
+    Returns a valid time-homogeneous :class:`MarkovSequence`; randomness
+    only affects the initial distribution, drawn over the ``a``
+    sub-locations.
+    """
+    if num_rooms < 1:
+        raise InvalidMarkovSequenceError("need at least one room")
+    places = [f"r{k}" for k in range(1, num_rooms + 1)] + ["l"]
+    symbols = [f"{p}{sub}" for p in places for sub in ("a", "b")]
+
+    move_prob = max(0.0, 1.0 - stay_prob - sublocation_shuffle)
+    matrix: dict[Symbol, dict[Symbol, float]] = {}
+    for place in places:
+        for sub in ("a", "b"):
+            source = f"{place}{sub}"
+            row: dict[Symbol, float] = {source: stay_prob}
+            other_sub = "b" if sub == "a" else "a"
+            row[f"{place}{other_sub}"] = sublocation_shuffle
+            other_places = [p for p in places if p != place]
+            for target_place in other_places:
+                row[f"{target_place}a"] = (
+                    row.get(f"{target_place}a", 0.0) + move_prob / len(other_places)
+                )
+            total = sum(row.values())
+            row = {k: v / total for k, v in row.items()}
+            drift = 1.0 - sum(row.values())
+            row[source] += drift
+            matrix[source] = row
+
+    entry_points = [f"{p}a" for p in places]
+    weights = [rng.random() + 0.1 for _ in entry_points]
+    total = sum(weights)
+    initial = {s: w / total for s, w in zip(entry_points, weights)}
+    drift = 1.0 - sum(initial.values())
+    initial[entry_points[0]] += drift
+    return homogeneous(initial, matrix, length)

@@ -1,0 +1,157 @@
+"""Estimating a Markov sequence from observed worlds.
+
+The converse of sampling: given fully-observed trajectories (e.g. ground
+-truth location logs in the RFID setting), fit the time-inhomogeneous
+Markov sequence by maximum likelihood — per-position conditional
+frequencies. For data that actually come from a Markov sequence this
+recovers it (consistency is property-tested); for arbitrary empirical
+distributions it yields the closest order-1 approximation in the KL
+sense, positionwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from fractions import Fraction
+
+from repro.errors import InvalidMarkovSequenceError
+from repro.markov.sequence import MarkovSequence, Number
+
+Symbol = Hashable
+
+
+def estimate_from_worlds(
+    worlds: Iterable[Sequence[Symbol]],
+    symbols: Sequence[Symbol] | None = None,
+    smoothing: Number = 0,
+    exact: bool = True,
+) -> MarkovSequence:
+    """Maximum-likelihood Markov sequence from unweighted trajectories.
+
+    Parameters
+    ----------
+    worlds:
+        Trajectories of one common length ``n >= 1``.
+    symbols:
+        The node set; defaults to the symbols observed.
+    smoothing:
+        Additive (Laplace) mass per cell — keeps unobserved transitions
+        possible and unvisited rows valid. With ``smoothing = 0``,
+        unvisited source rows get an arbitrary point-mass row (they are
+        unreachable under the estimate anyway).
+    exact:
+        Use exact rational frequencies (default) or floats.
+    """
+    worlds = [tuple(world) for world in worlds]
+    if not worlds:
+        raise InvalidMarkovSequenceError("need at least one trajectory")
+    length = len(worlds[0])
+    if length < 1 or any(len(world) != length for world in worlds):
+        raise InvalidMarkovSequenceError("trajectories must share one positive length")
+
+    if symbols is None:
+        observed: dict[Symbol, None] = {}
+        for world in worlds:
+            for symbol in world:
+                observed.setdefault(symbol, None)
+        symbols = tuple(observed)
+    else:
+        symbols = tuple(dict.fromkeys(symbols))
+        known = set(symbols)
+        for world in worlds:
+            unknown = set(world) - known
+            if unknown:
+                raise InvalidMarkovSequenceError(f"unknown symbols {unknown!r}")
+
+    def ratio(num, den) -> Number:
+        if exact:
+            return Fraction(num, den) if den else Fraction(0)
+        return num / den if den else 0.0
+
+    def normalize_counts(counts: Mapping[Symbol, Number]) -> dict[Symbol, Number]:
+        total = sum(counts.get(s, 0) + smoothing for s in symbols)
+        if total == 0:
+            return {symbols[0]: ratio(1, 1)}
+        row = {
+            s: ratio(counts.get(s, 0) + smoothing, total)
+            for s in symbols
+            if counts.get(s, 0) + smoothing != 0
+        }
+        if not exact:
+            drift = 1.0 - sum(row.values())
+            top = max(row, key=row.get)
+            row[top] += drift
+        return row
+
+    initial_counts: dict[Symbol, int] = {}
+    for world in worlds:
+        initial_counts[world[0]] = initial_counts.get(world[0], 0) + 1
+    initial = normalize_counts(initial_counts)
+
+    transitions = []
+    for i in range(length - 1):
+        step_counts: dict[Symbol, dict[Symbol, int]] = {}
+        for world in worlds:
+            row = step_counts.setdefault(world[i], {})
+            row[world[i + 1]] = row.get(world[i + 1], 0) + 1
+        step = {
+            source: normalize_counts(step_counts.get(source, {}))
+            for source in symbols
+        }
+        transitions.append(step)
+    return MarkovSequence(symbols, initial, transitions)
+
+
+def empirical_distribution(
+    weighted_worlds: Mapping[tuple, Number]
+) -> MarkovSequence:
+    """The Markov sequence with the exact positionwise conditionals of a
+    weighted world distribution.
+
+    If the input distribution *is* Markov (of order 1), the result
+    reproduces it exactly; otherwise it is the order-1 projection. The
+    weights need not be normalized.
+    """
+    worlds = {tuple(world): weight for world, weight in weighted_worlds.items()}
+    if not worlds:
+        raise InvalidMarkovSequenceError("need a non-empty distribution")
+    total = sum(worlds.values())
+    if total == 0:
+        raise InvalidMarkovSequenceError("weights sum to zero")
+    lengths = {len(world) for world in worlds}
+    if len(lengths) != 1:
+        raise InvalidMarkovSequenceError("worlds must share one length")
+    (length,) = lengths
+
+    symbols: dict[Symbol, None] = {}
+    for world in worlds:
+        for symbol in world:
+            symbols.setdefault(symbol, None)
+    symbol_list = tuple(symbols)
+
+    initial_mass: dict[Symbol, Number] = {}
+    for world, weight in worlds.items():
+        initial_mass[world[0]] = initial_mass.get(world[0], 0) + weight
+    initial = {s: mass / total for s, mass in initial_mass.items()}
+
+    transitions = []
+    for i in range(length - 1):
+        pair_mass: dict[tuple[Symbol, Symbol], Number] = {}
+        source_mass: dict[Symbol, Number] = {}
+        for world, weight in worlds.items():
+            pair = (world[i], world[i + 1])
+            pair_mass[pair] = pair_mass.get(pair, 0) + weight
+            source_mass[world[i]] = source_mass.get(world[i], 0) + weight
+        step: dict[Symbol, dict[Symbol, Number]] = {}
+        for source in symbol_list:
+            mass = source_mass.get(source, 0)
+            if mass == 0:
+                step[source] = {symbol_list[0]: 1}
+                continue
+            step[source] = {
+                target: pair_mass[(src, target)] / mass
+                for (src, target) in pair_mass
+                if src == source
+            }
+        transitions.append(step)
+    return MarkovSequence(symbol_list, initial, transitions)

@@ -1,0 +1,229 @@
+"""k-order Markov sequences (footnote 3 of the paper).
+
+The paper notes that "all our results generalize to k-order Markov
+sequences, provided that k is fixed". The generalization works by the
+classical sliding-window reduction: an order-``k`` chain over ``Sigma``
+becomes an order-1 chain over the window alphabet ``Sigma^k``, and a
+deterministic transducer over ``Sigma`` lifts to one over windows. This
+module implements the reduction, so every algorithm in the library applies
+to k-order data unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping, Sequence
+
+from repro.errors import InvalidMarkovSequenceError, InvalidTransducerError
+from repro.automata.nfa import NFA
+from repro.markov.sequence import MarkovSequence, Number
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+Window = tuple
+
+
+class KOrderMarkovSequence:
+    """An order-``k`` Markov sequence of length ``n`` over ``symbols``.
+
+    The distribution over ``Sigma^n`` is
+
+        P(s) = initial(s_1 .. s_k)
+               * prod_{i=k}^{n-1} transitions[i-k](window_i, s_{i+1}),
+
+    where ``window_i = (s_{i-k+1}, ..., s_i)``. Requires ``n >= k >= 1``.
+
+    Parameters
+    ----------
+    symbols:
+        The base alphabet ``Sigma``.
+    k:
+        The order.
+    initial:
+        Distribution over length-``k`` tuples (the first window).
+    transitions:
+        ``n - k`` mappings; entry ``j`` maps each window to a distribution
+        over next symbols. Windows that are absent are treated as
+        unreachable (they get an arbitrary valid row in the reduction).
+    """
+
+    __slots__ = ("symbols", "k", "initial", "transitions", "length")
+
+    def __init__(
+        self,
+        symbols: Sequence[Symbol],
+        k: int,
+        initial: Mapping[Window, Number],
+        transitions: Sequence[Mapping[Window, Mapping[Symbol, Number]]],
+    ) -> None:
+        if k < 1:
+            raise InvalidMarkovSequenceError("order k must be at least 1")
+        self.symbols = tuple(dict.fromkeys(symbols))
+        self.k = k
+        self.initial = {w: p for w, p in initial.items() if p != 0}
+        self.transitions = [
+            {window: dict(row) for window, row in step.items()} for step in transitions
+        ]
+        self.length = k + len(transitions)
+        for window in self.initial:
+            if len(window) != k:
+                raise InvalidMarkovSequenceError(
+                    f"initial window {window!r} does not have length {k}"
+                )
+
+    def prob_of(self, world: Sequence[Symbol]) -> Number:
+        """Probability of ``world`` under the order-k semantics."""
+        if len(world) != self.length:
+            raise InvalidMarkovSequenceError(
+                f"world length {len(world)} != sequence length {self.length}"
+            )
+        window = tuple(world[: self.k])
+        prob: Number = self.initial.get(window, 0)
+        for j, step in enumerate(self.transitions):
+            if prob == 0:
+                return 0
+            nxt = world[self.k + j]
+            prob = prob * step.get(window, {}).get(nxt, 0)
+            window = window[1:] + (nxt,)
+        return prob
+
+    # ------------------------------------------------------------------
+    # Reduction to first order
+    # ------------------------------------------------------------------
+
+    def window_alphabet(self) -> list[Window]:
+        """All windows appearing in the spec (reachable support closure)."""
+        windows: dict[Window, None] = dict.fromkeys(self.initial)
+        for step in self.transitions:
+            for window, row in step.items():
+                windows.setdefault(window, None)
+                for symbol in row:
+                    windows.setdefault(window[1:] + (symbol,), None)
+        return list(windows)
+
+    def to_first_order(self) -> MarkovSequence:
+        """The equivalent order-1 Markov sequence over window tuples.
+
+        The result has length ``n - k + 1``; its world
+        ``(w_k, w_{k+1}, ..., w_n)`` corresponds to the original world
+        whose sliding windows those are, with the same probability.
+        Incompatible window pairs (whose overlap disagrees) have
+        probability zero; windows unreachable at a step get an arbitrary
+        valid row (a point mass), which does not affect the distribution.
+        """
+        windows = self.window_alphabet()
+        anchor = windows[0]
+        steps: list[dict[Window, dict[Window, Number]]] = []
+        for step in self.transitions:
+            reduced: dict[Window, dict[Window, Number]] = {}
+            for window in windows:
+                row = step.get(window)
+                if row:
+                    reduced[window] = {
+                        window[1:] + (symbol,): prob for symbol, prob in row.items()
+                    }
+                else:
+                    # Unreachable window: any valid row will do (a point
+                    # mass on an arbitrary alphabet window); the chain
+                    # never takes it.
+                    reduced[window] = {anchor: 1}
+            steps.append(reduced)
+        return MarkovSequence(windows, dict(self.initial), steps)
+
+    def worlds(self) -> Iterator[tuple[tuple[Symbol, ...], Number]]:
+        """Brute-force support enumeration (testing oracle)."""
+        for window, prob in self.initial.items():
+            yield from self._extend(list(window), prob, 0)
+
+    def _extend(self, prefix: list, prob: Number, j: int):
+        if j == len(self.transitions):
+            yield tuple(prefix), prob
+            return
+        window = tuple(prefix[-self.k :])
+        for symbol, step_prob in self.transitions[j].get(window, {}).items():
+            if step_prob != 0:
+                yield from self._extend(prefix + [symbol], prob * step_prob, j + 1)
+
+
+def lift_transducer(transducer: Transducer, k: int) -> Transducer:
+    """Lift a *deterministic* transducer over ``Sigma`` to window symbols.
+
+    Reading the reduced world ``(w_k, ..., w_n)``, the lifted machine
+    processes the first window's ``k`` symbols at once (concatenating their
+    emissions) and thereafter one fresh symbol (the window's last
+    component) per step. Its output on the reduced world equals the
+    original's output on the original world. Window pairs with
+    inconsistent overlaps lead to a dead state — such reduced worlds have
+    probability zero anyway.
+
+    Nondeterministic transducers may emit differently on distinct runs
+    through the first window, which would violate deterministic emission
+    at the window granularity; they are rejected.
+    """
+    if not transducer.is_deterministic():
+        raise InvalidTransducerError("lift_transducer requires a deterministic transducer")
+    base = transducer.nfa
+    base_alphabet = sorted(base.alphabet, key=repr)
+
+    windows = [()]
+    for _ in range(k):
+        windows = [w + (s,) for w in windows for s in base_alphabet]
+
+    def run_window(state, window):
+        """Run the base machine over all symbols of ``window``."""
+        output: tuple = ()
+        for symbol in window:
+            successors = base.successors(state, symbol)
+            if not successors:
+                return None, ()
+            (target,) = successors
+            output = output + transducer.emission(state, symbol, target)
+            state = target
+        return state, output
+
+    delta: dict[tuple, set] = {}
+    omega: dict[tuple, tuple] = {}
+    states: set = {"init", "dead"}
+    accepting: set = set()
+
+    for window in windows:
+        target_state, output = run_window(base.initial, window)
+        target = ("run", window, target_state) if target_state is not None else "dead"
+        delta[("init", window)] = {target}
+        if output and target != "dead":
+            omega[("init", window, target)] = output
+        states.add(target)
+        if target_state is not None and target_state in base.accepting:
+            accepting.add(target)
+
+    frontier = [s for s in states if isinstance(s, tuple)]
+    while frontier:
+        state = frontier.pop()
+        _tag, window, q = state
+        for nxt in windows:
+            if nxt[:-1] != window[1:]:
+                delta.setdefault((state, nxt), set()).add("dead")
+                continue
+            successors = base.successors(q, nxt[-1])
+            if not successors:
+                target = "dead"
+            else:
+                (q2,) = successors
+                target = ("run", nxt, q2)
+                emission = transducer.emission(q, nxt[-1], q2)
+                if emission:
+                    omega[(state, nxt, target)] = emission
+                if q2 in base.accepting:
+                    accepting.add(target)
+            if target not in states:
+                states.add(target)
+                if isinstance(target, tuple):
+                    frontier.append(target)
+            delta.setdefault((state, nxt), set()).add(target)
+
+    if base.initial in base.accepting:
+        # Only non-empty reduced worlds exist (length >= 1), so "init"
+        # acceptance is irrelevant; kept for completeness.
+        accepting.add("init")
+
+    nfa = NFA(windows, states, "init", accepting, delta)
+    return Transducer(nfa, omega)

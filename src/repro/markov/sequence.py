@@ -1,0 +1,344 @@
+"""The Markov-sequence data model (Section 3.1, Equation (1)).
+
+A Markov sequence ``mu`` of length ``n`` over a finite node set ``Sigma``
+consists of an initial distribution ``mu_{0->} : Sigma -> [0,1]`` and, for
+each ``1 <= i < n``, a transition function ``mu_{i->} : Sigma x Sigma ->
+[0,1]`` whose rows each sum to one. It defines the probability space over
+``Sigma^n`` in which a string ``s = s_1 ... s_n`` has probability
+
+    p(s) = mu_{0->}(s_1) * prod_{i=1}^{n-1} mu_{i->}(s_i, s_{i+1}).
+
+Probabilities may be ``float`` (validated within a tolerance) or exact
+rationals (``fractions.Fraction`` / ``int``, validated exactly), matching
+the paper's convention that probabilities are rational numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from fractions import Fraction
+
+from repro.errors import InvalidDistributionError, InvalidMarkovSequenceError
+
+Symbol = Hashable
+Number = float | int | Fraction
+
+_FLOAT_TOLERANCE = 1e-9
+
+
+def _check_distribution(dist: Mapping[Symbol, Number], context: str) -> None:
+    total: Number = 0
+    exact = True
+    for value in dist.values():
+        if isinstance(value, float):
+            exact = False
+        if value < 0 or value > 1:
+            raise InvalidDistributionError(f"{context}: probability {value!r} outside [0, 1]")
+        total = total + value
+    if exact:
+        if total != 1:
+            raise InvalidDistributionError(f"{context}: probabilities sum to {total}, not 1")
+    elif abs(total - 1.0) > _FLOAT_TOLERANCE:
+        raise InvalidDistributionError(f"{context}: probabilities sum to {total}, not 1")
+
+
+class MarkovSequence:
+    """A time-inhomogeneous Markov chain of fixed length over a finite node set.
+
+    Parameters
+    ----------
+    symbols:
+        The node set ``Sigma_mu`` (iteration order fixes a canonical order).
+    initial:
+        Mapping from symbols to initial probabilities ``mu_{0->}``. Symbols
+        that are absent get probability zero.
+    transitions:
+        A sequence of ``n - 1`` transition functions; element ``i`` (0-based)
+        is the paper's ``mu_{(i+1)->}`` and maps each source symbol to a
+        distribution over successor symbols. A missing source row denotes an
+        *explicitly invalid* sequence unless ``validate=False`` — the paper
+        requires every row to sum to one.
+    validate:
+        Verify all stochasticity constraints (default True).
+    """
+
+    __slots__ = ("symbols", "_index", "_initial", "_transitions", "length")
+
+    def __init__(
+        self,
+        symbols: Iterable[Symbol],
+        initial: Mapping[Symbol, Number],
+        transitions: Sequence[Mapping[Symbol, Mapping[Symbol, Number]]],
+        validate: bool = True,
+    ) -> None:
+        self.symbols: tuple[Symbol, ...] = tuple(dict.fromkeys(symbols))
+        self._index: dict[Symbol, int] = {s: i for i, s in enumerate(self.symbols)}
+        self.length: int = len(transitions) + 1
+        symbol_set = set(self.symbols)
+
+        self._initial: dict[Symbol, Number] = {
+            s: p for s, p in initial.items() if p != 0
+        }
+        self._transitions: tuple[dict[Symbol, dict[Symbol, Number]], ...] = tuple(
+            {
+                source: {t: p for t, p in row.items() if p != 0}
+                for source, row in step.items()
+            }
+            for step in transitions
+        )
+
+        if validate:
+            if not self.symbols:
+                raise InvalidMarkovSequenceError("empty node set")
+            unknown = set(self._initial) - symbol_set
+            if unknown:
+                raise InvalidMarkovSequenceError(f"initial uses unknown symbols {unknown!r}")
+            _check_distribution(self._initial, "initial distribution")
+            for i, step in enumerate(self._transitions):
+                for source in self.symbols:
+                    row = step.get(source)
+                    if row is None:
+                        raise InvalidMarkovSequenceError(
+                            f"transition {i + 1}: missing row for source {source!r}"
+                        )
+                    unknown = set(row) - symbol_set
+                    if unknown:
+                        raise InvalidMarkovSequenceError(
+                            f"transition {i + 1}: unknown successors {unknown!r}"
+                        )
+                    _check_distribution(row, f"transition {i + 1}, source {source!r}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors (paper notation: mu_{0->}, mu_{i->})
+    # ------------------------------------------------------------------
+
+    def initial_prob(self, symbol: Symbol) -> Number:
+        """``mu_{0->}(symbol)``."""
+        return self._initial.get(symbol, 0)
+
+    def transition_prob(self, i: int, source: Symbol, target: Symbol) -> Number:
+        """``mu_{i->}(source, target)`` for ``1 <= i < n`` (paper indexing)."""
+        if not 1 <= i < self.length:
+            raise IndexError(f"transition index {i} outside [1, {self.length - 1}]")
+        return self._transitions[i - 1].get(source, {}).get(target, 0)
+
+    def initial_support(self) -> Iterator[tuple[Symbol, Number]]:
+        """Nonzero entries of the initial distribution."""
+        yield from self._initial.items()
+
+    def successors(self, i: int, source: Symbol) -> Iterator[tuple[Symbol, Number]]:
+        """Nonzero successors ``(target, mu_{i->}(source, target))``."""
+        if not 1 <= i < self.length:
+            raise IndexError(f"transition index {i} outside [1, {self.length - 1}]")
+        yield from self._transitions[i - 1].get(source, {}).items()
+
+    def predecessors(self, i: int, target: Symbol) -> Iterator[tuple[Symbol, Number]]:
+        """Nonzero predecessors ``(source, mu_{i->}(source, target))``."""
+        if not 1 <= i < self.length:
+            raise IndexError(f"transition index {i} outside [1, {self.length - 1}]")
+        for source, row in self._transitions[i - 1].items():
+            prob = row.get(target, 0)
+            if prob != 0:
+                yield source, prob
+
+    @property
+    def alphabet(self) -> frozenset[Symbol]:
+        """The node set as a frozenset (for automata alphabet checks)."""
+        return frozenset(self.symbols)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkovSequence(n={self.length}, symbols={len(self.symbols)})"
+
+    # ------------------------------------------------------------------
+    # Probability-space semantics (Equation (1))
+    # ------------------------------------------------------------------
+
+    def prob_of(self, world: Sequence[Symbol]) -> Number:
+        """Probability of the string ``world`` under Equation (1)."""
+        if len(world) != self.length:
+            raise InvalidMarkovSequenceError(
+                f"world length {len(world)} != sequence length {self.length}"
+            )
+        prob: Number = self.initial_prob(world[0])
+        for i in range(1, self.length):
+            if prob == 0:
+                return 0
+            prob = prob * self.transition_prob(i, world[i - 1], world[i])
+        return prob
+
+    def worlds(self) -> Iterator[tuple[tuple[Symbol, ...], Number]]:
+        """Enumerate the support: all worlds with positive probability.
+
+        Yields ``(string, probability)`` pairs by depth-first traversal of
+        the nonzero transition structure. Exponential in ``n`` — intended as
+        the brute-force oracle for tests and small benchmarks only.
+        """
+        stack: list[tuple[tuple[Symbol, ...], Number]] = [
+            ((symbol,), prob) for symbol, prob in self._initial.items()
+        ]
+        while stack:
+            prefix, prob = stack.pop()
+            if len(prefix) == self.length:
+                yield prefix, prob
+                continue
+            i = len(prefix)
+            for target, step_prob in self.successors(i, prefix[-1]):
+                stack.append((prefix + (target,), prob * step_prob))
+
+    def support_size(self) -> int:
+        """Number of worlds with positive probability (computed by DP)."""
+        counts: dict[Symbol, int] = {s: 1 for s in self._initial}
+        for i in range(1, self.length):
+            nxt: dict[Symbol, int] = {}
+            for source, count in counts.items():
+                for target, _prob in self.successors(i, source):
+                    nxt[target] = nxt.get(target, 0) + count
+            counts = nxt
+        return sum(counts.values())
+
+    def marginals(self) -> list[dict[Symbol, Number]]:
+        """Forward marginals ``Pr(S_i = s)`` for each position ``i``."""
+        current: dict[Symbol, Number] = dict(self._initial)
+        result = [dict(current)]
+        for i in range(1, self.length):
+            nxt: dict[Symbol, Number] = {}
+            for source, mass in current.items():
+                for target, prob in self.successors(i, source):
+                    nxt[target] = nxt.get(target, 0) + mass * prob
+            current = nxt
+            result.append(dict(current))
+        return result
+
+    def sample(self, rng: random.Random | None = None) -> tuple[Symbol, ...]:
+        """Draw one world from the distribution."""
+        rng = rng if rng is not None else random.Random()
+        world = [self._draw(self._initial, rng)]
+        for i in range(1, self.length):
+            row = self._transitions[i - 1].get(world[-1], {})
+            world.append(self._draw(row, rng))
+        return tuple(world)
+
+    @staticmethod
+    def _draw(dist: Mapping[Symbol, Number], rng: random.Random) -> Symbol:
+        items = list(dist.items())
+        if not items:
+            raise InvalidMarkovSequenceError("sampling from an empty distribution row")
+        point = rng.random() * float(sum(p for _s, p in items))
+        acc = 0.0
+        for symbol, prob in items:
+            acc += float(prob)
+            if point <= acc:
+                return symbol
+        return items[-1][0]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map_values(self, fn) -> "MarkovSequence":
+        """Apply ``fn`` to every probability (e.g. Fraction → float)."""
+        initial = {s: fn(p) for s, p in self._initial.items()}
+        transitions = [
+            {
+                source: {t: fn(p) for t, p in row.items()}
+                for source, row in self._transitions[i].items()
+            }
+            for i in range(self.length - 1)
+        ]
+        # Ensure every row exists after mapping (rows of unreachable sources
+        # may have been dropped only if they were empty, which validation
+        # forbids, so this is safe).
+        return MarkovSequence(self.symbols, initial, transitions)
+
+    def as_float(self) -> "MarkovSequence":
+        """Convert all probabilities to floats."""
+        return self.map_values(float)
+
+    def as_fraction(self) -> "MarkovSequence":
+        """Convert all probabilities to exact fractions (floats are
+        converted via ``Fraction(value).limit_denominator(10**12)``)."""
+
+        def convert(value: Number) -> Fraction:
+            if isinstance(value, Fraction):
+                return value
+            if isinstance(value, int):
+                return Fraction(value)
+            return Fraction(value).limit_denominator(10**12)
+
+        initial = {s: convert(p) for s, p in self._initial.items()}
+        transitions = []
+        for i in range(self.length - 1):
+            step = {}
+            for source, row in self._transitions[i].items():
+                converted = {t: convert(p) for t, p in row.items()}
+                total = sum(converted.values())
+                if total != 1:
+                    # Renormalize the largest entry so rows stay exactly
+                    # stochastic after float → Fraction conversion.
+                    top = max(converted, key=lambda t: converted[t])
+                    converted[top] = converted[top] + (1 - total)
+                step[source] = converted
+            transitions.append(step)
+        total = sum(initial.values())
+        if initial and total != 1:
+            top = max(initial, key=lambda s: initial[s])
+            initial[top] = initial[top] + (1 - total)
+        return MarkovSequence(self.symbols, initial, transitions)
+
+    def concat_independent(self, other: "MarkovSequence") -> "MarkovSequence":
+        """Concatenate two Markov sequences as independent blocks.
+
+        The result has length ``len(self) + len(other)``; the transition
+        from the last position of ``self`` into the first position of
+        ``other`` ignores the source node and equals ``other``'s initial
+        distribution. This is the amplification construction of
+        Section 4.2 (concatenating copies of a Markov sequence).
+        """
+        if self.symbols != other.symbols:
+            raise InvalidMarkovSequenceError("concatenation requires identical node sets")
+        bridge = {source: dict(other._initial) for source in self.symbols}
+        transitions = (
+            [dict(step) for step in self._transitions]
+            + [bridge]
+            + [dict(step) for step in other._transitions]
+        )
+        return MarkovSequence(self.symbols, dict(self._initial), transitions)
+
+    def power(self, copies: int) -> "MarkovSequence":
+        """``copies`` independent copies of this sequence, concatenated."""
+        if copies < 1:
+            raise InvalidMarkovSequenceError("power requires at least one copy")
+        result = self
+        for _ in range(copies - 1):
+            result = result.concat_independent(self)
+        return result
+
+    def window(self, start: int, end: int) -> "MarkovSequence":
+        """The marginal Markov sequence of positions ``start..end`` (1-based,
+        inclusive). Marginalizing a Markov chain onto a contiguous window
+        yields a Markov chain: the initial distribution is the forward
+        marginal at ``start`` and the transition functions are reused.
+        """
+        if not 1 <= start <= end <= self.length:
+            raise InvalidMarkovSequenceError(
+                f"window [{start}, {end}] outside [1, {self.length}]"
+            )
+        initial = self.marginals()[start - 1]
+        transitions = [dict(step) for step in self._transitions[start - 1 : end - 1]]
+        return MarkovSequence(self.symbols, initial, transitions)
+
+    def prefix(self, length: int) -> "MarkovSequence":
+        """The marginal Markov sequence of the first ``length`` positions."""
+        if not 1 <= length <= self.length:
+            raise InvalidMarkovSequenceError(
+                f"prefix length {length} outside [1, {self.length}]"
+            )
+        return MarkovSequence(
+            self.symbols,
+            dict(self._initial),
+            [dict(step) for step in self._transitions[: length - 1]],
+        )

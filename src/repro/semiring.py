@@ -1,0 +1,121 @@
+"""Semirings shared by the dynamic programs in this library.
+
+Every algorithm in the paper is a dynamic program over a layered product
+graph; what varies is the *semiring* in which path weights are combined:
+
+* confidence computation (Theorems 4.6, 4.8, 5.5, 5.8) sums over worlds —
+  the **real** (probability) semiring;
+* best-evidence scores ``E_max`` and ``I_max`` (Theorems 4.3, 5.2) maximize
+  over worlds — the **Viterbi** (max-times) semiring;
+* answer-space emptiness tests (Theorem 4.1) only need reachability with
+  positive probability — the **boolean** semiring;
+* counting accepting runs (the #P connection of Proposition 4.7) — the
+  **counting** semiring.
+
+A semiring here is a small object with ``zero``, ``one``, ``add`` and
+``mul``. The real and Viterbi semirings are value-type agnostic: they work
+equally with ``float`` and with exact :class:`fractions.Fraction` entries,
+which is how the library offers exact rational arithmetic (the paper's
+convention, Section 3.2) without a parallel code path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Semiring(Generic[T]):
+    """A commutative semiring ``(T, add, mul, zero, one)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in ``repr``.
+    zero, one:
+        Additive and multiplicative identities.
+    add, mul:
+        Binary operations. Both must be associative and commutative, with
+        ``mul`` distributing over ``add``.
+    is_zero:
+        Optional predicate recognizing the additive identity; defaults to
+        equality with ``zero``.
+    """
+
+    __slots__ = ("name", "zero", "one", "add", "mul", "_is_zero")
+
+    def __init__(
+        self,
+        name: str,
+        zero: T,
+        one: T,
+        add: Callable[[T, T], T],
+        mul: Callable[[T, T], T],
+        is_zero: Callable[[T], bool] | None = None,
+    ) -> None:
+        self.name = name
+        self.zero = zero
+        self.one = one
+        self.add = add
+        self.mul = mul
+        self._is_zero = is_zero if is_zero is not None else (lambda x: x == zero)
+
+    def is_zero(self, value: T) -> bool:
+        """Return True if ``value`` is the additive identity."""
+        return self._is_zero(value)
+
+    def sum(self, values) -> T:
+        """Fold ``add`` over an iterable of values (empty sum is ``zero``)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values) -> T:
+        """Fold ``mul`` over an iterable of values (empty product is ``one``)."""
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Semiring({self.name})"
+
+
+def _log_add(x: float, y: float) -> float:
+    """Numerically stable ``log(exp(x) + exp(y))``."""
+    if x == -math.inf:
+        return y
+    if y == -math.inf:
+        return x
+    if x < y:
+        x, y = y, x
+    return x + math.log1p(math.exp(y - x))
+
+
+#: Probability semiring: (R>=0, +, *, 0, 1). Works with float and Fraction.
+REAL: Semiring[Any] = Semiring("real", 0, 1, lambda a, b: a + b, lambda a, b: a * b)
+
+#: Viterbi semiring: (R>=0, max, *, 0, 1). Used for E_max / I_max scores.
+VITERBI: Semiring[Any] = Semiring("viterbi", 0, 1, max, lambda a, b: a * b)
+
+#: Log semiring: (R u {-inf}, logaddexp, +, -inf, 0). Float-only.
+LOG: Semiring[float] = Semiring("log", -math.inf, 0.0, _log_add, lambda a, b: a + b)
+
+#: Tropical (max-plus) semiring in log space: Viterbi scores as log-probs.
+TROPICAL: Semiring[float] = Semiring(
+    "tropical", -math.inf, 0.0, max, lambda a, b: a + b
+)
+
+#: Boolean semiring: reachability / emptiness tests.
+BOOLEAN: Semiring[bool] = Semiring(
+    "boolean", False, True, lambda a, b: a or b, lambda a, b: a and b
+)
+
+#: Counting semiring over the naturals: number of accepting runs.
+COUNTING: Semiring[int] = Semiring("counting", 0, 1, lambda a, b: a + b, lambda a, b: a * b)
+
+
+ALL_SEMIRINGS: tuple[Semiring[Any], ...] = (REAL, VITERBI, LOG, TROPICAL, BOOLEAN, COUNTING)

@@ -1,0 +1,36 @@
+"""Finite-state transducers with deterministic emission (Section 3.1.1).
+
+The paper's query language: a transducer ``A^omega`` couples an NFA ``A``
+with an output function ``omega : Q x Sigma x Q -> Delta*``. Emission is
+*deterministic* — the emitted string is a function of the (possibly
+nondeterministic) state transition — which this representation enforces
+structurally.
+
+The subpackage provides:
+
+* :class:`~repro.transducers.transducer.Transducer` with the class
+  predicates the complexity landscape is organized around (deterministic /
+  selective / k-uniform / Mealy / projector — Table 2's columns);
+* s-projectors ``[B]A[E]`` and indexed s-projectors ``[B]↓A[E]``
+  (Section 5), including their compilation into ordinary transducers;
+* a library of ready-made machines, including the Figure 2 transducer.
+"""
+
+from repro.transducers.transducer import Transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.library import (
+    accept_filter,
+    collapse_transducer,
+    identity_mealy,
+    relabel_mealy,
+)
+
+__all__ = [
+    "Transducer",
+    "SProjector",
+    "IndexedSProjector",
+    "identity_mealy",
+    "relabel_mealy",
+    "collapse_transducer",
+    "accept_filter",
+]

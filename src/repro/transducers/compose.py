@@ -1,0 +1,133 @@
+"""Transducer composition (query pipelines).
+
+The related work (Kempe 1997) approaches HMM querying "by means of
+composition of transducers"; in our setting composition is the natural
+way to build pipelines: ``compose(first, second)`` is the transducer that
+feeds ``first``'s output into ``second``, so
+
+    s -> [compose(first, second)] -> o
+        iff  exists m:  s -> [first] -> m  and  m -> [second] -> o.
+
+Deterministic emission is preserved: the composed machine's state is the
+pair ``(q1, q2)``, and each step runs ``second`` over the (fixed) string
+``first`` emits on that transition — so the composed emission is again a
+function of the composed transition.
+
+Restrictions: ``second`` must be deterministic (a nondeterministic
+``second`` could emit different strings on one composed transition,
+violating deterministic emission — the restriction the paper itself
+imposes on all queries). ``first`` may be nondeterministic. ``second``
+must also be able to *read* every intermediate symbol ``first`` can emit
+(``Delta_first ⊆ Sigma_second``); composed acceptance requires both
+components to accept.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidTransducerError
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+
+
+def restrict(transducer: Transducer, selector: DFA) -> Transducer:
+    """Restrict a transducer to worlds in ``L(selector)`` (a selection).
+
+    The result transduces ``s`` into ``o`` iff the original does *and*
+    ``s ∈ L(selector)`` — the probabilistic-database analogue of a WHERE
+    clause over the possible world. Implemented as the product automaton
+    with emissions inherited from the transducer (so deterministic
+    emission, determinism, and projector-ness are preserved; uniformity
+    is too, while non-selectivity generally is not — the point of a
+    selection).
+    """
+    if selector.alphabet != transducer.input_alphabet:
+        raise InvalidTransducerError(
+            "selector alphabet must equal the transducer's input alphabet"
+        )
+    initial = (transducer.nfa.initial, selector.initial)
+    states: set = {initial}
+    delta: dict[tuple, set] = {}
+    omega: dict[tuple, tuple] = {}
+    frontier = [initial]
+    while frontier:
+        source = frontier.pop()
+        q, d = source
+        for symbol in transducer.input_alphabet:
+            d_next = selector.step(d, symbol)
+            for q_next, emission in transducer.moves(q, symbol):
+                target = (q_next, d_next)
+                delta.setdefault((source, symbol), set()).add(target)
+                if emission:
+                    omega[(source, symbol, target)] = emission
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+    accepting = {
+        (q, d)
+        for (q, d) in states
+        if q in transducer.nfa.accepting and d in selector.accepting
+    }
+    nfa = NFA(transducer.input_alphabet, states, initial, accepting, delta)
+    return Transducer(nfa, omega)
+
+
+def compose(first: Transducer, second: Transducer) -> Transducer:
+    """The cascade ``second ∘ first`` (first's output is second's input)."""
+    if not second.is_deterministic():
+        raise InvalidTransducerError(
+            "composition requires a deterministic second transducer "
+            "(deterministic emission would otherwise be violated)"
+        )
+    missing = set(first.output_alphabet) - set(second.input_alphabet)
+    if missing:
+        raise InvalidTransducerError(
+            f"second transducer cannot read intermediate symbols {sorted(map(repr, missing))}"
+        )
+
+    def run_second(state, intermediate: tuple):
+        """Advance `second` over an emitted string; None if it dies."""
+        output: tuple = ()
+        for symbol in intermediate:
+            successors = second.nfa.successors(state, symbol)
+            if not successors:
+                return None, ()
+            (target,) = successors
+            output = output + second.emission(state, symbol, target)
+            state = target
+        return state, output
+
+    initial = (first.nfa.initial, second.nfa.initial)
+    states: set = {initial}
+    delta: dict[tuple, set] = {}
+    omega: dict[tuple, tuple] = {}
+    frontier = [initial]
+    while frontier:
+        source = frontier.pop()
+        q1, q2 = source
+        for symbol in first.input_alphabet:
+            for q1_next, emitted in first.moves(q1, symbol):
+                q2_next, output = run_second(q2, emitted)
+                if q2_next is None:
+                    continue
+                target = (q1_next, q2_next)
+                delta.setdefault((source, symbol), set()).add(target)
+                if output:
+                    existing = omega.get((source, symbol, target))
+                    if existing is not None and existing != output:
+                        raise InvalidTransducerError(
+                            "composition produced ambiguous emission on one "
+                            "transition; refine the first transducer's states"
+                        )
+                    omega[(source, symbol, target)] = output
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+
+    accepting = {
+        (q1, q2)
+        for (q1, q2) in states
+        if q1 in first.nfa.accepting and q2 in second.nfa.accepting
+    }
+    nfa = NFA(first.input_alphabet, states, initial, accepting, delta)
+    return Transducer(nfa, omega)

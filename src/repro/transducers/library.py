@@ -1,0 +1,136 @@
+"""A library of ready-made transducers.
+
+These are the building blocks used by examples, tests, and the hardness
+instance generators: identity and relabeling Mealy machines, many-to-one
+"collapse" machines (the engine of the Section 4.2 gap families), and
+acceptance filters (0-uniform transducers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import InvalidTransducerError
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+OutSymbol = Hashable
+
+
+def _one_state_dfa(alphabet: Iterable[Symbol]) -> DFA:
+    alphabet = frozenset(alphabet)
+    delta = {("q", symbol): "q" for symbol in alphabet}
+    return DFA(alphabet, {"q"}, "q", {"q"}, delta)
+
+
+def identity_mealy(alphabet: Iterable[Symbol]) -> Transducer:
+    """The one-state Mealy machine that copies its input to its output."""
+    dfa = _one_state_dfa(alphabet)
+    output = {("q", symbol): symbol for symbol in dfa.alphabet}
+    return Transducer.mealy(dfa, output)
+
+
+def relabel_mealy(mapping: Mapping[Symbol, OutSymbol]) -> Transducer:
+    """A one-state Mealy machine applying a per-symbol relabeling.
+
+    ``mapping`` must cover the whole input alphabet (its key set).
+    """
+    dfa = _one_state_dfa(mapping.keys())
+    output = {("q", symbol): mapping[symbol] for symbol in dfa.alphabet}
+    return Transducer.mealy(dfa, output)
+
+
+def collapse_transducer(groups: Mapping[Symbol, OutSymbol]) -> Transducer:
+    """Alias of :func:`relabel_mealy` emphasizing many-to-one collapsing.
+
+    Collapsing is what creates answers with exponentially many evidences:
+    if ``m`` input symbols map to one output symbol, an output string ``o``
+    can be produced by ``m^{|o|}`` worlds. This is the mechanism behind the
+    inapproximability phenomena of Theorems 4.4/4.5.
+    """
+    return relabel_mealy(groups)
+
+
+def projector_from_dfa(dfa: DFA, keep: Iterable[Symbol] | None = None) -> Transducer:
+    """A deterministic projector over ``dfa``: copy ``keep`` symbols, drop the rest.
+
+    Every emission is the input symbol or the empty string, so the result
+    is a *projector* in the paper's sense (Theorem 4.5's restricted class).
+    ``keep=None`` copies everything (a 1-uniform identity projector).
+    """
+    keep_set = dfa.alphabet if keep is None else frozenset(keep)
+    if not keep_set <= dfa.alphabet:
+        raise InvalidTransducerError("keep symbols must belong to the DFA alphabet")
+    omega = {
+        (state, symbol, dfa.step(state, symbol)): (symbol,)
+        for state in dfa.states
+        for symbol in dfa.alphabet
+        if symbol in keep_set
+    }
+    return Transducer.from_dfa(dfa, omega)
+
+
+def change_detector(alphabet: Iterable[Symbol]) -> Transducer:
+    """Emit each symbol that differs from its predecessor (incl. the first).
+
+    The generic version of the Figure 2 idea: the output is the
+    run-length-collapsed input ("deduplicated trace"). Deterministic,
+    non-selective, non-uniform (emissions of lengths 0 and 1).
+    """
+    alphabet = tuple(dict.fromkeys(alphabet))
+    states = {"start", *alphabet}
+    delta = {
+        (state, symbol): {symbol} for state in states for symbol in alphabet
+    }
+    omega = {
+        (state, symbol, symbol): (symbol,)
+        for state in states
+        for symbol in alphabet
+        if state != symbol
+    }
+    nfa = NFA(alphabet, states, "start", states, delta)
+    return Transducer(nfa, omega)
+
+
+def run_length_encoder(alphabet: Iterable[Symbol], max_run: int) -> Transducer:
+    """Emit ``(symbol, run_length)`` pairs, with runs capped at ``max_run``.
+
+    A deterministic non-uniform transducer whose states remember the
+    current symbol and the run length so far; a change (or the cap)
+    flushes the finished run as a single output symbol ``(s, k)``.
+    The final (unflushed) run is emitted by routing acceptance through a
+    per-run state — here we flush on change only, so the last run is
+    intentionally *not* emitted (documenting the classic streaming
+    caveat); use :func:`change_detector` when only boundaries matter.
+    """
+    if max_run < 1:
+        raise InvalidTransducerError("max_run must be at least 1")
+    alphabet = tuple(dict.fromkeys(alphabet))
+    states = {"start"} | {(s, k) for s in alphabet for k in range(1, max_run + 1)}
+    delta: dict = {}
+    omega: dict = {}
+    for symbol in alphabet:
+        delta[("start", symbol)] = {(symbol, 1)}
+    for symbol in alphabet:
+        for k in range(1, max_run + 1):
+            source = (symbol, k)
+            for nxt in alphabet:
+                if nxt == symbol and k < max_run:
+                    delta[(source, nxt)] = {(symbol, k + 1)}
+                else:
+                    target = (nxt, 1)
+                    delta[(source, nxt)] = {target}
+                    omega[(source, nxt, target)] = ((symbol, k),)
+    nfa = NFA(alphabet, states, "start", states, delta)
+    return Transducer(nfa, omega)
+
+
+def accept_filter(dfa: DFA) -> Transducer:
+    """The 0-uniform transducer testing membership in ``L(dfa)``.
+
+    It emits the empty string on every transition; its single possible
+    answer is ``()`` with confidence ``Pr(S in L(dfa))``.
+    """
+    return Transducer.from_dfa(dfa, {})

@@ -1,0 +1,5 @@
+"""Graphviz DOT export (regenerating the shapes of Figures 1 and 2)."""
+
+from repro.viz.dot import automaton_to_dot, sequence_to_dot, transducer_to_dot
+
+__all__ = ["sequence_to_dot", "automaton_to_dot", "transducer_to_dot"]

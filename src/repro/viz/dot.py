@@ -1,0 +1,103 @@
+"""Graphviz DOT renderings of the library's objects.
+
+``sequence_to_dot`` draws a Markov sequence in the layered style of
+Figure 1 (one column of nodes per position, probability-labeled edges);
+``transducer_to_dot`` draws a transducer in the style of Figure 2
+(``sigma : o`` edge labels, double circles for accepting states). The
+output is plain DOT text — render it with any graphviz installation.
+"""
+
+from __future__ import annotations
+
+from repro.markov.sequence import MarkovSequence
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+
+
+def _quote(value) -> str:
+    return '"' + str(value).replace('"', '\\"') + '"'
+
+
+def _fmt_prob(prob) -> str:
+    try:
+        return f"{float(prob):.4g}"
+    except (TypeError, ValueError):  # pragma: no cover - exotic number types
+        return str(prob)
+
+
+def sequence_to_dot(sequence: MarkovSequence, name: str = "markov_sequence") -> str:
+    """Layered drawing of a Markov sequence (Figure 1 style)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box, style=rounded];"]
+    lines.append('  start [shape=point, label=""];')
+
+    def node_id(position: int, symbol) -> str:
+        return _quote(f"{symbol}@{position}")
+
+    # Emit only nodes reachable with positive probability, like the figure.
+    reachable: set = set()
+    for symbol, prob in sequence.initial_support():
+        reachable.add((1, symbol))
+        lines.append(f"  {node_id(1, symbol)} [label={_quote(symbol)}];")
+        lines.append(f"  start -> {node_id(1, symbol)} [label={_quote(_fmt_prob(prob))}];")
+    for i in range(1, sequence.length):
+        next_reachable: set = set()
+        for position, symbol in sorted(reachable, key=repr):
+            if position != i:
+                continue
+            for target, prob in sequence.successors(i, symbol):
+                if (i + 1, target) not in next_reachable:
+                    next_reachable.add((i + 1, target))
+                    lines.append(
+                        f"  {node_id(i + 1, target)} [label={_quote(target)}];"
+                    )
+                lines.append(
+                    f"  {node_id(i, symbol)} -> {node_id(i + 1, target)}"
+                    f" [label={_quote(_fmt_prob(prob))}];"
+                )
+        reachable |= next_reachable
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def automaton_to_dot(automaton: NFA | DFA, name: str = "automaton") -> str:
+    """Drawing of an NFA or DFA (double circles for accepting states)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    lines.append('  start [shape=point, label=""];')
+    for state in sorted(automaton.states, key=repr):
+        shape = "doublecircle" if state in automaton.accepting else "circle"
+        lines.append(f"  {_quote(state)} [shape={shape}];")
+    lines.append(f"  start -> {_quote(automaton.initial)};")
+    grouped: dict[tuple, list] = {}
+    if isinstance(automaton, DFA):
+        transitions = automaton.transitions()
+    else:
+        transitions = automaton.transitions()
+    for source, symbol, target in transitions:
+        grouped.setdefault((source, target), []).append(symbol)
+    for (source, target), symbols in sorted(grouped.items(), key=repr):
+        label = ",".join(str(s) for s in sorted(symbols, key=repr))
+        lines.append(f"  {_quote(source)} -> {_quote(target)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transducer_to_dot(transducer: Transducer, name: str = "transducer") -> str:
+    """Drawing of a transducer with ``sigma : o`` edge labels (Figure 2 style)."""
+    nfa = transducer.nfa
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    lines.append('  start [shape=point, label=""];')
+    for state in sorted(nfa.states, key=repr):
+        shape = "doublecircle" if state in nfa.accepting else "circle"
+        lines.append(f"  {_quote(state)} [shape={shape}];")
+    lines.append(f"  start -> {_quote(nfa.initial)};")
+    grouped: dict[tuple, list] = {}
+    for source, symbol, target in nfa.transitions():
+        emission = transducer.emission(source, symbol, target)
+        out = "".join(str(s) for s in emission) if emission else "ε"
+        grouped.setdefault((source, target, out), []).append(symbol)
+    for (source, target, out), symbols in sorted(grouped.items(), key=repr):
+        label = ",".join(str(s) for s in sorted(symbols, key=repr)) + " : " + out
+        lines.append(f"  {_quote(source)} -> {_quote(target)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Markov-sequence analytics: Viterbi, conditioning, reversal, entropy."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidMarkovSequenceError
+from repro.markov.analysis import (
+    condition_on,
+    entropy,
+    kl_divergence,
+    most_likely_world,
+    reverse_sequence,
+    total_variation,
+)
+from repro.markov.builders import iid, uniform_iid
+
+from tests.conftest import make_sequence
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_most_likely_world_matches_brute(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("abc", length, rng, branching=2)
+    path, score = most_likely_world(sequence)
+    best_world, best_prob = max(sequence.worlds(), key=lambda wp: wp[1])
+    assert math.isclose(score, best_prob, abs_tol=1e-12)
+    assert math.isclose(sequence.prob_of(path), score, abs_tol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_condition_on_matches_bayes(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    # Condition on a reachable mid-chain observation.
+    worlds = list(sequence.worlds())
+    observed = worlds[0][0][2]
+    conditioned = condition_on(sequence, {3: observed})
+    evidence_mass = sum(p for w, p in worlds if w[2] == observed)
+    for world, prob in worlds:
+        expected = (prob / evidence_mass) if world[2] == observed else 0.0
+        assert math.isclose(conditioned.prob_of(world), expected, abs_tol=1e-9)
+
+
+def test_condition_on_multiple_positions() -> None:
+    sequence = uniform_iid("ab", 3)
+    conditioned = condition_on(sequence, {1: "a", 3: "b"})
+    total = 0.0
+    for world, prob in conditioned.worlds():
+        assert world[0] == "a" and world[2] == "b"
+        total += prob
+    assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+
+def test_condition_on_impossible_evidence() -> None:
+    sequence = iid({"a": 1.0, "b": 0.0}, 2)
+    with pytest.raises(InvalidMarkovSequenceError):
+        condition_on(sequence, {1: "b"})
+
+
+def test_condition_on_validation() -> None:
+    sequence = uniform_iid("ab", 2)
+    with pytest.raises(InvalidMarkovSequenceError):
+        condition_on(sequence, {5: "a"})
+    with pytest.raises(InvalidMarkovSequenceError):
+        condition_on(sequence, {1: "z"})
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 4))
+def test_reverse_sequence_distribution(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    reversed_sequence = reverse_sequence(sequence)
+    for world, prob in sequence.worlds():
+        assert math.isclose(
+            reversed_sequence.prob_of(tuple(reversed(world))), prob, abs_tol=1e-9
+        )
+
+
+def test_reverse_involution_up_to_float_noise() -> None:
+    rng = random.Random(6)
+    sequence = make_sequence("ab", 3, rng)
+    double = reverse_sequence(reverse_sequence(sequence))
+    assert total_variation(sequence, double) < 1e-9
+
+
+def test_entropy_uniform() -> None:
+    sequence = uniform_iid("ab", 5)
+    assert math.isclose(entropy(sequence), 5.0, abs_tol=1e-9)  # 5 fair bits
+    four = uniform_iid("abcd", 3)
+    assert math.isclose(entropy(four), 6.0, abs_tol=1e-9)  # 3 * log2(4)
+
+
+def test_entropy_deterministic_chain_is_zero() -> None:
+    sequence = iid({"a": 1.0}, 4)
+    assert entropy(sequence) == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_entropy_matches_brute_force(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    brute = -sum(
+        float(p) * math.log2(float(p)) for _w, p in sequence.worlds() if p > 0
+    )
+    assert math.isclose(entropy(sequence), brute, abs_tol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_kl_divergence_matches_brute_force(seed: int) -> None:
+    rng = random.Random(seed)
+    left = make_sequence("ab", 3, rng)
+    right = make_sequence("ab", 3, rng)
+    value = kl_divergence(left, right)
+    left_worlds = dict(left.worlds())
+    brute = 0.0
+    for world, p in left_worlds.items():
+        q = float(right.prob_of(world))
+        if q <= 0 and p > 0:
+            brute = math.inf
+            break
+        if p > 0:
+            brute += float(p) * math.log2(float(p) / q)
+    if brute == math.inf:
+        assert value == math.inf
+    else:
+        assert math.isclose(value, brute, abs_tol=1e-9)
+
+
+def test_kl_divergence_properties() -> None:
+    rng = random.Random(3)
+    mu = make_sequence("ab", 4, rng)
+    assert math.isclose(kl_divergence(mu, mu), 0.0, abs_tol=1e-12)
+    nu = iid({"a": 1.0, "b": 0.0}, 4)
+    dense = uniform_iid("ab", 4)
+    assert kl_divergence(dense, nu) == math.inf  # dense puts mass off nu's support
+    assert kl_divergence(nu, dense) > 0
+    with pytest.raises(InvalidMarkovSequenceError):
+        kl_divergence(mu, uniform_iid("abc", 4))
+
+
+def test_total_variation() -> None:
+    left = iid({"a": Fraction(1, 2), "b": Fraction(1, 2)}, 1)
+    right = iid({"a": Fraction(3, 4), "b": Fraction(1, 4)}, 1)
+    assert math.isclose(total_variation(left, right), 0.25)
+    assert total_variation(left, left) == 0.0
+    with pytest.raises(InvalidMarkovSequenceError):
+        total_variation(left, uniform_iid("abc", 1))

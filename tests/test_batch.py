@@ -1,0 +1,81 @@
+"""Trie-shared batch confidence vs the per-answer DP."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.transducers.library import collapse_transducer
+from repro.transducers.transducer import Transducer
+from repro.confidence.batch import confidence_deterministic_batch
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.deterministic import confidence_deterministic
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_batch_matches_per_answer_dp(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    answers = list(brute_force_answers(sequence, transducer))
+    probes = answers + [("no", "such", "answer")]
+    batch = confidence_deterministic_batch(sequence, transducer, probes)
+    assert set(batch) == set(probes)
+    for output in probes:
+        single = confidence_deterministic(sequence, transducer, output)
+        assert math.isclose(batch[output], single, abs_tol=1e-12), output
+
+
+def test_batch_on_running_example() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    batch = confidence_deterministic_batch(
+        mu, query, [("1", "2"), ("2", "1", "λ"), (), ("9",)]
+    )
+    assert batch[("1", "2")] == Fraction("0.4038")
+    assert batch[("9",)] == 0
+    assert batch[()] > 0
+
+
+def test_batch_shares_prefixes() -> None:
+    """All answers of a collapse query at once: total mass is exact 1."""
+    sequence = uniform_iid("ab", 8, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    answers = list(brute_force_answers(sequence, transducer))
+    assert len(answers) == 256
+    batch = confidence_deterministic_batch(sequence, transducer, answers)
+    assert sum(batch.values()) == 1
+
+
+def test_batch_empty_request() -> None:
+    sequence = uniform_iid("ab", 3)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert confidence_deterministic_batch(sequence, transducer, []) == {}
+
+
+def test_batch_duplicate_outputs() -> None:
+    sequence = uniform_iid("ab", 2, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    batch = confidence_deterministic_batch(
+        sequence, transducer, [("X", "X"), ("X", "X")]
+    )
+    assert batch[("X", "X")] == Fraction(1, 4)
+
+
+def test_batch_rejects_nondeterministic() -> None:
+    nondeterministic = Transducer(
+        NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}}), {}
+    )
+    with pytest.raises(InvalidTransducerError):
+        confidence_deterministic_batch(uniform_iid("a", 2), nondeterministic, [()])

@@ -1,0 +1,118 @@
+"""Baum–Welch training: EM guarantees and recovery behaviour."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.markov.baumwelch import baum_welch
+from repro.markov.hmm import HMM
+
+
+def make_true_model() -> HMM:
+    return HMM(
+        initial={"H": 0.7, "C": 0.3},
+        transition={"H": {"H": 0.8, "C": 0.2}, "C": {"H": 0.3, "C": 0.7}},
+        emission={
+            "H": {"1": 0.1, "2": 0.2, "3": 0.7},
+            "C": {"1": 0.7, "2": 0.2, "3": 0.1},
+        },
+    )
+
+
+def make_starting_model(rng: random.Random) -> HMM:
+    def row(keys):
+        weights = [rng.random() + 0.2 for _ in keys]
+        total = sum(weights)
+        values = {k: w / total for k, w in zip(keys, weights)}
+        top = max(values, key=values.get)
+        values[top] += 1.0 - sum(values.values())
+        return values
+
+    states = ("H", "C")
+    symbols = ("1", "2", "3")
+    return HMM(
+        initial=row(states),
+        transition={s: row(states) for s in states},
+        emission={s: row(symbols) for s in states},
+    )
+
+
+def test_likelihood_is_nondecreasing() -> None:
+    rng = random.Random(42)
+    true_model = make_true_model()
+    strings = [true_model.sample(30, rng)[1] for _ in range(5)]
+    start = make_starting_model(rng)
+    result = baum_welch(start, strings, iterations=15)
+    trace = result.log_likelihoods
+    assert len(trace) >= 2
+    for earlier, later in zip(trace, trace[1:]):
+        assert later >= earlier - 1e-6, trace
+
+
+def test_training_improves_over_start() -> None:
+    rng = random.Random(7)
+    true_model = make_true_model()
+    strings = [true_model.sample(40, rng)[1] for _ in range(4)]
+    start = make_starting_model(rng)
+    result = baum_welch(start, strings, iterations=25)
+    start_loglik = sum(start.log_likelihood(s) for s in strings)
+    end_loglik = sum(result.hmm.log_likelihood(s) for s in strings)
+    assert end_loglik > start_loglik
+
+
+def test_fitted_model_is_valid_hmm() -> None:
+    rng = random.Random(3)
+    true_model = make_true_model()
+    strings = [true_model.sample(20, rng)[1] for _ in range(3)]
+    result = baum_welch(make_starting_model(rng), strings, iterations=10)
+    fitted = result.hmm
+    assert set(fitted.states) == {"H", "C"}
+    assert math.isclose(sum(fitted.initial.values()), 1.0, abs_tol=1e-9)
+    for state in fitted.states:
+        assert math.isclose(sum(fitted.transition[state].values()), 1.0, abs_tol=1e-9)
+        assert math.isclose(sum(fitted.emission[state].values()), 1.0, abs_tol=1e-9)
+
+
+def test_fit_on_deterministic_data_concentrates_emissions() -> None:
+    """Training on a constant observation string drives the emission of
+    the used states toward that symbol."""
+    rng = random.Random(11)
+    start = make_starting_model(rng)
+    result = baum_welch(start, [("3",) * 30], iterations=30)
+    fitted = result.hmm
+    # At least one state must emit '3' almost surely.
+    assert max(fitted.emission[s].get("3", 0.0) for s in fitted.states) > 0.99
+
+
+def test_converges_early_with_tolerance() -> None:
+    rng = random.Random(5)
+    true_model = make_true_model()
+    strings = [true_model.sample(15, rng)[1]]
+    result = baum_welch(
+        make_starting_model(rng), strings, iterations=200, tolerance=1e-3
+    )
+    assert result.iterations < 200
+
+
+def test_trained_model_feeds_the_query_pipeline() -> None:
+    """End-to-end: fit → smooth → Markov sequence → valid distribution."""
+    rng = random.Random(9)
+    true_model = make_true_model()
+    strings = [true_model.sample(25, rng)[1] for _ in range(3)]
+    result = baum_welch(make_starting_model(rng), strings, iterations=10)
+    mu = result.hmm.to_markov_sequence(strings[0][:6])
+    total = sum(p for _w, p in mu.worlds())
+    assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+
+def test_validation() -> None:
+    rng = random.Random(1)
+    start = make_starting_model(rng)
+    with pytest.raises(ReproError):
+        baum_welch(start, [], iterations=5)
+    with pytest.raises(ReproError):
+        baum_welch(start, [()], iterations=5)

@@ -1,0 +1,93 @@
+"""Markov-sequence constructors."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidMarkovSequenceError
+from repro.markov.builders import (
+    homogeneous,
+    hospital_model,
+    iid,
+    random_sequence,
+    uniform_iid,
+)
+
+
+def test_iid_worlds_factorize() -> None:
+    sequence = iid({"a": Fraction(1, 4), "b": Fraction(3, 4)}, 3)
+    assert sequence.prob_of(("a", "b", "a")) == Fraction(1, 4) ** 2 * Fraction(3, 4)
+    assert sequence.prob_of(("b", "b", "b")) == Fraction(3, 4) ** 3
+
+
+def test_uniform_iid_exact() -> None:
+    sequence = uniform_iid("abc", 2, exact=True)
+    assert sequence.prob_of(("a", "c")) == Fraction(1, 9)
+    assert sum(p for _w, p in sequence.worlds()) == 1
+
+
+def test_uniform_iid_float() -> None:
+    sequence = uniform_iid("ab", 3, exact=False)
+    assert math.isclose(sequence.prob_of(("a", "a", "a")), 0.125)
+
+
+def test_uniform_iid_empty_alphabet_rejected() -> None:
+    with pytest.raises(InvalidMarkovSequenceError):
+        uniform_iid([], 3)
+
+
+def test_homogeneous() -> None:
+    half = Fraction(1, 2)
+    sequence = homogeneous(
+        {"s": Fraction(1)},
+        {"s": {"s": half, "t": half}, "t": {"t": Fraction(1)}},
+        3,
+    )
+    assert sequence.prob_of(("s", "s", "t")) == Fraction(1, 4)
+    assert sequence.prob_of(("s", "t", "t")) == Fraction(1, 2)
+    assert sequence.prob_of(("t", "t", "t")) == 0
+
+
+def test_length_one_has_no_transitions() -> None:
+    sequence = iid({"a": 1}, 1)
+    assert len(sequence) == 1
+    assert sequence.prob_of(("a",)) == 1
+
+
+def test_bad_lengths_rejected() -> None:
+    with pytest.raises(InvalidMarkovSequenceError):
+        iid({"a": 1}, 0)
+    with pytest.raises(InvalidMarkovSequenceError):
+        random_sequence("ab", 0, random.Random(0))
+
+
+def test_random_sequence_branching_controls_support() -> None:
+    rng = random.Random(9)
+    sparse = random_sequence("abcd", 4, rng, branching=1)
+    # branching=1 means exactly one successor per row: support has exactly
+    # as many worlds as initial-support entries.
+    assert sparse.support_size() == len(dict(sparse.initial_support()))
+
+
+def test_hospital_model_valid_and_shaped() -> None:
+    rng = random.Random(1)
+    sequence = hospital_model(num_rooms=2, length=6, rng=rng)
+    assert len(sequence) == 6
+    assert sequence.alphabet == frozenset(
+        {"r1a", "r1b", "r2a", "r2b", "la", "lb"}
+    )
+    marginals = sequence.marginals()
+    assert all(math.isclose(sum(m.values()), 1.0, abs_tol=1e-9) for m in marginals)
+
+
+def test_hospital_model_stay_probability_dominates() -> None:
+    rng = random.Random(2)
+    sequence = hospital_model(num_rooms=2, length=3, rng=rng, stay_prob=0.8)
+    # Staying put should be the most likely move from any location.
+    for symbol in sequence.symbols:
+        row = dict(sequence.successors(1, symbol))
+        assert max(row, key=row.get) == symbol

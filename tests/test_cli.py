@@ -1,0 +1,126 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.io.json_format import write_query, write_sequence
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import IndexedSProjector
+
+
+@pytest.fixture
+def files(tmp_path):
+    seq_path = tmp_path / "mu.json"
+    query_path = tmp_path / "query.json"
+    write_sequence(hospital_sequence(), seq_path)
+    write_query(room_change_transducer(), query_path)
+    return str(seq_path), str(query_path)
+
+
+def test_info(files, capsys) -> None:
+    seq, query = files
+    assert main(["info", "--sequence", seq, "--query", query]) == 0
+    out = capsys.readouterr().out
+    assert "length 5" in out
+    assert "deterministic" in out
+    assert "selective" in out
+
+
+def test_sample(files, capsys) -> None:
+    seq, _query = files
+    assert main(["sample", "--sequence", seq, "--count", "3", "--seed", "1"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert all(len(line.split()) == 5 for line in lines)
+
+
+def test_evaluate_emax(files, capsys) -> None:
+    seq, query = files
+    assert (
+        main(
+            [
+                "evaluate",
+                "--sequence", seq,
+                "--query", query,
+                "--order", "emax",
+                "--limit", "2",
+            ]
+        )
+        == 0
+    )
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("12")
+    assert "confidence=0.4038" in lines[0]
+
+
+def test_confidence(files, capsys) -> None:
+    seq, query = files
+    assert (
+        main(["confidence", "--sequence", seq, "--query", query, "--answer", "1,2"])
+        == 0
+    )
+    assert capsys.readouterr().out.strip() == "0.4038"
+
+
+def test_confidence_indexed_requires_index(tmp_path, capsys) -> None:
+    alphabet = ("r1a", "r1b", "r2a", "r2b", "la", "lb")
+    projector = IndexedSProjector(
+        sigma_star(alphabet),
+        regex_to_dfa(".", alphabet),
+        sigma_star(alphabet),
+    )
+    seq_path = tmp_path / "mu.json"
+    query_path = tmp_path / "p.json"
+    write_sequence(hospital_sequence(), seq_path)
+    write_query(projector, query_path)
+    code = main(
+        ["confidence", "--sequence", str(seq_path), "--query", str(query_path),
+         "--answer", "r1a"]
+    )
+    assert code == 2  # missing --index is a user error
+    assert "index" in capsys.readouterr().err
+    assert (
+        main(
+            ["confidence", "--sequence", str(seq_path), "--query", str(query_path),
+             "--answer", "r1a", "--index", "1"]
+        )
+        == 0
+    )
+    value = float(capsys.readouterr().out)
+    assert abs(value - 0.7) < 1e-9  # Pr(S_1 = r1a)
+
+
+def test_top_k(files, capsys) -> None:
+    seq, query = files
+    assert main(["top-k", "--sequence", seq, "--query", query, "-k", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("12")
+
+
+def test_profile(files, capsys) -> None:
+    seq, query = files
+    assert main(["profile", "--sequence", seq, "--query", query]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 5  # one row per position
+    for line in lines:
+        position, probability, _bar = line.split("\t")
+        assert 0.0 <= float(probability) <= 1.0
+
+
+def test_dot(files, capsys) -> None:
+    seq, query = files
+    assert main(["dot", "--sequence", seq]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+    assert main(["dot", "--query", query]) == 0
+    assert "doublecircle" in capsys.readouterr().out
+
+
+def test_dot_requires_input(capsys) -> None:
+    assert main(["dot"]) == 2
+    assert "error" in capsys.readouterr().err

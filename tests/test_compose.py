@@ -1,0 +1,172 @@
+"""Transducer composition (query pipelines)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.errors import InvalidTransducerError
+from repro.automata.nfa import NFA
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.compose import compose, restrict
+from repro.transducers.library import collapse_transducer, identity_mealy, relabel_mealy
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.deterministic import confidence_deterministic
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+def reference_compose_outputs(first: Transducer, second: Transducer, string):
+    """Definition-level oracle: all o with s -> first -> m -> second -> o."""
+    outputs = set()
+    for intermediate in first.transduce(string):
+        result = second.transduce_deterministic(intermediate)
+        if result is not None:
+            outputs.add(result)
+    return outputs
+
+
+def test_compose_identity_is_noop() -> None:
+    base = collapse_transducer({"a": "x", "b": "y"})
+    composed = compose(base, identity_mealy(("x", "y")))
+    for string in itertools.product("ab", repeat=3):
+        assert composed.transduce(string) == base.transduce(string)
+
+
+def test_compose_two_relabelings() -> None:
+    first = relabel_mealy({"a": "1", "b": "2"})
+    second = relabel_mealy({"1": "odd", "2": "even"})
+    composed = compose(first, second)
+    assert composed.transduce_deterministic(("a", "b")) == ("odd", "even")
+    assert composed.is_deterministic()
+    assert composed.is_mealy()
+
+
+def test_compose_matches_reference_on_random_deterministic(rng: random.Random) -> None:
+    for _ in range(6):
+        first = make_random_deterministic_transducer("ab", 3, rng)
+        second = make_random_deterministic_transducer(
+            first.output_alphabet or ("x",), 2, rng, out_alphabet=("p", "q")
+        )
+        # Ensure second can read everything first emits.
+        if set(first.output_alphabet) - set(second.input_alphabet):
+            continue
+        composed = compose(first, second)
+        for string in itertools.product("ab", repeat=3):
+            assert composed.transduce(string) == reference_compose_outputs(
+                first, second, string
+            ), string
+
+
+def test_compose_with_nondeterministic_first() -> None:
+    nfa = NFA("a", {0, 1, 2}, 0, {1, 2}, {(0, "a"): {1, 2}})
+    first = Transducer(nfa, {(0, "a", 1): ("x",), (0, "a", 2): ("y",)})
+    second = relabel_mealy({"x": "X", "y": "Y"})
+    composed = compose(first, second)
+    assert composed.transduce(("a",)) == {("X",), ("Y",)}
+
+
+def test_compose_second_filters() -> None:
+    """A selective second transducer prunes intermediate strings."""
+    first = collapse_transducer({"a": "x", "b": "y"})
+    # Second accepts only strings starting with x.
+    from repro.automata.dfa import DFA
+
+    dfa = DFA(
+        ("x", "y"),
+        {0, 1, "dead"},
+        0,
+        {1},
+        {
+            (0, "x"): 1,
+            (0, "y"): "dead",
+            (1, "x"): 1,
+            (1, "y"): 1,
+            ("dead", "x"): "dead",
+            ("dead", "y"): "dead",
+        },
+    )
+    second = Transducer.from_dfa(
+        dfa, {(q, s, t): (s,) for q, s, t in dfa.transitions()}
+    )
+    composed = compose(first, second)
+    assert composed.transduce(("a", "b")) == {("x", "y")}
+    assert composed.transduce(("b", "a")) == set()
+
+
+def test_compose_rejects_nondeterministic_second() -> None:
+    second = Transducer(NFA("x", {0, 1}, 0, {0, 1}, {(0, "x"): {0, 1}}), {})
+    with pytest.raises(InvalidTransducerError):
+        compose(identity_mealy("x"), second)
+
+
+def test_compose_rejects_unreadable_symbols() -> None:
+    first = collapse_transducer({"a": "z"})
+    second = identity_mealy(("x",))
+    with pytest.raises(InvalidTransducerError):
+        compose(first, second)
+
+
+def test_restrict_filters_worlds() -> None:
+    base = collapse_transducer({"a": "x", "b": "y"})
+    selector = regex_to_dfa("a.*", "ab")  # worlds starting with a
+    restricted = restrict(base, selector)
+    assert restricted.transduce(("a", "b")) == {("x", "y")}
+    assert restricted.transduce(("b", "a")) == set()
+    assert restricted.is_deterministic()
+    assert restricted.is_selective()
+    assert restricted.uniformity() == 1
+
+
+def test_restrict_confidence_is_conjunction(rng: random.Random) -> None:
+    sequence = make_sequence("ab", 4, rng)
+    base = collapse_transducer({"a": "x", "b": "y"})
+    selector = regex_to_dfa(".*b", "ab")
+    restricted = restrict(base, selector)
+    expected = {}
+    for world, prob in sequence.worlds():
+        if selector.accepts(world):
+            output = base.transduce_deterministic(world)
+            expected[output] = expected.get(output, 0) + prob
+    produced = brute_force_answers(sequence, restricted)
+    assert set(produced) == set(expected)
+    for output in produced:
+        assert math.isclose(produced[output], expected[output], abs_tol=1e-9)
+        assert math.isclose(
+            confidence_deterministic(sequence, restricted, output),
+            expected[output],
+            abs_tol=1e-9,
+        )
+
+
+def test_restrict_preserves_projector_class() -> None:
+    from repro.transducers.library import projector_from_dfa
+
+    dfa = regex_to_dfa(".*", "ab")
+    base = projector_from_dfa(dfa, keep={"a"})
+    restricted = restrict(base, regex_to_dfa("a.*", "ab"))
+    assert restricted.is_projector()
+
+
+def test_restrict_alphabet_mismatch() -> None:
+    base = collapse_transducer({"a": "x", "b": "y"})
+    with pytest.raises(InvalidTransducerError):
+        restrict(base, regex_to_dfa("a", "abc"))
+
+
+def test_composed_confidence_matches_brute_force(rng: random.Random) -> None:
+    sequence = make_sequence("ab", 4, rng)
+    first = collapse_transducer({"a": "x", "b": "y"})
+    second = relabel_mealy({"x": "0", "y": "1"})
+    composed = compose(first, second)
+    expected = brute_force_answers(sequence, composed)
+    for output, confidence in expected.items():
+        assert math.isclose(
+            confidence_deterministic(sequence, composed, output),
+            confidence,
+            abs_tol=1e-9,
+        )

@@ -1,0 +1,107 @@
+"""Theorem 4.6: confidence computation for deterministic transducers."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import iid, uniform_iid
+from repro.automata.nfa import NFA
+from repro.transducers.library import collapse_transducer, identity_mealy
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers, brute_force_emax
+from repro.confidence.deterministic import confidence_deterministic
+from repro.semiring import VITERBI
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_matches_brute_force_on_random_instances(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    expected = brute_force_answers(sequence, transducer)
+    for output, confidence in expected.items():
+        computed = confidence_deterministic(sequence, transducer, output)
+        assert math.isclose(computed, confidence, abs_tol=1e-9), output
+    # A non-answer has confidence zero.
+    assert confidence_deterministic(sequence, transducer, ("x",) * 20) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_viterbi_semiring_computes_emax(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    expected = brute_force_emax(sequence, transducer)
+    for output, emax in expected.items():
+        computed = confidence_deterministic(
+            sequence, transducer, output, semiring=VITERBI
+        )
+        assert math.isclose(computed, emax, abs_tol=1e-9), output
+
+
+def test_uniform_fast_path_equals_general() -> None:
+    rng = random.Random(44)
+    sequence = make_sequence("ab", 5, rng)
+    mealy = collapse_transducer({"a": "x", "b": "y"})
+    assert mealy.uniformity() == 1  # fast path taken
+    expected = brute_force_answers(sequence, mealy)
+    for output, confidence in expected.items():
+        assert math.isclose(
+            confidence_deterministic(sequence, mealy, output), confidence, abs_tol=1e-9
+        )
+    # Wrong-length outputs are zero for uniform emission.
+    assert confidence_deterministic(sequence, mealy, ("x",) * 4) == 0
+    assert confidence_deterministic(sequence, mealy, ("x",) * 6) == 0
+
+
+def test_identity_mealy_confidence_is_world_probability() -> None:
+    sequence = iid({"a": Fraction(1, 4), "b": Fraction(3, 4)}, 3)
+    t = identity_mealy("ab")
+    assert confidence_deterministic(sequence, t, ("a", "b", "a")) == Fraction(
+        1, 4
+    ) ** 2 * Fraction(3, 4)
+
+
+def test_collapse_aggregates_worlds_exactly() -> None:
+    # Two symbols collapse to one: conf(X^n) sums over all 2^n worlds.
+    sequence = uniform_iid("ab", 4, exact=True)
+    t = collapse_transducer({"a": "X", "b": "X"})
+    assert confidence_deterministic(sequence, t, ("X",) * 4) == 1
+
+
+def test_rejects_nondeterministic_transducers() -> None:
+    nfa = NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}})
+    t = Transducer(nfa, {})
+    with pytest.raises(InvalidTransducerError):
+        confidence_deterministic(uniform_iid("a", 2), t, ())
+
+
+def test_selective_transducer_empty_output() -> None:
+    # 0-uniform acceptance filter: conf(()) = Pr(S in L(A)).
+    from repro.automata.regex import regex_to_dfa
+    from repro.transducers.library import accept_filter
+
+    sequence = uniform_iid("ab", 3, exact=True)
+    dfa = regex_to_dfa(".*b", "ab")  # strings ending in b
+    t = accept_filter(dfa)
+    assert confidence_deterministic(sequence, t, ()) == Fraction(1, 2)
+
+
+def test_exact_fraction_arithmetic_end_to_end() -> None:
+    sequence = uniform_iid("ab", 5, exact=True)
+    t = collapse_transducer({"a": "X", "b": "Y"})
+    total = sum(
+        confidence_deterministic(sequence, t, output)
+        for output in brute_force_answers(sequence, t)
+    )
+    assert total == 1  # exact, no float drift

@@ -1,0 +1,99 @@
+"""Theorem 5.5: s-projector confidence via the B.o.E concatenation language."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.operations import empty_string_only, sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.sprojector import confidence_sprojector
+
+from tests.conftest import make_random_dfa, make_sequence
+
+ALPHABET = "abc"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_matches_brute_force(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, length, rng)
+    projector = SProjector(
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+    )
+    expected = brute_force_answers(sequence, projector)
+    for output, confidence in expected.items():
+        computed = confidence_sprojector(sequence, projector, output)
+        assert math.isclose(computed, confidence, abs_tol=1e-9), output
+    # Strings outside L(A) have confidence zero.
+    for output in [("a",) * (length + 2)]:
+        if output not in expected:
+            assert confidence_sprojector(sequence, projector, output) in (0, 0.0)
+
+
+def test_simple_projector_substring_probability() -> None:
+    sequence = uniform_iid("ab", 3, exact=True)
+    pattern = regex_to_dfa("ab", "ab")
+    projector = SProjector(sigma_star("ab"), pattern, sigma_star("ab"))
+    # Pr(string of length 3 contains 'ab') = 5/8 over uniform {a,b}^3:
+    # complement: strings avoiding 'ab' are b^i a^j -> 4 of 8... actually
+    # b^i a^j with i+j=3 gives 4 strings, so 8-4 = 4 contain 'ab': 1/2.
+    worlds_with_ab = [
+        w for w, _p in sequence.worlds() if "ab" in "".join(w)
+    ]
+    assert confidence_sprojector(sequence, projector, ("a", "b")) == Fraction(
+        len(worlds_with_ab), 8
+    )
+
+
+def test_theorem_5_4_gadget_shape() -> None:
+    """B = Sigma*, A = {epsilon}: conf(epsilon) = Pr(some suffix in L(E))."""
+    sequence = uniform_iid("ab", 3, exact=True)
+    projector = SProjector(
+        sigma_star("ab"), empty_string_only("ab"), regex_to_dfa("b*", "ab")
+    )
+    # s = b . epsilon . e with e in b*: equivalent to "some suffix is all b",
+    # which always holds (the empty suffix). So confidence is 1.
+    assert confidence_sprojector(sequence, projector, ()) == 1
+    # With E = bb.* the suffix must be nonempty and start bb.
+    projector2 = SProjector(
+        sigma_star("ab"), empty_string_only("ab"), regex_to_dfa("bb.*", "ab")
+    )
+    expected = sum(
+        p
+        for w, p in sequence.worlds()
+        if any("".join(w[i:]).startswith("bb") for i in range(3))
+    )
+    assert confidence_sprojector(sequence, projector2, ()) == expected
+
+
+def test_minimize_suffix_toggle_gives_same_result() -> None:
+    rng = random.Random(17)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = SProjector(
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 4, rng),
+    )
+    for output, _c in brute_force_answers(sequence, projector).items():
+        a = confidence_sprojector(sequence, projector, output, minimize_suffix=True)
+        b = confidence_sprojector(sequence, projector, output, minimize_suffix=False)
+        assert math.isclose(a, b, abs_tol=1e-12)
+
+
+def test_pattern_rejection_short_circuits() -> None:
+    sequence = uniform_iid("ab", 3)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a+", "ab"), sigma_star("ab")
+    )
+    assert confidence_sprojector(sequence, projector, ("b",)) == 0

@@ -1,0 +1,84 @@
+"""Theorem 4.8: subset-DP confidence for uniform nondeterministic transducers."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.uniform_subset import confidence_uniform
+
+from tests.conftest import make_random_uniform_transducer, make_sequence
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 2), length=st.integers(1, 4))
+def test_matches_brute_force(seed: int, k: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    transducer = make_random_uniform_transducer("ab", 3, rng, k=k)
+    expected = brute_force_answers(sequence, transducer)
+    for output, confidence in expected.items():
+        computed = confidence_uniform(sequence, transducer, output)
+        assert math.isclose(computed, confidence, abs_tol=1e-9), output
+
+
+def test_wrong_length_output_is_zero() -> None:
+    rng = random.Random(0)
+    transducer = make_random_uniform_transducer("ab", 2, rng, k=2)
+    sequence = uniform_iid("ab", 3)
+    assert confidence_uniform(sequence, transducer, ("x",) * 5) == 0
+
+
+def test_zero_uniform_accept_probability() -> None:
+    # 0-uniform: conf(()) = Pr(S in L(A)) even for a nondeterministic A.
+    nfa = NFA(
+        "ab",
+        {0, 1},
+        0,
+        {1},
+        {(0, "a"): {0, 1}, (0, "b"): {0}},  # nondeterministic 'ends after an a'
+    )
+    transducer = Transducer(nfa, {})
+    sequence = uniform_iid("ab", 3, exact=True)
+    expected = sum(
+        prob for world, prob in sequence.worlds() if nfa.accepts(world)
+    )
+    assert confidence_uniform(sequence, transducer, ()) == expected
+
+
+def test_no_double_counting_with_multiple_accepting_runs() -> None:
+    """A world with several accepting runs emitting the same output must be
+    counted once — the defining subtlety of the subset construction."""
+    nfa = NFA("a", {0, 1, 2}, 0, {1, 2}, {(0, "a"): {1, 2}})
+    transducer = Transducer(nfa, {(0, "a", 1): ("x",), (0, "a", 2): ("x",)})
+    sequence = uniform_iid("a", 1, exact=True)
+    # The single world has two accepting runs, both emitting "x".
+    assert confidence_uniform(sequence, transducer, ("x",)) == 1
+
+
+def test_rejects_non_uniform() -> None:
+    nfa = NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}})
+    transducer = Transducer(nfa, {(0, "a", 1): ("x", "y")})
+    with pytest.raises(InvalidTransducerError):
+        confidence_uniform(uniform_iid("a", 2), transducer, ("x",))
+
+
+def test_exact_fractions() -> None:
+    nfa = NFA("ab", {0, 1}, 0, {1}, {(0, "a"): {0, 1}, (0, "b"): {0}, (1, "a"): {1}, (1, "b"): {1}})
+    omega = {triple: ("1",) for triple in
+             [(q, s, t) for (q, s), ts in nfa.delta_dict().items() for t in ts]}
+    transducer = Transducer(nfa, omega)
+    sequence = uniform_iid("ab", 4, exact=True)
+    value = confidence_uniform(sequence, transducer, ("1",) * 4)
+    brute = brute_force_answers(sequence, transducer).get(("1",) * 4, Fraction(0))
+    assert value == brute
+    assert isinstance(value, Fraction)

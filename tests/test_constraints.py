@@ -1,0 +1,133 @@
+"""Prefix constraints and the layered product DP (has_answer / best_evidence)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.confidence.brute_force import brute_force_answers, brute_force_emax
+from repro.enumeration.constraints import END, PrefixConstraint, best_evidence, has_answer
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+def test_admits_semantics() -> None:
+    c = PrefixConstraint(prefix=("x",), forbidden=frozenset({"y"}))
+    assert c.admits(("x",))
+    assert c.admits(("x", "x"))
+    assert not c.admits(("x", "y"))
+    assert not c.admits(("y",))
+    assert not c.admits(())
+
+    end_forbidden = PrefixConstraint(prefix=("x",), forbidden=frozenset({END}))
+    assert not end_forbidden.admits(("x",))
+    assert end_forbidden.admits(("x", "y"))
+
+    exact = PrefixConstraint.exact_string(("x", "y"))
+    assert exact.admits(("x", "y"))
+    assert not exact.admits(("x", "y", "z"))
+    assert not exact.admits(("x",))
+
+
+def test_advance_and_final_ok() -> None:
+    c = PrefixConstraint(prefix=("x", "y"), forbidden=frozenset({"z"}))
+    assert c.advance(0, ("x",)) == 1
+    assert c.advance(0, ("x", "y")) == 2
+    assert c.advance(0, ("y",)) is None
+    assert c.advance(2, ("z",)) is None  # forbidden next
+    assert c.advance(2, ("x",)) == 3  # past
+    assert c.advance(3, ("z",)) == 3  # anything past the boundary
+    assert not c.final_ok(1)
+    assert c.final_ok(2)
+    assert c.final_ok(3)
+
+
+def test_advance_multi_symbol_emission_crossing_boundary() -> None:
+    c = PrefixConstraint(prefix=("x",), forbidden=frozenset({"y"}))
+    # Emission "xy": matches prefix then hits forbidden next symbol.
+    assert c.advance(0, ("x", "y")) is None
+    assert c.advance(0, ("x", "z")) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_partition_is_a_partition(data) -> None:
+    """partition_after splits the subspace exactly (checked extensionally)."""
+    alphabet = ("p", "q")
+    prefix = tuple(data.draw(st.lists(st.sampled_from(alphabet), max_size=2)))
+    forbidden = frozenset(data.draw(st.sets(st.sampled_from([*alphabet, END]), max_size=2)))
+    constraint = PrefixConstraint(prefix=prefix, forbidden=forbidden)
+    answer_pool = [
+        tuple(candidate)
+        for length in range(4)
+        for candidate in __import__("itertools").product(alphabet, repeat=length)
+    ]
+    admitted = [o for o in answer_pool if constraint.admits(o)]
+    if not admitted:
+        return
+    answer = data.draw(st.sampled_from(admitted))
+    children = constraint.partition_after(answer, alphabet)
+    for candidate in answer_pool:
+        memberships = sum(1 for child in children if child.admits(candidate))
+        if candidate == answer:
+            assert memberships == 0
+        elif constraint.admits(candidate):
+            assert memberships == 1, (candidate, answer, constraint)
+        else:
+            assert memberships == 0, (candidate, answer, constraint)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_has_answer_matches_brute_force(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    answers = set(brute_force_answers(sequence, transducer))
+    assert has_answer(sequence, transducer) == bool(answers)
+    for answer in list(answers)[:5]:
+        assert has_answer(
+            sequence, transducer, PrefixConstraint.exact_string(answer)
+        )
+        assert has_answer(
+            sequence, transducer, PrefixConstraint.with_prefix(answer[:1])
+        )
+    assert not has_answer(
+        sequence, transducer, PrefixConstraint.exact_string(("nope",) * 3)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_best_evidence_unconstrained_matches_brute(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    emax = brute_force_emax(sequence, transducer)
+    found = best_evidence(sequence, transducer)
+    if not emax:
+        assert found is None
+        return
+    score, output, world = found
+    assert math.isclose(score, max(emax.values()), abs_tol=1e-9)
+    # The witness world really is transduced into the output with that prob.
+    assert output in transducer.transduce(world)
+    assert math.isclose(sequence.prob_of(world), score, abs_tol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_best_evidence_respects_constraints(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    emax = brute_force_emax(sequence, transducer)
+    for answer in list(emax)[:3]:
+        constraint = PrefixConstraint.exact_string(answer)
+        found = best_evidence(sequence, transducer, constraint)
+        assert found is not None
+        score, output, _world = found
+        assert output == answer
+        assert math.isclose(score, emax[answer], abs_tol=1e-9)

@@ -1,0 +1,76 @@
+"""End-to-end k-order evaluation through the engine (footnote 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidTransducerError
+from repro.automata.nfa import NFA
+from repro.transducers.library import collapse_transducer
+from repro.transducers.transducer import Transducer
+from repro.core.korder import confidence_korder, evaluate_korder
+
+from tests.test_korder import make_random_spec, make_spec
+
+import random
+
+
+def brute_answers(spec, transducer):
+    confidences: dict = {}
+    for world, prob in spec.worlds():
+        output = transducer.transduce_deterministic(world)
+        if output is not None:
+            confidences[output] = confidences.get(output, 0) + prob
+    return confidences
+
+
+def test_evaluate_korder_matches_direct_brute_force() -> None:
+    spec = make_spec()
+    transducer = collapse_transducer({"a": "x", "b": "y"})
+    expected = brute_answers(spec, transducer)
+    answers = list(evaluate_korder(spec, transducer))
+    assert {a.output for a in answers} == set(expected)
+    for answer in answers:
+        assert math.isclose(
+            float(answer.confidence), float(expected[answer.output]), abs_tol=1e-9
+        )
+
+
+def test_evaluate_korder_ranked() -> None:
+    rng = random.Random(17)
+    spec = make_random_spec(rng, 2, 4)
+    transducer = collapse_transducer({"a": "x", "b": "y"})
+    expected = brute_answers(spec, transducer)
+    ranked = list(evaluate_korder(spec, transducer, order="emax", limit=3))
+    assert len(ranked) == 3
+    scores = [a.score for a in ranked]
+    assert scores == sorted(scores, reverse=True)
+    for answer in ranked:
+        assert math.isclose(
+            float(answer.confidence), float(expected[answer.output]), abs_tol=1e-9
+        )
+
+
+def test_confidence_korder() -> None:
+    spec = make_spec()
+    transducer = collapse_transducer({"a": "x", "b": "y"})
+    expected = brute_answers(spec, transducer)
+    for output, confidence in expected.items():
+        assert math.isclose(
+            float(confidence_korder(spec, transducer, output)),
+            float(confidence),
+            abs_tol=1e-9,
+        )
+
+
+def test_nondeterministic_rejected() -> None:
+    spec = make_spec()
+    nondeterministic = Transducer(
+        NFA("ab", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}, (0, "b"): {0}}), {}
+    )
+    with pytest.raises(InvalidTransducerError):
+        list(evaluate_korder(spec, nondeterministic))
+    with pytest.raises(InvalidTransducerError):
+        confidence_korder(spec, nondeterministic, ())

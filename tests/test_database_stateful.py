@@ -1,0 +1,67 @@
+"""Stateful property test of the Markov-stream database."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.markov.builders import random_sequence
+from repro.transducers.library import collapse_transducer
+from repro.lahar.database import MarkovStreamDatabase
+
+ALPHABET = ("a", "b")
+QUERY = collapse_transducer({"a": "X", "b": "Y"})
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    """Register/drop/query must behave like a plain dict of sequences."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.database = MarkovStreamDatabase()
+        self.model: dict = {}
+        self.database.register_query("collapse", QUERY)
+
+    names = Bundle("names")
+
+    @rule(target=names, name=st.text(alphabet="xyz", min_size=1, max_size=4),
+          seed=st.integers(0, 1000), length=st.integers(1, 4))
+    def register(self, name: str, seed: int, length: int):
+        sequence = random_sequence(ALPHABET, length, random.Random(seed))
+        self.database.register_stream(name, sequence)
+        self.model[name] = sequence
+        return name
+
+    @rule(name=names)
+    def drop(self, name: str):
+        if name in self.model:
+            self.database.drop_stream(name)
+            del self.model[name]
+
+    @rule(name=names)
+    def query_matches_direct_evaluation(self, name: str):
+        if name not in self.model:
+            return
+        from repro.core.engine import evaluate
+
+        via_db = {a.output for a in self.database.query(name, "collapse")}
+        direct = {a.output for a in evaluate(self.model[name], QUERY)}
+        assert via_db == direct
+
+    @invariant()
+    def catalog_matches_model(self) -> None:
+        assert self.database.streams() == sorted(self.model)
+
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = settings(
+    max_examples=20, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,79 @@
+"""Dense numpy confidence path vs the sparse-dict DP."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.transducers.library import collapse_transducer, identity_mealy
+from repro.transducers.transducer import Transducer
+from repro.confidence.dense import confidence_deterministic_dense
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.brute_force import brute_force_answers
+
+from tests.conftest import make_random_dfa, make_sequence
+
+
+def make_uniform_deterministic(rng: random.Random, k: int = 1) -> Transducer:
+    dfa = make_random_dfa("ab", 3, rng)
+    omega = {
+        (state, symbol, target): tuple(rng.choice("xy") for _ in range(k))
+        for state, symbol, target in dfa.transitions()
+    }
+    return Transducer.from_dfa(dfa, omega)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 2))
+def test_dense_matches_sparse(seed: int, k: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_uniform_deterministic(rng, k=k)
+    for output in brute_force_answers(sequence, transducer):
+        sparse = confidence_deterministic(sequence, transducer, output)
+        dense = confidence_deterministic_dense(sequence, transducer, output)
+        assert math.isclose(dense, sparse, abs_tol=1e-9), output
+
+
+def test_dense_zero_for_wrong_length() -> None:
+    sequence = uniform_iid("ab", 3)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert confidence_deterministic_dense(sequence, transducer, ("X",)) == 0.0
+
+
+def test_dense_identity_world_probability() -> None:
+    rng = random.Random(8)
+    sequence = make_sequence("ab", 5, rng)
+    transducer = identity_mealy("ab")
+    world = sequence.sample(rng)
+    assert math.isclose(
+        confidence_deterministic_dense(sequence, transducer, world),
+        sequence.prob_of(world),
+        abs_tol=1e-12,
+    )
+
+
+def test_dense_rejects_nondeterministic_and_non_uniform() -> None:
+    sequence = uniform_iid("a", 2)
+    nondeterministic = Transducer(
+        NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}}), {}
+    )
+    with pytest.raises(InvalidTransducerError):
+        confidence_deterministic_dense(sequence, nondeterministic, ())
+    dfa_nfa = NFA("a", {0}, 0, {0}, {(0, "a"): {0}})
+    non_uniform = Transducer(dfa_nfa, {(0, "a", 0): ("x", "y")})
+    # 2-uniform is fine; make a truly non-uniform one.
+    mixed = Transducer(
+        NFA("ab", {0}, 0, {0}, {(0, "a"): {0}, (0, "b"): {0}}),
+        {(0, "a", 0): ("x", "y"), (0, "b", 0): ("x",)},
+    )
+    with pytest.raises(InvalidTransducerError):
+        confidence_deterministic_dense(uniform_iid("ab", 2), mixed, ("x", "y"))
+    # And the 2-uniform machine works.
+    assert confidence_deterministic_dense(sequence, non_uniform, ("x", "y") * 2) == 1.0

@@ -1,0 +1,58 @@
+"""Subset construction: eager and lazy."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.determinize import LazyDeterminizer, determinize
+
+from tests.conftest import make_random_nfa
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_determinize_preserves_language(seed: int) -> None:
+    rng = random.Random(seed)
+    nfa = make_random_nfa("ab", 4, rng)
+    dfa = determinize(nfa)
+    assert dfa.to_nfa().is_deterministic()
+    for length in range(5):
+        for string in itertools.product("ab", repeat=length):
+            assert dfa.accepts(string) == nfa.accepts(string)
+
+
+def test_determinize_initial_and_sink(rng: random.Random) -> None:
+    nfa = make_random_nfa("ab", 3, rng)
+    dfa = determinize(nfa)
+    assert dfa.initial == frozenset({nfa.initial})
+    # Totality: every state has both transitions defined.
+    for state in dfa.states:
+        for symbol in "ab":
+            dfa.step(state, symbol)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), data=st.data())
+def test_lazy_matches_eager(seed: int, data) -> None:
+    rng = random.Random(seed)
+    nfa = make_random_nfa("ab", 4, rng)
+    lazy = LazyDeterminizer(nfa)
+    eager = determinize(nfa)
+    string = data.draw(st.text(alphabet="ab", max_size=6))
+    subset = lazy.run(string)
+    assert subset == eager.run(string)
+    assert lazy.is_accepting(subset) == eager.accepts(string)
+
+
+def test_lazy_materializes_incrementally(rng: random.Random) -> None:
+    nfa = make_random_nfa("ab", 4, rng)
+    lazy = LazyDeterminizer(nfa)
+    assert lazy.num_materialized == 0
+    lazy.run("ab")
+    first = lazy.num_materialized
+    assert first >= 1
+    lazy.run("ab")  # cached
+    assert lazy.num_materialized == first

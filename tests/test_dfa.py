@@ -1,0 +1,99 @@
+"""DFA totality, runs, and helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InvalidAutomatonError
+from repro.automata.dfa import DFA, SINK
+
+from tests.conftest import make_random_dfa
+
+
+@pytest.fixture
+def even_as() -> DFA:
+    """DFA for an even number of 'a's over {a, b}."""
+    return DFA(
+        "ab",
+        {"even", "odd"},
+        "even",
+        {"even"},
+        {
+            ("even", "a"): "odd",
+            ("odd", "a"): "even",
+            ("even", "b"): "even",
+            ("odd", "b"): "odd",
+        },
+    )
+
+
+def test_accepts(even_as: DFA) -> None:
+    assert even_as.accepts("")
+    assert even_as.accepts("aa")
+    assert even_as.accepts("bab" + "a")
+    assert not even_as.accepts("a")
+
+
+def test_run_and_trace(even_as: DFA) -> None:
+    assert even_as.run("ab") == "odd"
+    assert even_as.trace("ab") == ["even", "odd", "odd"]
+    assert even_as.run("b", start="odd") == "odd"
+
+
+def test_totality_enforced() -> None:
+    with pytest.raises(InvalidAutomatonError):
+        DFA("ab", {0}, 0, {0}, {(0, "a"): 0})  # missing (0, 'b')
+
+
+def test_from_partial_adds_sink() -> None:
+    dfa = DFA.from_partial("ab", {0, 1}, 0, {1}, {(0, "a"): 1})
+    assert SINK in dfa.states
+    assert dfa.accepts("a")
+    assert not dfa.accepts("ab")
+    assert not dfa.accepts("b")
+    assert dfa.step(SINK, "a") == SINK
+
+
+def test_from_partial_no_sink_when_total() -> None:
+    dfa = DFA.from_partial("a", {0}, 0, {0}, {(0, "a"): 0})
+    assert SINK not in dfa.states
+
+
+def test_to_nfa_equivalence(even_as: DFA, rng: random.Random) -> None:
+    nfa = even_as.to_nfa()
+    for length in range(5):
+        for string in itertools.product("ab", repeat=length):
+            assert nfa.accepts(string) == even_as.accepts(string)
+
+
+def test_trim_keeps_language(rng: random.Random) -> None:
+    dfa = make_random_dfa("ab", 5, rng)
+    trimmed = dfa.trim()
+    assert trimmed.states <= dfa.states
+    for length in range(5):
+        for string in itertools.product("ab", repeat=length):
+            assert trimmed.accepts(string) == dfa.accepts(string)
+
+
+def test_renamed(even_as: DFA) -> None:
+    renamed = even_as.renamed("p")
+    for length in range(4):
+        for string in itertools.product("ab", repeat=length):
+            assert renamed.accepts(string) == even_as.accepts(string)
+
+
+def test_accepts_everything_and_is_empty() -> None:
+    all_dfa = DFA("a", {0}, 0, {0}, {(0, "a"): 0})
+    assert all_dfa.accepts_everything()
+    assert not all_dfa.is_empty()
+    none_dfa = DFA("a", {0}, 0, set(), {(0, "a"): 0})
+    assert none_dfa.is_empty()
+    assert not none_dfa.accepts_everything()
+
+
+def test_unknown_state_in_delta_rejected() -> None:
+    with pytest.raises(InvalidAutomatonError):
+        DFA("a", {0}, 0, {0}, {(0, "a"): 1})

@@ -1,0 +1,133 @@
+"""Boundary cases across the stack: n = 1, unary alphabets, point masses,
+long emissions, empty outputs."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.markov.builders import iid, uniform_iid
+from repro.markov.sequence import MarkovSequence
+from repro.automata.nfa import NFA
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer, identity_mealy
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.indexed import confidence_indexed
+from repro.confidence.sprojector import confidence_sprojector
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
+from repro.enumeration.unranked import enumerate_unranked
+from repro.core.engine import evaluate
+
+
+def test_length_one_sequence_all_paths() -> None:
+    mu = iid({"a": Fraction(2, 3), "b": Fraction(1, 3)}, 1)
+    query = identity_mealy("ab")
+    assert set(enumerate_unranked(mu, query)) == {("a",), ("b",)}
+    assert confidence_deterministic(mu, query, ("a",)) == Fraction(2, 3)
+    ranked = list(enumerate_emax(mu, query))
+    assert ranked[0] == (Fraction(2, 3), ("a",))
+
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a", "ab"), sigma_star("ab")
+    )
+    assert confidence_sprojector(mu, projector, ("a",)) == Fraction(2, 3)
+    indexed = list(enumerate_indexed_ranked(mu, projector))
+    assert (Fraction(2, 3), (("a",), 1)) in indexed
+
+
+def test_unary_alphabet() -> None:
+    mu = uniform_iid("a", 4, exact=True)
+    query = identity_mealy("a")
+    assert list(enumerate_unranked(mu, query)) == [("a",) * 4]
+    assert confidence_deterministic(mu, query, ("a",) * 4) == 1
+
+
+def test_point_mass_sequence() -> None:
+    mu = MarkovSequence(
+        "ab",
+        {"a": 1},
+        [{"a": {"b": 1}, "b": {"a": 1}}, {"a": {"b": 1}, "b": {"a": 1}}],
+    )
+    assert mu.support_size() == 1
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    answers = list(evaluate(mu, query, order="emax"))
+    assert len(answers) == 1
+    assert answers[0].output == ("X", "Y", "X")
+    assert answers[0].confidence == 1
+
+
+def test_emission_longer_than_sequence_output() -> None:
+    """One transition emitting three symbols; answers of length 3n."""
+    nfa = NFA("a", {0}, 0, {0}, {(0, "a"): {0}})
+    query = Transducer(nfa, {(0, "a", 0): ("x", "y", "z")})
+    mu = uniform_iid("a", 2, exact=True)
+    assert confidence_deterministic(mu, query, ("x", "y", "z") * 2) == 1
+    assert confidence_deterministic(mu, query, ("x", "y")) == 0
+    assert set(enumerate_unranked(mu, query)) == {("x", "y", "z") * 2}
+
+
+def test_all_empty_emissions_single_epsilon_answer() -> None:
+    from repro.transducers.library import accept_filter
+
+    mu = uniform_iid("ab", 3, exact=True)
+    query = accept_filter(regex_to_dfa(".*", "ab"))
+    answers = list(evaluate(mu, query, order="emax"))
+    assert len(answers) == 1
+    assert answers[0].output == ()
+    assert answers[0].confidence == 1
+    # E_max of the epsilon answer is the modal world's probability.
+    assert answers[0].score == Fraction(1, 8)
+
+
+def test_indexed_projector_whole_string_match() -> None:
+    mu = uniform_iid("ab", 3, exact=True)
+    projector = SProjector(
+        regex_to_dfa("", "ab"),  # empty prefix only
+        regex_to_dfa("[ab]{3}", "ab"),  # whole string
+        regex_to_dfa("", "ab"),  # empty suffix only
+    )
+    indexed = dict(
+        (answer, conf) for conf, answer in enumerate_indexed_ranked(mu, projector)
+    )
+    assert len(indexed) == 8
+    for (output, position), conf in indexed.items():
+        assert position == 1 and len(output) == 3
+        assert conf == Fraction(1, 8)
+
+
+def test_indexed_confidence_position_boundaries() -> None:
+    mu = uniform_iid("ab", 3, exact=True)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("b", "ab"), sigma_star("ab")
+    )
+    for position in (1, 2, 3):
+        assert confidence_indexed(mu, projector, ("b",), position) == Fraction(1, 2)
+    assert confidence_indexed(mu, projector, ("b",), 4) == 0
+
+
+def test_selective_transducer_rejecting_everything() -> None:
+    from repro.transducers.library import accept_filter
+
+    mu = uniform_iid("ab", 2)
+    query = accept_filter(regex_to_dfa("aaa", "ab"))
+    assert list(evaluate(mu, query)) == []
+    assert list(enumerate_emax(mu, query)) == []
+
+
+def test_brute_force_matches_on_every_edge_case() -> None:
+    cases = [
+        (uniform_iid("a", 1, exact=True), identity_mealy("a")),
+        (uniform_iid("ab", 1, exact=True), collapse_transducer({"a": "X", "b": "X"})),
+    ]
+    for mu, query in cases:
+        bf = brute_force_answers(mu, query)
+        assert set(enumerate_unranked(mu, query)) == set(bf)
+        for answer, conf in bf.items():
+            assert confidence_deterministic(mu, query, answer) == conf

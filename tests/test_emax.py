@@ -1,0 +1,84 @@
+"""Theorem 4.3: ranked enumeration by decreasing E_max."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.confidence.brute_force import brute_force_answers, brute_force_emax
+from repro.enumeration.emax import enumerate_emax, top_answer_emax
+from repro.transducers.library import collapse_transducer
+
+from tests.conftest import (
+    make_random_deterministic_transducer,
+    make_random_uniform_transducer,
+    make_sequence,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 4))
+def test_scores_and_order_match_brute_force(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    expected = brute_force_emax(sequence, transducer)
+    results = list(enumerate_emax(sequence, transducer))
+    produced = [answer for _s, answer in results]
+    assert len(produced) == len(set(produced))
+    assert set(produced) == set(expected)
+    for score, answer in results:
+        assert math.isclose(score, expected[answer], abs_tol=1e-9)
+    scores = [s for s, _a in results]
+    assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_nondeterministic_transducers_supported(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 3, rng)
+    transducer = make_random_uniform_transducer("ab", 2, rng, k=1)
+    expected = brute_force_emax(sequence, transducer)
+    results = list(enumerate_emax(sequence, transducer))
+    assert {a for _s, a in results} == set(expected)
+    for score, answer in results:
+        assert math.isclose(score, expected[answer], abs_tol=1e-9)
+
+
+def test_top_answer_emax() -> None:
+    rng = random.Random(12)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    expected = brute_force_emax(sequence, transducer)
+    found = top_answer_emax(sequence, transducer)
+    if expected:
+        score, _answer = found
+        assert math.isclose(score, max(expected.values()), abs_tol=1e-9)
+    else:
+        assert found is None
+
+
+def test_lazy_top_k_does_not_exhaust_answer_space() -> None:
+    sequence = uniform_iid("ab", 14, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    iterator = enumerate_emax(sequence, transducer)
+    top = [next(iterator) for _ in range(3)]
+    assert len(top) == 3
+    # With a uniform sequence every answer has E_max 2^-14.
+    assert all(score == top[0][0] for score, _a in top)
+
+
+def test_emax_equals_confidence_for_injective_queries() -> None:
+    """When worlds map injectively to answers, E_max == conf."""
+    rng = random.Random(3)
+    sequence = make_sequence("ab", 4, rng)
+    from repro.transducers.library import identity_mealy
+
+    transducer = identity_mealy("ab")
+    confidences = brute_force_answers(sequence, transducer)
+    for score, answer in enumerate_emax(sequence, transducer):
+        assert math.isclose(score, confidences[answer], abs_tol=1e-12)

@@ -1,0 +1,181 @@
+"""The core evaluation facade: dispatch, orders, refusals."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer, identity_mealy
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers
+from repro.core.engine import compute_confidence, evaluate, top_k
+from repro.core.results import Answer, Order
+
+from tests.conftest import make_sequence
+
+ALPHABET = "ab"
+
+
+def simple_projector() -> SProjector:
+    return SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    )
+
+
+def test_compute_confidence_dispatch() -> None:
+    rng = random.Random(1)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = simple_projector()
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+
+    bf_t = brute_force_answers(sequence, transducer)
+    for output, confidence in bf_t.items():
+        assert math.isclose(
+            compute_confidence(sequence, transducer, output), confidence, abs_tol=1e-9
+        )
+    bf_p = brute_force_answers(sequence, projector)
+    for output, confidence in bf_p.items():
+        assert math.isclose(
+            compute_confidence(sequence, projector, output), confidence, abs_tol=1e-9
+        )
+    bf_i = brute_force_answers(sequence, indexed)
+    for answer, confidence in bf_i.items():
+        assert math.isclose(
+            compute_confidence(sequence, indexed, answer), confidence, abs_tol=1e-9
+        )
+
+
+def test_compute_confidence_nondeterministic_gate() -> None:
+    # Non-uniform nondeterministic transducer: refused without opt-in.
+    nfa = NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}})
+    transducer = Transducer(nfa, {(0, "a", 1): ("x", "y")})
+    sequence = uniform_iid("a", 2, exact=True)
+    with pytest.raises(ReproError):
+        compute_confidence(sequence, transducer, ("x", "y"), allow_exponential=False)
+    # With opt-in, the brute-force oracle runs: the single world "aa" has a
+    # run 0 -> 0 -> 1 whose second step emits ("x", "y").
+    assert compute_confidence(sequence, transducer, ("x", "y")) == 1
+
+
+def test_unranked_order_all_query_types() -> None:
+    rng = random.Random(2)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    projector = simple_projector()
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    transducer = identity_mealy(ALPHABET)
+
+    for query in (transducer, projector, indexed):
+        expected = brute_force_answers(sequence, query)
+        answers = list(evaluate(sequence, query, order=Order.UNRANKED))
+        assert {a.output for a in answers} == set(expected)
+        for a in answers:
+            assert math.isclose(a.confidence, expected[a.output], abs_tol=1e-9)
+            assert a.order is Order.UNRANKED
+            assert a.score is None
+
+
+def test_emax_order_accepts_string_name() -> None:
+    rng = random.Random(3)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    answers = list(evaluate(sequence, transducer, order="emax"))
+    scores = [a.score for a in answers]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_emax_order_indexed_projector_via_compilation() -> None:
+    rng = random.Random(4)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    projector = simple_projector()
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    expected = brute_force_answers(sequence, indexed)
+    answers = list(evaluate(sequence, indexed, order="emax"))
+    assert {a.output for a in answers} == set(expected)
+    for a in answers:
+        assert math.isclose(a.confidence, expected[a.output], abs_tol=1e-9)
+
+
+def test_imax_order_requires_plain_sprojector() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    projector = simple_projector()
+    answers = list(evaluate(sequence, projector, order="imax"))
+    assert answers  # runs fine
+    with pytest.raises(ReproError):
+        list(evaluate(sequence, identity_mealy(ALPHABET), order="imax"))
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    with pytest.raises(ReproError):
+        list(evaluate(sequence, indexed, order="imax"))
+
+
+def test_confidence_order_native_only_for_indexed() -> None:
+    rng = random.Random(6)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    projector = simple_projector()
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    ranked = list(evaluate(sequence, indexed, order="confidence"))
+    confidences = [a.confidence for a in ranked]
+    assert confidences == sorted(confidences, reverse=True)
+    with pytest.raises(ReproError):
+        list(evaluate(sequence, identity_mealy(ALPHABET), order="confidence"))
+
+
+def test_confidence_order_brute_force_optin() -> None:
+    rng = random.Random(7)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    expected = brute_force_answers(sequence, transducer)
+    ranked = list(
+        evaluate(sequence, transducer, order="confidence", allow_exponential=True)
+    )
+    assert {a.output for a in ranked} == set(expected)
+    confidences = [a.confidence for a in ranked]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_limit_is_top_k() -> None:
+    rng = random.Random(8)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    limited = list(evaluate(sequence, transducer, order="emax", limit=2))
+    assert len(limited) == 2
+
+
+def test_top_k_defaults_per_class() -> None:
+    rng = random.Random(9)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    projector = simple_projector()
+    indexed = IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    assert all(a.order is Order.EMAX for a in top_k(sequence, identity_mealy(ALPHABET), 2))
+    assert all(a.order is Order.IMAX for a in top_k(sequence, projector, 2))
+    assert all(a.order is Order.CONFIDENCE for a in top_k(sequence, indexed, 2))
+
+
+def test_with_confidence_false_skips_computation() -> None:
+    rng = random.Random(10)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    answers = list(
+        evaluate(sequence, identity_mealy(ALPHABET), order="emax", with_confidence=False)
+    )
+    assert all(a.confidence is None for a in answers)
+
+
+def test_rendered() -> None:
+    assert Answer(("1", "2"), None, None, Order.UNRANKED).rendered() == "12"
+    assert Answer((), None, None, Order.UNRANKED).rendered() == "ε"
+    assert Answer((("a",), 3), None, None, Order.CONFIDENCE).rendered() == "(a, 3)"
+
+
+def test_unsupported_query_type() -> None:
+    sequence = uniform_iid(ALPHABET, 2)
+    with pytest.raises(TypeError):
+        compute_confidence(sequence, object(), ())

@@ -1,0 +1,105 @@
+"""The engine's min_confidence parameter across orders."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.core.engine import evaluate
+
+from tests.conftest import make_sequence
+
+ALPHABET = "ab"
+
+
+def expected_above(sequence, query, theta):
+    return {
+        answer: confidence
+        for answer, confidence in brute_force_answers(sequence, query).items()
+        if confidence >= theta - 1e-12
+    }
+
+
+@pytest.mark.parametrize("order", ["unranked", "emax"])
+def test_threshold_transducer_orders(order: str) -> None:
+    rng = random.Random(6)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    all_confidences = brute_force_answers(sequence, query)
+    theta = sorted(all_confidences.values())[len(all_confidences) * 3 // 4]
+    produced = {
+        a.output: a.confidence
+        for a in evaluate(sequence, query, order=order, min_confidence=theta)
+    }
+    want = expected_above(sequence, query, theta)
+    assert set(produced) == set(want)
+    for output, confidence in produced.items():
+        assert math.isclose(confidence, want[output], abs_tol=1e-9)
+
+
+def test_threshold_confidence_order_indexed() -> None:
+    rng = random.Random(8)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    projector = IndexedSProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    )
+    confidences = brute_force_answers(sequence, projector)
+    theta = sorted(confidences.values())[len(confidences) // 2]
+    produced = {
+        a.output: a.confidence
+        for a in evaluate(
+            sequence, projector, order="confidence", min_confidence=theta
+        )
+    }
+    want = expected_above(sequence, projector, theta)
+    assert set(produced) == set(want)
+
+
+def test_threshold_imax_order() -> None:
+    rng = random.Random(9)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    projector = SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    )
+    confidences = brute_force_answers(sequence, projector)
+    theta = sorted(confidences.values())[len(confidences) // 2]
+    produced = {
+        a.output
+        for a in evaluate(sequence, projector, order="imax", min_confidence=theta)
+    }
+    want = set(expected_above(sequence, projector, theta))
+    assert produced == want
+
+
+def test_threshold_with_limit() -> None:
+    rng = random.Random(10)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    answers = list(
+        evaluate(sequence, query, order="emax", min_confidence=0.0001, limit=2)
+    )
+    assert len(answers) <= 2
+
+
+def test_threshold_requires_confidence() -> None:
+    rng = random.Random(11)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    with pytest.raises(ReproError):
+        list(
+            evaluate(
+                sequence,
+                query,
+                order="emax",
+                with_confidence=False,
+                min_confidence=0.5,
+            )
+        )

@@ -1,0 +1,117 @@
+"""Estimating Markov sequences from trajectories."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidMarkovSequenceError
+from repro.markov.builders import iid, random_sequence
+from repro.markov.estimation import empirical_distribution, estimate_from_worlds
+
+
+def test_exact_recovery_from_full_support() -> None:
+    """Feeding the exact world distribution recovers the sequence."""
+    sequence = iid({"a": Fraction(1, 4), "b": Fraction(3, 4)}, 3)
+    weighted = dict(sequence.worlds())
+    estimated = empirical_distribution(weighted)
+    for world, prob in sequence.worlds():
+        assert estimated.prob_of(world) == prob
+
+
+def test_empirical_distribution_of_markov_data_random() -> None:
+    rng = random.Random(4)
+    sequence = random_sequence("ab", 4, rng)
+    estimated = empirical_distribution(dict(sequence.worlds()))
+    for world, prob in sequence.worlds():
+        assert math.isclose(float(estimated.prob_of(world)), prob, abs_tol=1e-9)
+
+
+def test_empirical_projection_of_non_markov_data() -> None:
+    """A non-Markov distribution projects to matching pairwise marginals."""
+    # Worlds of length 3 with long-range dependence: first == last.
+    weighted = {
+        ("a", "a", "a"): Fraction(1, 4),
+        ("a", "b", "a"): Fraction(1, 4),
+        ("b", "a", "b"): Fraction(1, 4),
+        ("b", "b", "b"): Fraction(1, 4),
+    }
+    estimated = empirical_distribution(weighted)
+    # Pairwise marginals at each boundary must match exactly...
+    for i in (1, 2):
+        for s in "ab":
+            for t in "ab":
+                want = sum(
+                    w for world, w in weighted.items() if world[i - 1] == s and world[i] == t
+                )
+                got = sum(
+                    estimated.prob_of(world) * 1
+                    for world in (
+                        ("a", "a", "a"), ("a", "a", "b"), ("a", "b", "a"), ("a", "b", "b"),
+                        ("b", "a", "a"), ("b", "a", "b"), ("b", "b", "a"), ("b", "b", "b"),
+                    )
+                    if world[i - 1] == s and world[i] == t
+                )
+                assert got == want
+    # ...but the long-range constraint is (necessarily) lost.
+    assert estimated.prob_of(("a", "a", "b")) > 0
+
+
+def test_estimate_from_samples_consistency() -> None:
+    """MLE from many samples approaches the true transition rows."""
+    rng = random.Random(7)
+    truth = random_sequence("ab", 3, rng)
+    samples = [truth.sample(rng) for _ in range(6000)]
+    estimated = estimate_from_worlds(samples, symbols="ab", exact=False)
+    for source in "ab":
+        truth_row = dict(truth.successors(1, source))
+        est_row = dict(estimated.successors(1, source))
+        for target, prob in truth_row.items():
+            assert abs(est_row.get(target, 0.0) - prob) < 0.06, (source, target)
+
+
+def test_estimate_exact_fractions() -> None:
+    worlds = [("a", "b"), ("a", "a"), ("b", "b"), ("a", "b")]
+    estimated = estimate_from_worlds(worlds)
+    assert estimated.initial_prob("a") == Fraction(3, 4)
+    assert estimated.transition_prob(1, "a", "b") == Fraction(2, 3)
+
+
+def test_smoothing_keeps_all_transitions_possible() -> None:
+    worlds = [("a", "a")] * 5
+    estimated = estimate_from_worlds(worlds, symbols="ab", smoothing=Fraction(1))
+    assert estimated.transition_prob(1, "a", "b") > 0
+    assert estimated.initial_prob("b") > 0
+
+
+def test_validation() -> None:
+    with pytest.raises(InvalidMarkovSequenceError):
+        estimate_from_worlds([])
+    with pytest.raises(InvalidMarkovSequenceError):
+        estimate_from_worlds([("a",), ("a", "b")])
+    with pytest.raises(InvalidMarkovSequenceError):
+        estimate_from_worlds([("z",)], symbols="ab")
+    with pytest.raises(InvalidMarkovSequenceError):
+        empirical_distribution({})
+    with pytest.raises(InvalidMarkovSequenceError):
+        empirical_distribution({("a",): 0})
+
+
+def test_roundtrip_sampling_estimation_querying() -> None:
+    """samples → estimate → query: confidences near the truth."""
+    from repro.transducers.library import collapse_transducer
+    from repro.confidence.deterministic import confidence_deterministic
+
+    rng = random.Random(10)
+    truth = random_sequence("ab", 3, rng)
+    samples = [truth.sample(rng) for _ in range(8000)]
+    estimated = estimate_from_worlds(samples, symbols="ab", exact=False)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    for world, prob in truth.worlds():
+        answer = query.transduce_deterministic(world)
+        true_conf = confidence_deterministic(truth, query, answer)
+        est_conf = confidence_deterministic(estimated, query, answer)
+        assert abs(float(est_conf) - float(true_conf)) < 0.08

@@ -1,0 +1,100 @@
+"""Evidence ranking / lineage-style explanations."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.transducers.library import collapse_transducer
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.evidence import (
+    best_evidence_for_answer,
+    enumerate_evidences,
+    explain,
+)
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+def brute_evidences(sequence, transducer, answer):
+    return sorted(
+        (
+            (prob, world)
+            for world, prob in sequence.worlds()
+            if tuple(answer) in transducer.transduce(world)
+        ),
+        key=lambda item: -item[0],
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_enumerate_evidences_matches_brute(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    answers = brute_force_answers(sequence, transducer)
+    for answer in list(answers)[:3]:
+        expected = brute_evidences(sequence, transducer, answer)
+        produced = list(enumerate_evidences(sequence, transducer, answer))
+        assert len(produced) == len(expected)
+        # Same worlds, decreasing probabilities.
+        assert {w for _p, w in produced} == {w for _p, w in expected}
+        probs = [p for p, _w in produced]
+        assert all(probs[i] >= probs[i + 1] - 1e-12 for i in range(len(probs) - 1))
+        for got, want in zip(probs, [p for p, _w in expected]):
+            assert math.isclose(got, want, abs_tol=1e-12)
+
+
+def test_probabilities_sum_to_confidence() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    answers = brute_force_answers(sequence, transducer)
+    for answer, confidence in list(answers.items())[:4]:
+        total = sum(p for p, _w in enumerate_evidences(sequence, transducer, answer))
+        assert math.isclose(total, confidence, abs_tol=1e-9)
+
+
+def test_first_evidence_is_emax() -> None:
+    rng = random.Random(7)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    from repro.confidence.brute_force import brute_force_emax
+
+    emax = brute_force_emax(sequence, transducer)
+    for answer in list(emax)[:4]:
+        found = best_evidence_for_answer(sequence, transducer, answer)
+        assert found is not None
+        score, world = found
+        assert math.isclose(score, emax[answer], abs_tol=1e-12)
+        assert tuple(answer) in transducer.transduce(world)
+
+
+def test_explain_truncates_and_orders() -> None:
+    sequence = uniform_iid("ab", 5, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "X"})  # one answer, 32 evidences
+    top = explain(sequence, transducer, ("X",) * 5, k=4)
+    assert len(top) == 4
+    assert all(p == top[0][0] for p, _w in top)  # uniform: all evidences equal
+
+
+def test_nondeterministic_evidences() -> None:
+    """A world counts once even with several accepting runs emitting o."""
+    nfa = NFA("a", {0, 1, 2}, 0, {1, 2}, {(0, "a"): {1, 2}})
+    transducer = Transducer(nfa, {(0, "a", 1): ("x",), (0, "a", 2): ("x",)})
+    sequence = uniform_iid("a", 1, exact=True)
+    evidences = list(enumerate_evidences(sequence, transducer, ("x",)))
+    assert evidences == [(1, ("a",))]
+
+
+def test_no_evidence_for_non_answer() -> None:
+    sequence = uniform_iid("ab", 3)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert list(enumerate_evidences(sequence, transducer, ("Z",) * 3)) == []
+    assert best_evidence_for_answer(sequence, transducer, ("Z",) * 3) is None

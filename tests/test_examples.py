@@ -1,0 +1,39 @@
+"""Every example script must run cleanly (they are part of the deliverable)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script: pathlib.Path, tmp_path) -> None:
+    arguments = [sys.executable, str(script)]
+    if script.name == "hospital_rfid.py":
+        arguments += ["--dot", str(tmp_path)]
+    result = subprocess.run(
+        arguments, capture_output=True, text=True, timeout=180
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+    if script.name == "hospital_rfid.py":
+        assert (tmp_path / "figure1_markov_sequence.dot").exists()
+        assert (tmp_path / "figure2_transducer.dot").exists()
+
+
+def test_examples_exist() -> None:
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "hospital_rfid.py",
+        "rfid_smoothing.py",
+        "text_extraction.py",
+        "stream_warehouse.py",
+    } <= names

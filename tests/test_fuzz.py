@@ -1,0 +1,116 @@
+"""A randomized cross-validation sweep over the full query-class matrix.
+
+Each trial draws a random small Markov sequence and a random query of one
+of the four classes, then checks every applicable algorithm against the
+possible-world oracle: confidence values, answer-set completeness, and
+order monotonicity. This complements the per-module hypothesis tests with
+whole-stack randomized coverage under one roof.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.confidence.brute_force import brute_force_answers, brute_force_emax
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.indexed import confidence_indexed
+from repro.confidence.sprojector import confidence_sprojector
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
+from repro.enumeration.sprojector_ranked import enumerate_sprojector_imax
+from repro.enumeration.unranked import enumerate_unranked
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+
+from tests.conftest import (
+    make_random_deterministic_transducer,
+    make_random_dfa,
+    make_random_uniform_transducer,
+    make_sequence,
+)
+
+
+def check_deterministic(seq, rng) -> None:
+    alpha = tuple(sorted(seq.alphabet, key=repr))
+    transducer = make_random_deterministic_transducer(alpha, rng.randint(2, 4), rng)
+    reference = brute_force_answers(seq, transducer)
+    assert set(enumerate_unranked(seq, transducer)) == set(reference)
+    for output, confidence in reference.items():
+        assert math.isclose(
+            confidence_deterministic(seq, transducer, output), confidence, abs_tol=1e-9
+        )
+    emax_reference = brute_force_emax(seq, transducer)
+    stream = list(enumerate_emax(seq, transducer))
+    assert {o for _s, o in stream} == set(emax_reference)
+    scores = [s for s, _o in stream]
+    assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+
+
+def check_uniform(seq, rng) -> None:
+    alpha = tuple(sorted(seq.alphabet, key=repr))
+    transducer = make_random_uniform_transducer(
+        alpha, rng.randint(2, 4), rng, k=rng.randint(1, 2)
+    )
+    reference = brute_force_answers(seq, transducer)
+    assert set(enumerate_unranked(seq, transducer)) == set(reference)
+    for output, confidence in reference.items():
+        assert math.isclose(
+            confidence_uniform(seq, transducer, output), confidence, abs_tol=1e-9
+        )
+
+
+def check_sprojector(seq, rng) -> None:
+    alpha = tuple(sorted(seq.alphabet, key=repr))
+    projector = SProjector(
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+    )
+    reference = brute_force_answers(seq, projector)
+    for output, confidence in reference.items():
+        assert math.isclose(
+            confidence_sprojector(seq, projector, output), confidence, abs_tol=1e-9
+        )
+    stream = list(enumerate_sprojector_imax(seq, projector))
+    assert {o for _s, o in stream} == set(reference)
+    for score, output in stream:
+        assert score <= reference[output] + 1e-9 <= seq.length * score + 1e-9
+
+
+def check_indexed(seq, rng) -> None:
+    alpha = tuple(sorted(seq.alphabet, key=repr))
+    projector = IndexedSProjector(
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+        make_random_dfa(alpha, rng.randint(1, 3), rng),
+    )
+    reference = brute_force_answers(seq, projector)
+    ranked = list(enumerate_indexed_ranked(seq, projector))
+    assert {answer for _c, answer in ranked} == set(reference)
+    for confidence, (output, index) in ranked:
+        assert math.isclose(confidence, reference[(output, index)], abs_tol=1e-9)
+        assert math.isclose(
+            confidence_indexed(seq, projector, output, index),
+            confidence,
+            abs_tol=1e-9,
+        )
+    confidences = [c for c, _a in ranked]
+    assert all(
+        confidences[i] >= confidences[i + 1] - 1e-12
+        for i in range(len(confidences) - 1)
+    )
+
+
+CHECKS = (check_deterministic, check_uniform, check_sprojector, check_indexed)
+
+
+@pytest.mark.parametrize("trial", range(40))
+def test_fuzz_matrix(trial: int) -> None:
+    rng = random.Random(990_000 + trial)
+    n = rng.randint(1, 6)
+    alphabet = "abc"[: rng.randint(2, 3)]
+    sequence = make_sequence(alphabet, n, rng, branching=rng.choice([2, None]))
+    CHECKS[trial % len(CHECKS)](sequence, rng)

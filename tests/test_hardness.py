@@ -1,0 +1,217 @@
+"""Lower-bound instance families (Theorems 4.4, 4.5, 4.9, 5.3)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.confidence.brute_force import (
+    brute_force_answers,
+    brute_force_top_answer,
+)
+from repro.confidence.sprojector import confidence_sprojector
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.emax import top_answer_emax
+from repro.enumeration.sprojector_ranked import top_answer_imax
+from repro.hardness.counting import (
+    count_dnf_models,
+    dnf_to_nfa,
+    exact_count_via_confidence,
+    nfa_counting_instance,
+    two_dnf_counting_instance,
+)
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+from repro.hardness.independent_set import occurrence_gap_instance
+from repro.hardness.max3dnf import Max3DnfInstance, random_3dnf
+from repro.automata.regex import regex_to_nfa
+
+
+class TestMealyGap:
+    def test_closed_forms_match_brute_force(self) -> None:
+        instance = mealy_gap_instance(4)
+        confidences = brute_force_answers(instance.sequence, instance.query)
+        assert confidences[instance.emax_top_answer] == instance.emax_top_confidence
+        assert confidences[instance.best_answer] == instance.best_confidence
+        top_answer, top_conf = brute_force_top_answer(instance.sequence, instance.query)
+        assert top_answer == instance.best_answer
+        assert top_conf == instance.best_confidence
+
+    def test_heuristic_picks_the_poor_answer(self) -> None:
+        instance = mealy_gap_instance(4)
+        _score, answer = top_answer_emax(instance.sequence, instance.query)
+        assert answer == instance.emax_top_answer
+
+    def test_query_is_one_state_mealy(self) -> None:
+        instance = mealy_gap_instance(3)
+        assert instance.query.is_mealy()
+        assert len(instance.query.nfa.states) == 1
+
+    def test_gap_grows_exponentially(self) -> None:
+        r3 = mealy_gap_instance(3).ratio
+        r6 = mealy_gap_instance(6).ratio
+        assert r6 == r3 * r3  # ratio = c^n exactly
+        assert r6 > r3 > 1
+
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ReproError):
+            mealy_gap_instance(3, group_size=1, heavy=Fraction(1, 10))
+
+
+class TestProjectorGap:
+    def test_closed_forms_match_brute_force(self) -> None:
+        instance = projector_gap_instance(5)
+        confidences = brute_force_answers(instance.sequence, instance.query)
+        assert confidences[instance.emax_top_answer] == instance.emax_top_confidence
+        assert confidences[instance.best_answer] == instance.best_confidence
+        top_answer, _conf = brute_force_top_answer(instance.sequence, instance.query)
+        assert top_answer == instance.best_answer
+
+    def test_heuristic_picks_all_a(self) -> None:
+        instance = projector_gap_instance(5)
+        _score, answer = top_answer_emax(instance.sequence, instance.query)
+        assert answer == instance.emax_top_answer
+
+    def test_query_is_fixed_projector_over_four_symbols(self) -> None:
+        instance = projector_gap_instance(4)
+        assert instance.query.is_projector()
+        assert instance.query.is_deterministic()
+        assert len(instance.query.input_alphabet) == 4
+        assert len(instance.query.nfa.states) == 1
+
+
+class TestAmplification:
+    def test_amplification_squares_the_gap(self) -> None:
+        base = mealy_gap_instance(2)
+        doubled = amplified_gap_instance(base, 2)
+        assert doubled.ratio == base.ratio**2
+        assert doubled.sequence.length == 2 * base.sequence.length
+
+    def test_amplified_closed_forms_match_brute_force(self) -> None:
+        base = mealy_gap_instance(2)
+        doubled = amplified_gap_instance(base, 2)
+        confidences = brute_force_answers(doubled.sequence, doubled.query)
+        assert confidences[doubled.emax_top_answer] == doubled.emax_top_confidence
+        assert confidences[doubled.best_answer] == doubled.best_confidence
+
+    def test_requires_positive_copies(self) -> None:
+        with pytest.raises(ReproError):
+            amplified_gap_instance(mealy_gap_instance(2), 0)
+
+
+class TestCounting:
+    def test_nfa_counting_instance_counts_language_words(self) -> None:
+        nfa = regex_to_nfa("(ab)*|a*", "ab")
+        for n in (1, 2, 3, 4):
+            instance = nfa_counting_instance(nfa, n)
+            assert instance.transducer.uniformity() == 1
+            assert not instance.transducer.is_selective()
+            confidence = confidence_uniform(
+                instance.sequence, instance.transducer, instance.answer
+            )
+            expected = sum(
+                1
+                for word in __import__("itertools").product("ab", repeat=n)
+                if nfa.accepts(word)
+            )
+            assert exact_count_via_confidence(instance, confidence) == expected
+
+    def test_empty_language_counts_zero(self) -> None:
+        nfa = regex_to_nfa("aaa", "ab")
+        instance = nfa_counting_instance(nfa, 2)
+        confidence = confidence_uniform(
+            instance.sequence, instance.transducer, instance.answer
+        )
+        assert exact_count_via_confidence(instance, confidence) == 0
+
+    def test_dnf_to_nfa_language_is_model_set(self) -> None:
+        clauses = [(1, 2), (2, 1)]
+        nfa = dnf_to_nfa(clauses, 2, 2)
+        count = 0
+        for bits in __import__("itertools").product("01", repeat=4):
+            accepted = nfa.accepts(bits)
+            modeled = any(
+                bits[i - 1] == "1" and bits[2 + j - 1] == "1" for i, j in clauses
+            )
+            assert accepted == modeled
+            count += accepted
+        assert count == count_dnf_models(clauses, 2, 2)
+
+    def test_end_to_end_2dnf_chain(self) -> None:
+        rng = random.Random(13)
+        for _ in range(3):
+            nx, ny = 2, 2
+            clauses = [
+                (rng.randint(1, nx), rng.randint(1, ny))
+                for _ in range(rng.randint(1, 3))
+            ]
+            instance = two_dnf_counting_instance(clauses, nx, ny)
+            confidence = confidence_uniform(
+                instance.sequence, instance.transducer, instance.answer
+            )
+            assert exact_count_via_confidence(instance, confidence) == count_dnf_models(
+                clauses, nx, ny
+            )
+
+    def test_clause_range_validation(self) -> None:
+        with pytest.raises(ReproError):
+            dnf_to_nfa([(3, 1)], 2, 2)
+
+
+class TestMax3Dnf:
+    def test_optimum_and_greedy(self) -> None:
+        rng = random.Random(5)
+        for _ in range(5):
+            instance = random_3dnf(5, 6, rng)
+            best, assignment = instance.optimum()
+            assert instance.num_satisfied(assignment) == best
+            greedy_count, greedy_assignment = instance.greedy()
+            assert instance.num_satisfied(greedy_assignment) == greedy_count
+            assert greedy_count <= best
+
+    def test_validation(self) -> None:
+        with pytest.raises(ReproError):
+            Max3DnfInstance(2, (((0, True), (1, True), (5, False)),))
+
+    def test_known_formula(self) -> None:
+        # (x0 & x1 & x2): satisfied by exactly the all-true assignment.
+        instance = Max3DnfInstance(3, (((0, True), (1, True), (2, True)),))
+        best, assignment = instance.optimum()
+        assert best == 1
+        assert assignment == (True, True, True)
+
+
+class TestOccurrenceGap:
+    def test_imax_vs_confidence_ratio_grows_with_n(self) -> None:
+        ratios = []
+        for n in (4, 8, 12):
+            instance = occurrence_gap_instance(n)
+            conf = confidence_sprojector(
+                instance.sequence, instance.projector, instance.answer
+            )
+            score, answer = top_answer_imax(instance.sequence, instance.projector)
+            assert answer == instance.answer
+            ratios.append(conf / score)
+        assert ratios[0] < ratios[1] < ratios[2]
+        # Ratio approaches n - 1 for small match probability.
+        assert ratios[2] > 8
+
+    def test_sandwich_still_holds(self) -> None:
+        instance = occurrence_gap_instance(6)
+        conf = confidence_sprojector(
+            instance.sequence, instance.projector, instance.answer
+        )
+        score, _answer = top_answer_imax(instance.sequence, instance.projector)
+        assert score <= conf <= instance.n * score
+
+    def test_validation(self) -> None:
+        with pytest.raises(ReproError):
+            occurrence_gap_instance(1)
+        with pytest.raises(ReproError):
+            occurrence_gap_instance(5, match_prob=Fraction(3, 4))

@@ -1,0 +1,174 @@
+"""HMMs and the HMM → Markov-sequence translation (experiment X1)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidDistributionError, InvalidMarkovSequenceError
+from repro.markov.hmm import HMM
+
+
+def make_weather_hmm() -> HMM:
+    return HMM(
+        initial={"H": 0.6, "C": 0.4},
+        transition={"H": {"H": 0.7, "C": 0.3}, "C": {"H": 0.4, "C": 0.6}},
+        emission={
+            "H": {"1": 0.1, "2": 0.4, "3": 0.5},
+            "C": {"1": 0.5, "2": 0.4, "3": 0.1},
+        },
+    )
+
+
+def make_random_hmm(rng: random.Random, num_states: int = 3, num_obs: int = 2) -> HMM:
+    states = [f"s{i}" for i in range(num_states)]
+    observations = [f"o{i}" for i in range(num_obs)]
+
+    def row(keys):
+        weights = [rng.random() + 0.05 for _ in keys]
+        total = sum(weights)
+        values = {k: w / total for k, w in zip(keys, weights)}
+        top = max(values, key=values.get)
+        values[top] += 1.0 - sum(values.values())
+        return values
+
+    return HMM(
+        initial=row(states),
+        transition={s: row(states) for s in states},
+        emission={s: row(observations) for s in states},
+    )
+
+
+def brute_joint(hmm: HMM, hidden, observations) -> float:
+    prob = hmm.initial.get(hidden[0], 0.0) * hmm.emission[hidden[0]].get(
+        observations[0], 0.0
+    )
+    for i in range(1, len(observations)):
+        prob *= hmm.transition[hidden[i - 1]].get(hidden[i], 0.0)
+        prob *= hmm.emission[hidden[i]].get(observations[i], 0.0)
+    return prob
+
+
+def test_forward_likelihood_matches_brute() -> None:
+    hmm = make_weather_hmm()
+    obs = ("3", "1", "2")
+    brute = sum(
+        brute_joint(hmm, hidden, obs)
+        for hidden in itertools.product(hmm.states, repeat=len(obs))
+    )
+    assert math.isclose(math.exp(hmm.log_likelihood(obs)), brute)
+
+
+def test_forward_alphas_are_filtering_distributions() -> None:
+    hmm = make_weather_hmm()
+    alphas, _ = hmm.forward(("3", "1"))
+    for level in alphas:
+        assert math.isclose(sum(level.values()), 1.0)
+
+
+def test_posterior_marginals_match_brute() -> None:
+    hmm = make_weather_hmm()
+    obs = ("3", "1", "3")
+    marginals = hmm.posterior_marginals(obs)
+    total = sum(
+        brute_joint(hmm, hidden, obs)
+        for hidden in itertools.product(hmm.states, repeat=3)
+    )
+    for position in range(3):
+        for state in hmm.states:
+            brute = (
+                sum(
+                    brute_joint(hmm, hidden, obs)
+                    for hidden in itertools.product(hmm.states, repeat=3)
+                    if hidden[position] == state
+                )
+                / total
+            )
+            assert math.isclose(marginals[position][state], brute, abs_tol=1e-9)
+
+
+def test_viterbi_matches_brute() -> None:
+    hmm = make_weather_hmm()
+    obs = ("3", "1", "3", "2")
+    path, log_score = hmm.viterbi(obs)
+    best = max(
+        itertools.product(hmm.states, repeat=len(obs)),
+        key=lambda hidden: brute_joint(hmm, hidden, obs),
+    )
+    assert path == best
+    assert math.isclose(math.exp(log_score), brute_joint(hmm, best, obs))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 4))
+def test_translation_reproduces_posterior(seed: int, length: int) -> None:
+    """The core claim of experiment X1: mu.prob_of(h) == Pr(h | obs)."""
+    rng = random.Random(seed)
+    hmm = make_random_hmm(rng)
+    _hidden, obs = hmm.sample(length, rng)
+    mu = hmm.to_markov_sequence(obs)
+    total = sum(
+        brute_joint(hmm, hidden, obs)
+        for hidden in itertools.product(hmm.states, repeat=length)
+    )
+    assert total > 0
+    for hidden in itertools.product(hmm.states, repeat=length):
+        posterior = brute_joint(hmm, hidden, obs) / total
+        assert math.isclose(mu.prob_of(hidden), posterior, abs_tol=1e-9)
+
+
+def test_translation_is_a_valid_markov_sequence() -> None:
+    hmm = make_weather_hmm()
+    mu = hmm.to_markov_sequence(("1", "3", "2", "2"))
+    assert math.isclose(sum(p for _w, p in mu.worlds()), 1.0, abs_tol=1e-9)
+
+
+def test_zero_likelihood_observation_rejected() -> None:
+    hmm = HMM(
+        initial={"s": 1.0},
+        transition={"s": {"s": 1.0}},
+        emission={"s": {"x": 1.0, "y": 0.0}},
+    )
+    with pytest.raises(InvalidMarkovSequenceError):
+        hmm.to_markov_sequence(("y",))
+    assert hmm.log_likelihood(("y",)) == -math.inf
+
+
+def test_empty_observations_rejected() -> None:
+    hmm = make_weather_hmm()
+    with pytest.raises(InvalidMarkovSequenceError):
+        hmm.forward(())
+
+
+def test_invalid_rows_rejected() -> None:
+    with pytest.raises(InvalidDistributionError):
+        HMM(
+            initial={"s": 0.5},
+            transition={"s": {"s": 1.0}},
+            emission={"s": {"x": 1.0}},
+        )
+    with pytest.raises(InvalidDistributionError):
+        HMM(
+            initial={"s": 1.0},
+            transition={"s": {"s": 0.7}},
+            emission={"s": {"x": 1.0}},
+        )
+    with pytest.raises(InvalidDistributionError):
+        HMM(
+            initial={"s": 1.0},
+            transition={"s": {"s": 1.0}},
+            emission={},
+        )
+
+
+def test_sample_shapes() -> None:
+    hmm = make_weather_hmm()
+    rng = random.Random(7)
+    hidden, observed = hmm.sample(5, rng)
+    assert len(hidden) == len(observed) == 5
+    assert set(hidden) <= set(hmm.states)
+    assert set(observed) <= set(hmm.observations)

@@ -1,0 +1,101 @@
+"""Theorem 5.7: exact decreasing-confidence enumeration for indexed s-projectors."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.operations import empty_string_only, sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.indexed_ranked import (
+    build_answer_dag,
+    enumerate_indexed_ranked,
+    top_answer_indexed,
+)
+
+from tests.conftest import make_random_dfa, make_sequence
+
+ALPHABET = "abc"
+
+
+def random_projector(rng: random.Random) -> IndexedSProjector:
+    return IndexedSProjector(
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_complete_correct_and_sorted(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, length, rng)
+    projector = random_projector(rng)
+    expected = brute_force_answers(sequence, projector)
+    produced = list(enumerate_indexed_ranked(sequence, projector))
+    answers = [answer for _c, answer in produced]
+    assert len(answers) == len(set(answers))
+    assert set(answers) == set(expected)
+    for confidence, answer in produced:
+        assert math.isclose(confidence, expected[answer], abs_tol=1e-9), answer
+    confidences = [c for c, _a in produced]
+    assert all(
+        confidences[i] >= confidences[i + 1] - 1e-12
+        for i in range(len(confidences) - 1)
+    )
+
+
+def test_empty_match_answers_included() -> None:
+    sequence = uniform_iid("ab", 2, exact=True)
+    projector = SProjector(
+        regex_to_dfa("a*", "ab"), empty_string_only("ab"), regex_to_dfa("b*", "ab")
+    )
+    produced = dict(
+        (answer, confidence)
+        for confidence, answer in enumerate_indexed_ranked(sequence, projector)
+    )
+    expected = brute_force_answers(sequence, projector.indexed())
+    assert produced == expected
+    assert ((), 1) in produced and ((), 3) in produced
+
+
+def test_top_answer_indexed() -> None:
+    rng = random.Random(8)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    expected = brute_force_answers(sequence, projector)
+    found = top_answer_indexed(sequence, projector)
+    if not expected:
+        assert found is None
+    else:
+        confidence, _answer = found
+        assert math.isclose(confidence, max(expected.values()), abs_tol=1e-9)
+
+
+def test_lazy_top_k_on_large_instance() -> None:
+    """n = 40 has a huge answer space; top-3 must come out fast."""
+    sequence = uniform_iid("ab", 40)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a+", "ab"), sigma_star("ab")
+    )
+    iterator = enumerate_indexed_ranked(sequence, projector)
+    top = [next(iterator) for _ in range(3)]
+    assert len(top) == 3
+    assert top[0][0] >= top[1][0] >= top[2][0]
+    # Top answers are single-'a' occurrences with confidence 1/2 each.
+    assert math.isclose(top[0][0], 0.5, abs_tol=1e-9)
+
+
+def test_dag_structure_is_layered() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    dag = build_answer_dag(sequence, projector)
+    dag.topological_order()  # must be acyclic
+    assert dag.num_nodes >= 2

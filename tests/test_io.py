@@ -1,0 +1,117 @@
+"""JSON serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.markov.builders import random_sequence
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.io.json_format import (
+    dumps_query,
+    dumps_sequence,
+    loads_query,
+    loads_sequence,
+    read_query,
+    read_sequence,
+    write_query,
+    write_sequence,
+)
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.confidence.deterministic import confidence_deterministic
+
+
+def test_sequence_roundtrip_exact() -> None:
+    mu = hospital_sequence()
+    text = dumps_sequence(mu)
+    back = loads_sequence(text)
+    assert back.symbols == mu.symbols
+    assert back.length == mu.length
+    for world, prob in mu.worlds():
+        assert back.prob_of(world) == prob
+        assert isinstance(back.prob_of(world), Fraction)
+
+
+def test_sequence_roundtrip_float() -> None:
+    mu = random_sequence("abc", 4, random.Random(1))
+    back = loads_sequence(dumps_sequence(mu))
+    for world, prob in mu.worlds():
+        assert math.isclose(back.prob_of(world), prob, abs_tol=1e-12)
+
+
+def test_sequence_files(tmp_path) -> None:
+    mu = hospital_sequence()
+    path = tmp_path / "mu.json"
+    write_sequence(mu, path)
+    back = read_sequence(path)
+    assert back.prob_of(("r1a", "la", "la", "r1a", "r2a")) == Fraction("0.3969")
+
+
+def test_transducer_roundtrip_preserves_semantics() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    back = loads_query(dumps_query(query))
+    assert back.is_deterministic()
+    assert confidence_deterministic(mu, back, ("1", "2")) == Fraction("0.4038")
+    for world, _p in mu.worlds():
+        assert back.transduce(world) == query.transduce(world)
+
+
+def test_sprojector_roundtrip(tmp_path) -> None:
+    alphabet = ("a", "b")
+    projector = SProjector(
+        sigma_star(alphabet), regex_to_dfa("a+", alphabet), regex_to_dfa("b*", alphabet)
+    )
+    path = tmp_path / "query.json"
+    write_query(projector, path)
+    back = read_query(path)
+    assert isinstance(back, SProjector)
+    assert not isinstance(back, IndexedSProjector)
+    for string in (("a",), ("a", "b"), ("b", "a"), ("b", "b")):
+        assert back.transduce(string) == projector.transduce(string)
+
+
+def test_indexed_sprojector_roundtrip() -> None:
+    alphabet = ("a", "b")
+    projector = IndexedSProjector(
+        sigma_star(alphabet), regex_to_dfa("a", alphabet), sigma_star(alphabet)
+    )
+    back = loads_query(dumps_query(projector))
+    assert isinstance(back, IndexedSProjector)
+    assert back.transduce(("a", "b", "a")) == projector.transduce(("a", "b", "a"))
+
+
+def test_bad_documents_rejected() -> None:
+    with pytest.raises(ReproError):
+        loads_sequence(json.dumps({"type": "nope"}))
+    with pytest.raises(ReproError):
+        loads_query(json.dumps({"type": "nope"}))
+    with pytest.raises(ReproError):
+        loads_sequence(
+            json.dumps(
+                {
+                    "type": "markov_sequence",
+                    "symbols": ["a"],
+                    "initial": {"a": "1/0"},
+                    "transitions": [],
+                }
+            )
+        )
+
+
+def test_rational_literals() -> None:
+    document = {
+        "type": "markov_sequence",
+        "symbols": ["a", "b"],
+        "initial": {"a": "1/3", "b": "2/3"},
+        "transitions": [],
+    }
+    mu = loads_sequence(json.dumps(document))
+    assert mu.prob_of(("a",)) == Fraction(1, 3)

@@ -1,0 +1,150 @@
+"""k-order Markov sequences and the first-order reduction (footnote 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidMarkovSequenceError, InvalidTransducerError
+from repro.markov.korder import KOrderMarkovSequence, lift_transducer
+from repro.transducers.library import collapse_transducer, identity_mealy
+from repro.automata.nfa import NFA
+from repro.transducers.transducer import Transducer
+
+
+def make_spec() -> KOrderMarkovSequence:
+    half, quarter = Fraction(1, 2), Fraction(1, 4)
+    return KOrderMarkovSequence(
+        symbols=("a", "b"),
+        k=2,
+        initial={("a", "a"): half, ("a", "b"): quarter, ("b", "a"): quarter},
+        transitions=[
+            {
+                ("a", "a"): {"a": Fraction(1, 3), "b": Fraction(2, 3)},
+                ("a", "b"): {"a": Fraction(1)},
+                ("b", "a"): {"b": Fraction(1)},
+            },
+            {
+                ("a", "a"): {"a": half, "b": half},
+                ("a", "b"): {"b": Fraction(1)},
+                ("b", "a"): {"a": Fraction(1)},
+                ("b", "b"): {"a": half, "b": half},
+            },
+        ],
+    )
+
+
+def make_random_spec(rng: random.Random, k: int, length: int) -> KOrderMarkovSequence:
+    symbols = ("a", "b")
+    windows = [()]
+    for _ in range(k):
+        windows = [w + (s,) for w in windows for s in symbols]
+
+    def row():
+        weights = [rng.random() + 0.01 for _ in symbols]
+        total = sum(weights)
+        values = {s: w / total for s, w in zip(symbols, weights)}
+        top = max(values, key=values.get)
+        values[top] += 1.0 - sum(values.values())
+        return values
+
+    weights = [rng.random() + 0.01 for _ in windows]
+    total = sum(weights)
+    initial = {w: x / total for w, x in zip(windows, weights)}
+    top = max(initial, key=initial.get)
+    initial[top] += 1.0 - sum(initial.values())
+    transitions = [{w: row() for w in windows} for _ in range(length - k)]
+    return KOrderMarkovSequence(symbols, k, initial, transitions)
+
+
+def reduced_world_to_original(windows_world: tuple) -> tuple:
+    return windows_world[0] + tuple(w[-1] for w in windows_world[1:])
+
+
+def test_prob_of_matches_world_enumeration() -> None:
+    spec = make_spec()
+    for world, prob in spec.worlds():
+        assert spec.prob_of(world) == prob
+    assert sum(p for _w, p in spec.worlds()) == 1
+
+
+def test_reduction_preserves_distribution() -> None:
+    spec = make_spec()
+    reduced = spec.to_first_order()
+    assert reduced.length == spec.length - spec.k + 1
+    original = {}
+    for world, prob in reduced.worlds():
+        key = reduced_world_to_original(world)
+        original[key] = original.get(key, 0) + prob
+    assert original == dict(spec.worlds())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 3), extra=st.integers(0, 2))
+def test_reduction_preserves_distribution_random(seed: int, k: int, extra: int) -> None:
+    rng = random.Random(seed)
+    spec = make_random_spec(rng, k, k + extra)
+    reduced = spec.to_first_order()
+    collected: dict = {}
+    for world, prob in reduced.worlds():
+        key = reduced_world_to_original(world)
+        collected[key] = collected.get(key, 0.0) + prob
+    expected = {}
+    for world, prob in spec.worlds():
+        expected[world] = expected.get(world, 0.0) + prob
+    assert set(collected) == set(expected)
+    for world in expected:
+        assert math.isclose(collected[world], expected[world], abs_tol=1e-9)
+
+
+def test_lifted_transducer_matches_original() -> None:
+    spec = make_spec()
+    reduced = spec.to_first_order()
+    base = collapse_transducer({"a": "x", "b": "y"})
+    lifted = lift_transducer(base, spec.k)
+    for world, _prob in reduced.worlds():
+        original = reduced_world_to_original(world)
+        assert lifted.transduce_deterministic(world) == base.transduce_deterministic(
+            original
+        )
+
+
+def test_lifted_transducer_rejects_inconsistent_windows() -> None:
+    base = identity_mealy("ab")
+    lifted = lift_transducer(base, 2)
+    # Windows ("a","a") then ("b","b") do not overlap consistently.
+    assert lifted.transduce_deterministic((("a", "a"), ("b", "b"))) is None
+
+
+def test_lift_requires_deterministic() -> None:
+    nfa = NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}})
+    nondeterministic = Transducer(nfa, {})
+    with pytest.raises(InvalidTransducerError):
+        lift_transducer(nondeterministic, 2)
+
+
+def test_spec_validation() -> None:
+    with pytest.raises(InvalidMarkovSequenceError):
+        KOrderMarkovSequence(("a",), 0, {(): 1}, [])
+    with pytest.raises(InvalidMarkovSequenceError):
+        KOrderMarkovSequence(("a",), 2, {("a",): 1}, [])  # window length != k
+
+
+def test_prob_of_wrong_length() -> None:
+    spec = make_spec()
+    with pytest.raises(InvalidMarkovSequenceError):
+        spec.prob_of(("a",))
+
+
+def test_order_one_reduction_is_isomorphic() -> None:
+    rng = random.Random(3)
+    spec = make_random_spec(rng, 1, 3)
+    reduced = spec.to_first_order()
+    assert reduced.length == spec.length
+    for world, prob in spec.worlds():
+        windows = tuple((s,) for s in world)
+        assert math.isclose(reduced.prob_of(windows), prob, abs_tol=1e-12)

@@ -1,0 +1,87 @@
+"""Language probabilities and answerhood tests."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AlphabetMismatchError
+from repro.markov.builders import uniform_iid
+from repro.automata.determinize import determinize
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+from repro.confidence.language import is_answer, language_probability
+from repro.semiring import BOOLEAN, VITERBI
+from repro.transducers.library import collapse_transducer
+
+from tests.conftest import make_random_nfa, make_sequence
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_matches_world_sum_for_nfa(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    nfa = make_random_nfa("ab", 3, rng)
+    expected = sum(prob for world, prob in sequence.worlds() if nfa.accepts(world))
+    assert math.isclose(language_probability(sequence, nfa), expected, abs_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_dfa_and_nfa_paths_agree(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    nfa = make_random_nfa("ab", 3, rng)
+    dfa = determinize(nfa)
+    assert math.isclose(
+        language_probability(sequence, nfa),
+        language_probability(sequence, dfa),
+        abs_tol=1e-12,
+    )
+
+
+def test_viterbi_semiring_gives_best_accepted_world() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence("ab", 4, rng)
+    dfa = regex_to_dfa(".*b", "ab")
+    expected = max(
+        (prob for world, prob in sequence.worlds() if dfa.accepts(world)),
+        default=0,
+    )
+    assert math.isclose(
+        language_probability(sequence, dfa, semiring=VITERBI), expected, abs_tol=1e-12
+    )
+
+
+def test_boolean_semiring_decides_nonemptiness() -> None:
+    sequence = uniform_iid("ab", 3)
+    assert language_probability(sequence, regex_to_dfa(".*b", "ab"), semiring=BOOLEAN)
+    # Length mismatch: strings of length 5 never occur.
+    five = regex_to_dfa("aaaaa", "ab")
+    assert not language_probability(sequence, five, semiring=BOOLEAN)
+
+
+def test_exact_fractions() -> None:
+    sequence = uniform_iid("ab", 3, exact=True)
+    dfa = regex_to_dfa("a.*", "ab")  # starts with a
+    assert language_probability(sequence, dfa) == Fraction(1, 2)
+    nfa = regex_to_nfa(".*b", "ab")  # ends with b
+    assert language_probability(sequence, nfa) == Fraction(1, 2)
+
+
+def test_alphabet_mismatch() -> None:
+    sequence = uniform_iid("ab", 2)
+    with pytest.raises(AlphabetMismatchError):
+        language_probability(sequence, regex_to_dfa("a", "abc"))
+
+
+def test_is_answer() -> None:
+    sequence = uniform_iid("ab", 3, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert is_answer(sequence, transducer, ("X", "Y", "X"))
+    assert not is_answer(sequence, transducer, ("X", "Y"))
+    assert not is_answer(sequence, transducer, ("Z",) * 3)

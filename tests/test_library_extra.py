@@ -1,0 +1,90 @@
+"""The extra canonical transducers: change detector, run-length encoder."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.errors import InvalidTransducerError
+from repro.transducers.library import change_detector, run_length_encoder
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.deterministic import confidence_deterministic
+
+from tests.conftest import make_sequence
+
+
+def collapse_runs(string) -> tuple:
+    out = []
+    for symbol in string:
+        if not out or out[-1] != symbol:
+            out.append(symbol)
+    return tuple(out)
+
+
+def test_change_detector_semantics() -> None:
+    t = change_detector("ab")
+    for string in itertools.product("ab", repeat=5):
+        assert t.transduce_deterministic(string) == collapse_runs(string), string
+
+
+def test_change_detector_class() -> None:
+    t = change_detector("abc")
+    assert t.is_deterministic()
+    assert not t.is_selective()
+    assert not t.is_uniform()
+    assert t.is_projector()  # emissions are the input symbol or epsilon
+
+
+def test_change_detector_confidence() -> None:
+    rng = random.Random(3)
+    sequence = make_sequence("ab", 4, rng)
+    t = change_detector("ab")
+    for answer, confidence in brute_force_answers(sequence, t).items():
+        assert math.isclose(
+            confidence_deterministic(sequence, t, answer), confidence, abs_tol=1e-9
+        )
+
+
+def reference_rle(string, max_run: int) -> tuple:
+    """Flushed runs only (the final run is not emitted)."""
+    out = []
+    current, count = None, 0
+    for symbol in string:
+        if symbol == current and count < max_run:
+            count += 1
+        else:
+            if current is not None:
+                out.append((current, count))
+            current, count = symbol, 1
+    return tuple(out)
+
+
+def test_run_length_encoder_semantics() -> None:
+    t = run_length_encoder("ab", max_run=3)
+    for string in itertools.product("ab", repeat=5):
+        assert t.transduce_deterministic(string) == reference_rle(string, 3), string
+
+
+def test_run_length_encoder_cap() -> None:
+    t = run_length_encoder("a", max_run=2)
+    # aaaa -> runs aa|aa; the second is unflushed.
+    assert t.transduce_deterministic(("a",) * 4) == (("a", 2),)
+    assert t.transduce_deterministic(("a",) * 5) == (("a", 2), ("a", 2))
+
+
+def test_run_length_encoder_validation() -> None:
+    with pytest.raises(InvalidTransducerError):
+        run_length_encoder("ab", max_run=0)
+
+
+def test_run_length_encoder_enumeration() -> None:
+    from repro.enumeration.unranked import enumerate_unranked
+
+    rng = random.Random(6)
+    sequence = make_sequence("ab", 4, rng)
+    t = run_length_encoder("ab", max_run=2)
+    produced = set(enumerate_unranked(sequence, t))
+    assert produced == set(brute_force_answers(sequence, t))

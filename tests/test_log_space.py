@@ -1,0 +1,98 @@
+"""Log-space confidence: stability on long sequences."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import iid, random_sequence
+from repro.automata.nfa import NFA
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer
+from repro.transducers.transducer import Transducer
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.log_space import (
+    log_confidence_deterministic,
+    log_language_probability,
+)
+from repro.confidence.language import language_probability
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+def test_matches_linear_space_on_small_instances() -> None:
+    rng = random.Random(4)
+    for _ in range(5):
+        sequence = make_sequence("ab", 5, rng)
+        transducer = make_random_deterministic_transducer("ab", 3, rng)
+        from repro.confidence.brute_force import brute_force_answers
+
+        for output, confidence in brute_force_answers(sequence, transducer).items():
+            log_value = log_confidence_deterministic(sequence, transducer, output)
+            assert math.isclose(math.exp(log_value), confidence, rel_tol=1e-9)
+
+
+def test_zero_confidence_is_neg_inf() -> None:
+    sequence = iid({"a": 1.0, "b": 0.0}, 3)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert log_confidence_deterministic(sequence, transducer, ("Y",) * 3) == -math.inf
+
+
+def test_survives_lengths_that_underflow_floats() -> None:
+    """conf(X^n) = 2^-n underflows IEEE doubles for n = 2000; the linear
+    DP returns exactly 0 while log space recovers -n ln 2."""
+    n = 2000
+    sequence = iid({"a": 0.5, "b": 0.5}, n)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    linear = confidence_deterministic(sequence, transducer, ("X",) * n)
+    assert linear == 0.0  # underflow in linear space
+    log_value = log_confidence_deterministic(sequence, transducer, ("X",) * n)
+    assert math.isclose(log_value, n * math.log(0.5), rel_tol=1e-12)
+
+
+def test_aggregate_stays_finite_when_worlds_underflow() -> None:
+    """All 2^n worlds collapse to one answer of confidence 1: fine in both
+    representations because the DP aggregates before underflowing."""
+    n = 2500
+    sequence = iid({"a": 0.5, "b": 0.5}, n)
+    transducer = collapse_transducer({"a": "X", "b": "X"})
+    assert confidence_deterministic(sequence, transducer, ("X",) * n) == pytest.approx(1.0)
+    log_value = log_confidence_deterministic(sequence, transducer, ("X",) * n)
+    assert math.isclose(log_value, 0.0, abs_tol=1e-6)
+
+
+def test_partial_aggregate_on_long_sequence() -> None:
+    n = 2000
+    sequence = iid({"a": 0.5, "b": 0.5}, n)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    # conf(X^n) = 2^-n: exactly representable in log space.
+    log_value = log_confidence_deterministic(sequence, transducer, ("X",) * n)
+    assert math.isclose(log_value, n * math.log(0.5), rel_tol=1e-12)
+
+
+def test_log_language_probability() -> None:
+    rng = random.Random(9)
+    sequence = make_sequence("ab", 5, rng)
+    dfa = regex_to_dfa(".*b", "ab")
+    linear = language_probability(sequence, dfa)
+    log_value = log_language_probability(sequence, dfa)
+    assert math.isclose(math.exp(log_value), linear, rel_tol=1e-9)
+
+
+def test_log_language_probability_long() -> None:
+    n = 3000
+    sequence = iid({"a": 0.5, "b": 0.5}, n)
+    dfa = regex_to_dfa(".*", "ab")
+    assert math.isclose(log_language_probability(sequence, dfa), 0.0, abs_tol=1e-6)
+
+
+def test_rejects_nondeterministic() -> None:
+    sequence = iid({"a": 1.0}, 2)
+    nondeterministic = Transducer(
+        NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}}), {}
+    )
+    with pytest.raises(InvalidTransducerError):
+        log_confidence_deterministic(sequence, nondeterministic, ())

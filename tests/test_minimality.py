@@ -1,0 +1,63 @@
+"""Myhill–Nerode minimality of Hopcroft's output, checked extensionally."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+
+from tests.conftest import make_random_dfa, make_random_nfa
+
+ALPHABET = "ab"
+PROBE_LENGTH = 6
+
+
+def nerode_classes(dfa, probe_length: int) -> int:
+    """Number of distinguishable reachable states, by probing all strings
+    up to ``probe_length`` (sound for small automata: distinguishing
+    strings need at most |Q| - 1 symbols)."""
+    probes = [
+        tuple(p)
+        for length in range(probe_length + 1)
+        for p in itertools.product(ALPHABET, repeat=length)
+    ]
+    signatures = set()
+    for state in dfa.reachable_states():
+        signature = tuple(
+            dfa.run(probe, start=state) in dfa.accepting for probe in probes
+        )
+        signatures.add(signature)
+    return len(signatures)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_minimized_dfa_has_nerode_many_states(seed: int) -> None:
+    rng = random.Random(seed)
+    dfa = make_random_dfa(ALPHABET, 5, rng)
+    minimal = minimize(dfa)
+    assert len(minimal.states) == nerode_classes(dfa, PROBE_LENGTH)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_minimized_determinized_nfa(seed: int) -> None:
+    rng = random.Random(seed)
+    nfa = make_random_nfa(ALPHABET, 4, rng)
+    dfa = determinize(nfa)
+    minimal = minimize(dfa)
+    assert len(minimal.states) == nerode_classes(dfa, PROBE_LENGTH)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_minimize_is_idempotent_in_size(seed: int) -> None:
+    rng = random.Random(seed)
+    dfa = make_random_dfa(ALPHABET, 6, rng)
+    once = minimize(dfa)
+    twice = minimize(once)
+    assert len(once.states) == len(twice.states)

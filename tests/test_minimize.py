@@ -1,0 +1,80 @@
+"""Hopcroft minimization and language equivalence."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.determinize import determinize
+from repro.automata.minimize import equivalent, minimize
+from repro.automata.regex import regex_to_dfa
+
+from tests.conftest import make_random_dfa, make_random_nfa
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_minimize_preserves_language(seed: int) -> None:
+    rng = random.Random(seed)
+    dfa = make_random_dfa("ab", 6, rng)
+    minimal = minimize(dfa)
+    assert len(minimal.states) <= len(dfa.trim().states)
+    for length in range(6):
+        for string in itertools.product("ab", repeat=length):
+            assert minimal.accepts(string) == dfa.accepts(string)
+
+
+def test_minimize_collapses_redundant_states() -> None:
+    # Two interchangeable accepting states.
+    dfa = DFA(
+        "a",
+        {0, 1, 2},
+        0,
+        {1, 2},
+        {(0, "a"): 1, (1, "a"): 2, (2, "a"): 1},
+    )
+    minimal = minimize(dfa)
+    assert len(minimal.states) == 2  # {0} and {1,2} merge to a two-state loop
+
+
+def test_minimize_is_canonical_size() -> None:
+    # a*b over {a,b} has a 3-state minimal DFA (start, accept, dead).
+    dfa = regex_to_dfa("a*b", "ab")
+    assert len(minimize(dfa).states) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_equivalent_reflexive_and_respects_minimization(seed: int) -> None:
+    rng = random.Random(seed)
+    dfa = make_random_dfa("ab", 5, rng)
+    assert equivalent(dfa, dfa)
+    assert equivalent(dfa, minimize(dfa))
+
+
+def test_equivalent_detects_difference() -> None:
+    ends_b = regex_to_dfa(".*b", "ab")
+    ends_a = regex_to_dfa(".*a", "ab")
+    assert not equivalent(ends_b, ends_a)
+    assert not equivalent(ends_b, regex_to_dfa(".*", "a" "b"))
+
+
+def test_equivalent_alphabet_mismatch_is_false() -> None:
+    one = regex_to_dfa("a", "a")
+    two = regex_to_dfa("a", "ab")
+    assert not equivalent(one, two)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_double_reversal_idempotence_via_minimize(seed: int) -> None:
+    """minimize(determinize(nfa)) twice gives language-equal automata."""
+    rng = random.Random(seed)
+    nfa = make_random_nfa("ab", 4, rng)
+    m1 = minimize(determinize(nfa))
+    m2 = minimize(m1)
+    assert equivalent(m1, m2)
+    assert len(m1.states) == len(m2.states)

@@ -1,0 +1,97 @@
+"""Lahar-legacy Boolean event queries (per-timestep probability profiles)."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AlphabetMismatchError
+from repro.markov.builders import uniform_iid
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+from repro.lahar.monitor import (
+    occurrence_profile,
+    prefix_acceptance_profile,
+    unanchored_match_dfa,
+)
+
+from tests.conftest import make_sequence
+
+
+def brute_prefix_profile(sequence, predicate):
+    profile = []
+    for i in range(1, sequence.length + 1):
+        mass = 0
+        for world, prob in sequence.worlds():
+            if predicate(world[:i]):
+                mass += prob
+        profile.append(mass)
+    return profile
+
+
+def test_prefix_acceptance_profile_matches_brute() -> None:
+    rng = random.Random(12)
+    sequence = make_sequence("ab", 5, rng)
+    dfa = regex_to_dfa(".*b", "ab")
+    profile = prefix_acceptance_profile(sequence, dfa)
+    expected = brute_prefix_profile(sequence, dfa.accepts)
+    assert len(profile) == 5
+    for got, want in zip(profile, expected):
+        assert math.isclose(got, want, abs_tol=1e-9)
+
+
+def test_prefix_profile_exact_fractions() -> None:
+    sequence = uniform_iid("ab", 4, exact=True)
+    dfa = regex_to_dfa("a.*", "ab")  # starts with a
+    profile = prefix_acceptance_profile(sequence, dfa)
+    assert profile == [Fraction(1, 2)] * 4
+
+
+def test_unanchored_match_dfa_language() -> None:
+    pattern = regex_to_nfa("ab", "ab")
+    dfa = unanchored_match_dfa(pattern)
+    assert dfa.accepts("ab")
+    assert dfa.accepts("bab")
+    assert dfa.accepts("aab")
+    assert not dfa.accepts("aba")  # must END with the match
+    assert not dfa.accepts("a")
+    assert not dfa.accepts("")
+
+
+def test_unanchored_epsilon_pattern_matches_everywhere() -> None:
+    pattern = regex_to_nfa("", "ab")
+    dfa = unanchored_match_dfa(pattern)
+    assert dfa.accepts("")
+    assert dfa.accepts("ab")
+
+
+def test_occurrence_profile_matches_brute() -> None:
+    rng = random.Random(21)
+    sequence = make_sequence("ab", 5, rng)
+    pattern = regex_to_nfa("ab", "ab")
+
+    def fires(prefix) -> bool:
+        text = "".join(prefix)
+        return text.endswith("ab")
+
+    profile = occurrence_profile(sequence, pattern)
+    expected = brute_prefix_profile(sequence, fires)
+    for got, want in zip(profile, expected):
+        assert math.isclose(got, want, abs_tol=1e-9)
+
+
+def test_monotone_event_profile_is_monotone() -> None:
+    """'Seen a b so far' can only become more likely over time."""
+    rng = random.Random(33)
+    sequence = make_sequence("ab", 6, rng)
+    seen_b = regex_to_dfa(".*b.*", "ab")
+    profile = prefix_acceptance_profile(sequence, seen_b)
+    assert all(profile[i] <= profile[i + 1] + 1e-12 for i in range(len(profile) - 1))
+
+
+def test_alphabet_mismatch() -> None:
+    sequence = uniform_iid("ab", 2)
+    with pytest.raises(AlphabetMismatchError):
+        prefix_acceptance_profile(sequence, regex_to_dfa("a", "abc"))

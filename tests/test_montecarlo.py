@@ -1,0 +1,103 @@
+"""Monte Carlo confidence estimation (the practical #P fallback)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import SProjector
+from repro.transducers.transducer import Transducer
+from repro.confidence.brute_force import brute_force_confidence
+from repro.confidence.montecarlo import (
+    ConfidenceEstimate,
+    estimate_confidence,
+    estimate_samples_needed,
+)
+
+from tests.conftest import make_sequence
+
+
+def test_estimate_close_to_exact_deterministic() -> None:
+    rng = random.Random(100)
+    sequence = make_sequence("ab", 5, rng)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    answer = query.transduce_deterministic(sequence.sample(rng))
+    exact = brute_force_confidence(sequence, query, answer)
+    estimate = estimate_confidence(
+        sequence, query, answer, samples=4000, rng=random.Random(0)
+    )
+    assert abs(estimate.estimate - exact) <= estimate.half_width
+
+
+def test_estimate_for_nondeterministic_transducer() -> None:
+    """The FP^#P-complete case: sampling still works."""
+    nfa = NFA(
+        "ab",
+        {0, 1},
+        0,
+        {0, 1},
+        {(0, "a"): {0, 1}, (0, "b"): {0}, (1, "a"): {1}, (1, "b"): {1}},
+    )
+    query = Transducer(nfa, {(0, "a", 1): ("m",)})
+    sequence = uniform_iid("ab", 4)
+    answer = ("m",)
+    exact = brute_force_confidence(sequence, query, answer)
+    estimate = estimate_confidence(
+        sequence, query, answer, samples=4000, rng=random.Random(7)
+    )
+    assert abs(estimate.estimate - exact) <= estimate.half_width
+
+
+def test_estimate_for_sprojector() -> None:
+    sequence = uniform_iid("ab", 4)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("ab", "ab"), sigma_star("ab")
+    )
+    exact = brute_force_confidence(sequence, projector, ("a", "b"))
+    estimate = estimate_confidence(
+        sequence, projector, ("a", "b"), samples=4000, rng=random.Random(3)
+    )
+    assert abs(estimate.estimate - exact) <= estimate.half_width
+
+
+def test_interval_properties() -> None:
+    estimate = ConfidenceEstimate(estimate=0.5, samples=100, hits=50, delta=0.05)
+    low, high = estimate.interval
+    assert 0.0 <= low < 0.5 < high <= 1.0
+    tighter = ConfidenceEstimate(estimate=0.5, samples=10_000, hits=5000, delta=0.05)
+    assert tighter.half_width < estimate.half_width
+
+
+def test_zero_probability_answer() -> None:
+    sequence = uniform_iid("ab", 3)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    estimate = estimate_confidence(
+        sequence, query, ("Z", "Z", "Z"), samples=200, rng=random.Random(1)
+    )
+    assert estimate.estimate == 0.0
+    assert estimate.hits == 0
+
+
+def test_samples_needed_monotonicity() -> None:
+    assert estimate_samples_needed(0.01) > estimate_samples_needed(0.1)
+    assert estimate_samples_needed(0.1, delta=0.01) > estimate_samples_needed(
+        0.1, delta=0.1
+    )
+
+
+def test_parameter_validation() -> None:
+    sequence = uniform_iid("ab", 2)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    with pytest.raises(ReproError):
+        estimate_confidence(sequence, query, ("X", "X"), samples=0)
+    with pytest.raises(ReproError):
+        estimate_confidence(sequence, query, ("X", "X"), samples=10, delta=1.5)
+    with pytest.raises(ReproError):
+        estimate_samples_needed(0.0)

@@ -1,0 +1,135 @@
+"""NFA semantics: runs, acceptance, structure operations."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidAutomatonError
+from repro.automata.nfa import NFA
+
+from tests.conftest import make_random_nfa
+
+
+@pytest.fixture
+def ends_with_b() -> NFA:
+    """Classic NFA for Sigma* b over {a, b} (nondeterministic)."""
+    return NFA(
+        "ab",
+        {0, 1},
+        0,
+        {1},
+        {(0, "a"): {0}, (0, "b"): {0, 1}},
+    )
+
+
+def test_accepts_basic(ends_with_b: NFA) -> None:
+    assert ends_with_b.accepts("b")
+    assert ends_with_b.accepts("aab")
+    assert not ends_with_b.accepts("a")
+    assert not ends_with_b.accepts("")
+
+
+def test_empty_string_acceptance_depends_on_initial() -> None:
+    nfa = NFA("a", {0}, 0, {0}, {(0, "a"): {0}})
+    assert nfa.accepts("")
+    nfa2 = NFA("a", {0, 1}, 0, {1}, {(0, "a"): {1}})
+    assert not nfa2.accepts("")
+
+
+def test_runs_enumerates_all_complete_runs(ends_with_b: NFA) -> None:
+    runs = set(ends_with_b.runs("bb"))
+    # Position 1 can go to 0 or 1; from 1 there is no move, so runs through
+    # state 1 at position 1 die. Complete runs: (0,0) and (0,1).
+    assert runs == {(0, 0), (0, 1)}
+
+
+def test_accepting_runs(ends_with_b: NFA) -> None:
+    assert set(ends_with_b.accepting_runs("bb")) == {(0, 1)}
+    assert set(ends_with_b.accepting_runs("a")) == set()
+
+
+def test_runs_on_empty_string(ends_with_b: NFA) -> None:
+    assert list(ends_with_b.runs("")) == [()]
+    assert list(ends_with_b.accepting_runs("")) == []
+
+
+def test_step_and_successors(ends_with_b: NFA) -> None:
+    assert ends_with_b.successors(0, "b") == frozenset({0, 1})
+    assert ends_with_b.successors(1, "a") == frozenset()
+    assert ends_with_b.step({0, 1}, "b") == frozenset({0, 1})
+
+
+def test_num_transitions(ends_with_b: NFA) -> None:
+    assert ends_with_b.num_transitions == 3
+
+
+def test_is_deterministic(ends_with_b: NFA) -> None:
+    assert not ends_with_b.is_deterministic()
+    total = NFA("a", {0}, 0, {0}, {(0, "a"): {0}})
+    assert total.is_deterministic()
+
+
+def test_reachable_and_trim() -> None:
+    nfa = NFA(
+        "a",
+        {0, 1, 2},
+        0,
+        {1, 2},
+        {(0, "a"): {1}, (2, "a"): {2}},
+    )
+    assert nfa.reachable_states() == frozenset({0, 1})
+    trimmed = nfa.trim()
+    assert trimmed.states == frozenset({0, 1})
+    assert trimmed.accepting == frozenset({1})
+    for string in ("", "a", "aa"):
+        assert trimmed.accepts(string) == nfa.accepts(string)
+
+
+def test_renamed_preserves_language(rng: random.Random) -> None:
+    nfa = make_random_nfa("ab", 4, rng)
+    renamed = nfa.renamed("z")
+    assert all(isinstance(s, str) and s.startswith("z") for s in renamed.states)
+    for length in range(4):
+        for string in itertools.product("ab", repeat=length):
+            assert nfa.accepts(string) == renamed.accepts(string)
+
+
+def test_is_empty() -> None:
+    nonempty = NFA("a", {0, 1}, 0, {1}, {(0, "a"): {1}})
+    assert not nonempty.is_empty()
+    empty = NFA("a", {0, 1}, 0, {1}, {})
+    assert empty.is_empty()
+    eps_only = NFA("a", {0}, 0, {0}, {})
+    assert not eps_only.is_empty()
+
+
+def test_from_transitions() -> None:
+    nfa = NFA.from_transitions("ab", "s", {"t"}, [("s", "a", "t"), ("t", "b", "t")])
+    assert nfa.accepts("a")
+    assert nfa.accepts("abb")
+    assert not nfa.accepts("b")
+
+
+def test_validation_errors() -> None:
+    with pytest.raises(InvalidAutomatonError):
+        NFA("a", {0}, 1, {0}, {})  # initial not a state
+    with pytest.raises(InvalidAutomatonError):
+        NFA("a", {0}, 0, {1}, {})  # accepting not a state
+    with pytest.raises(InvalidAutomatonError):
+        NFA("a", {0}, 0, {0}, {(0, "b"): {0}})  # symbol not in alphabet
+    with pytest.raises(InvalidAutomatonError):
+        NFA("a", {0}, 0, {0}, {(0, "a"): {5}})  # target not a state
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_accepts_agrees_with_accepting_runs(seed: int, data) -> None:
+    rng = random.Random(seed)
+    nfa = make_random_nfa("ab", 3, rng)
+    string = data.draw(st.text(alphabet="ab", max_size=5))
+    has_run = any(True for _ in nfa.accepting_runs(string))
+    assert nfa.accepts(string) == has_run

@@ -1,0 +1,126 @@
+"""The automaton algebra: products, complement, reversal, concatenation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidAutomatonError
+from repro.automata.operations import (
+    chain_automaton,
+    complement,
+    concatenate,
+    difference,
+    empty_string_only,
+    intersect,
+    reverse,
+    sigma_star,
+    union,
+)
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+
+from tests.conftest import make_random_dfa, make_random_nfa
+
+
+def all_strings(alphabet: str, max_length: int):
+    for length in range(max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_boolean_algebra(seed: int) -> None:
+    rng = random.Random(seed)
+    left = make_random_dfa("ab", 4, rng)
+    right = make_random_dfa("ab", 4, rng)
+    both = intersect(left, right)
+    either = union(left, right)
+    minus = difference(left, right)
+    neg = complement(left)
+    for string in all_strings("ab", 5):
+        in_l, in_r = left.accepts(string), right.accepts(string)
+        assert both.accepts(string) == (in_l and in_r)
+        assert either.accepts(string) == (in_l or in_r)
+        assert minus.accepts(string) == (in_l and not in_r)
+        assert neg.accepts(string) == (not in_l)
+
+
+def test_alphabet_mismatch_raises() -> None:
+    with pytest.raises(InvalidAutomatonError):
+        intersect(regex_to_dfa("a", "a"), regex_to_dfa("a", "ab"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_reverse(seed: int) -> None:
+    rng = random.Random(seed)
+    nfa = make_random_nfa("ab", 4, rng)
+    rev = reverse(nfa)
+    for string in all_strings("ab", 5):
+        assert rev.accepts(string) == nfa.accepts(tuple(reversed(string)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_concatenate(seed: int) -> None:
+    rng = random.Random(seed)
+    first = make_random_nfa("ab", 3, rng)
+    second = make_random_nfa("ab", 3, rng)
+    concat = concatenate(first, second)
+    for string in all_strings("ab", 5):
+        expected = any(
+            first.accepts(string[:i]) and second.accepts(string[i:])
+            for i in range(len(string) + 1)
+        )
+        assert concat.accepts(string) == expected, string
+
+
+def test_concatenate_empty_string_cases() -> None:
+    eps = regex_to_nfa("", "ab")  # accepts only epsilon
+    a = regex_to_nfa("a", "ab")
+    assert concatenate(eps, a).accepts("a")
+    assert concatenate(a, eps).accepts("a")
+    assert concatenate(eps, eps).accepts("")
+    assert not concatenate(eps, eps).accepts("a")
+
+
+def test_chain_automaton() -> None:
+    chain = chain_automaton(("a", "b", "a"), "ab")
+    assert chain.accepts("aba")
+    assert not chain.accepts("ab")
+    assert not chain.accepts("abaa")
+    empty_chain = chain_automaton((), "ab")
+    assert empty_chain.accepts("")
+    assert not empty_chain.accepts("a")
+
+
+def test_chain_automaton_rejects_foreign_symbols() -> None:
+    with pytest.raises(InvalidAutomatonError):
+        chain_automaton(("z",), "ab")
+
+
+def test_sigma_star_and_empty_string_only() -> None:
+    star = sigma_star("ab")
+    assert star.accepts_everything()
+    eps_only = empty_string_only("ab")
+    assert eps_only.accepts("")
+    assert not eps_only.accepts("a")
+    assert not eps_only.accepts("ba")
+
+
+def test_bae_concatenation_for_sprojector_language() -> None:
+    """The Theorem 5.5 shape: L(B) . {o} . L(E)."""
+    alphabet = "ab"
+    b = regex_to_nfa(".*", alphabet)
+    e = regex_to_nfa("b*", alphabet)
+    o = ("a", "b")
+    language = concatenate(concatenate(b, chain_automaton(o, alphabet)), e)
+    for string in all_strings(alphabet, 6):
+        expected = any(
+            string[i : i + 2] == o and all(c == "b" for c in string[i + 2 :])
+            for i in range(len(string) - 1)
+        )
+        assert language.accepts(string) == expected, string

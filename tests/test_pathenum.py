@@ -1,0 +1,160 @@
+"""Weighted-DAG path enumeration (the Theorem 5.7 workhorse)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.enumeration.constraints import PrefixConstraint
+from repro.enumeration.pathenum import WeightedDAG
+
+
+def brute_paths(dag: WeightedDAG, source, sink):
+    """All source→sink paths by DFS, as (weight, labels)."""
+    results = []
+
+    def walk(node, weight, labels):
+        if node == sink:
+            results.append((weight, tuple(labels)))
+            return
+        for target, edge_weight, label in dag.out_edges(node):
+            walk(target, weight * edge_weight, labels + [label])
+
+    walk(source, 1, [])
+    return results
+
+
+def layered_random_dag(rng: random.Random, layers: int = 4, width: int = 3) -> WeightedDAG:
+    dag = WeightedDAG()
+    dag.add_node("s")
+    dag.add_node("t")
+    nodes = [["s"]] + [
+        [f"n{layer}_{i}" for i in range(width)] for layer in range(layers)
+    ] + [["t"]]
+    label_counter = itertools.count()
+    for level, next_level in zip(nodes, nodes[1:]):
+        for u in level:
+            for v in next_level:
+                if rng.random() < 0.7:
+                    weight = Fraction(rng.randint(1, 8), 10)
+                    dag.add_edge(u, v, weight, f"e{next(label_counter)}")
+    return dag
+
+
+def test_topological_order_and_cycle_detection() -> None:
+    dag = WeightedDAG()
+    dag.add_edge("a", "b", 1)
+    dag.add_edge("b", "c", 1)
+    order = dag.topological_order()
+    assert order.index("a") < order.index("b") < order.index("c")
+    cyclic = WeightedDAG()
+    cyclic.add_edge("a", "b", 1)
+    cyclic.add_edge("b", "a", 1)
+    with pytest.raises(ReproError):
+        cyclic.topological_order()
+
+
+def test_zero_weight_edges_dropped() -> None:
+    dag = WeightedDAG()
+    dag.add_edge("a", "b", 0)
+    assert dag.num_edges == 0
+
+
+def test_potentials() -> None:
+    dag = WeightedDAG()
+    dag.add_edge("s", "m", Fraction(1, 2))
+    dag.add_edge("m", "t", Fraction(1, 3))
+    dag.add_edge("s", "t", Fraction(1, 10))
+    potential = dag.potentials("t")
+    assert potential["t"] == 1
+    assert potential["m"] == Fraction(1, 3)
+    assert potential["s"] == Fraction(1, 6)
+
+
+def test_paths_decreasing_matches_brute_force() -> None:
+    rng = random.Random(7)
+    for _ in range(5):
+        dag = layered_random_dag(rng)
+        expected = sorted(brute_paths(dag, "s", "t"), key=lambda p: -p[0])
+        produced = list(dag.paths_decreasing("s", "t"))
+        assert len(produced) == len(expected)
+        # Same multiset of (weight, labels); weights in non-increasing order.
+        assert sorted(produced) == sorted(expected)
+        weights = [w for w, _l in produced]
+        assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+
+
+def test_paths_decreasing_no_path() -> None:
+    dag = WeightedDAG()
+    dag.add_node("s")
+    dag.add_node("t")
+    dag.add_edge("s", "x", Fraction(1, 2))
+    assert list(dag.paths_decreasing("s", "t")) == []
+
+
+def test_parallel_edges_are_distinct_paths() -> None:
+    dag = WeightedDAG()
+    dag.add_edge("s", "t", Fraction(1, 2), "hi")
+    dag.add_edge("s", "t", Fraction(1, 3), "lo")
+    paths = list(dag.paths_decreasing("s", "t"))
+    assert paths == [(Fraction(1, 2), ("hi",)), (Fraction(1, 3), ("lo",))]
+
+
+def test_best_path_constrained() -> None:
+    # Edges labeled with their emitted symbol; constraint on the string.
+    dag = WeightedDAG()
+    dag.add_edge("s", "a1", Fraction(1, 2), ("sym", "a"))
+    dag.add_edge("s", "b1", Fraction(1, 3), ("sym", "b"))
+    dag.add_edge("a1", "t", Fraction(1, 2), ("sym", "a"))
+    dag.add_edge("b1", "t", Fraction(1, 1), ("sym", "b"))
+
+    def emitted(label):
+        return (label[1],)
+
+    unconstrained = dag.best_path_constrained("s", "t", PrefixConstraint(), emitted)
+    assert unconstrained[0] == Fraction(1, 3)  # path bb: 1/3 * 1 > 1/4
+    starts_a = dag.best_path_constrained(
+        "s", "t", PrefixConstraint.with_prefix(("a",)), emitted
+    )
+    assert starts_a[0] == Fraction(1, 4)
+    assert [emitted(l)[0] for l in starts_a[1]] == ["a", "a"]
+    exact_ab = dag.best_path_constrained(
+        "s", "t", PrefixConstraint.exact_string(("a", "b")), emitted
+    )
+    assert exact_ab is None  # no a-then-b path exists
+
+
+def test_best_path_constrained_matches_filtered_brute() -> None:
+    rng = random.Random(11)
+    dag = WeightedDAG()
+    # Random layered DAG with symbol labels.
+    symbols = "xy"
+    for layer in range(3):
+        for i in range(2):
+            for j in range(2):
+                u = "s" if layer == 0 else f"n{layer}_{i}"
+                v = "t" if layer == 2 else f"n{layer + 1}_{j}"
+                if rng.random() < 0.8:
+                    dag.add_edge(
+                        u, v, Fraction(rng.randint(1, 5), 6), ("sym", rng.choice(symbols))
+                    )
+
+    def emitted(label):
+        return (label[1],)
+
+    for prefix in [(), ("x",), ("x", "y"), ("y", "y", "y")]:
+        constraint = PrefixConstraint.with_prefix(prefix)
+        matching = [
+            (w, labels)
+            for w, labels in brute_paths(dag, "s", "t")
+            if constraint.admits(tuple(emitted(l)[0] for l in labels))
+        ]
+        found = dag.best_path_constrained("s", "t", constraint, emitted)
+        if not matching:
+            assert found is None
+        else:
+            assert found[0] == max(w for w, _l in matching)

@@ -1,0 +1,91 @@
+"""Database persistence and answer sampling."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.lahar.database import MarkovStreamDatabase
+from repro.lahar.persistence import load_database, save_database
+from repro.markov.builders import hospital_model, uniform_iid
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.montecarlo import sample_answer
+from repro.transducers.library import collapse_transducer
+
+
+def build_db() -> MarkovStreamDatabase:
+    db = MarkovStreamDatabase()
+    db.register_stream("cart/17", hospital_sequence())
+    db.register_stream("cart/23", hospital_model(2, 4, random.Random(1)))
+    db.register_query("room trace", room_change_transducer())
+    alphabet = ("r1a", "r1b", "r2a", "r2b", "la", "lb")
+    db.register_query(
+        "lab visits",
+        SProjector(sigma_star(alphabet), regex_to_dfa("(la|lb)+", alphabet), sigma_star(alphabet)),
+    )
+    return db
+
+
+def test_save_and_load_roundtrip(tmp_path) -> None:
+    db = build_db()
+    save_database(db, tmp_path / "warehouse")
+    loaded = load_database(tmp_path / "warehouse")
+    assert loaded.streams() == db.streams()
+    assert loaded.queries() == db.queries()
+    # Semantics preserved: the running example still evaluates exactly.
+    top = loaded.top_k("cart/17", "room trace", 1)[0]
+    assert top.output == ("1", "2")
+    assert top.confidence == Fraction("0.4038")
+
+
+def test_slug_collisions_resolved(tmp_path) -> None:
+    db = MarkovStreamDatabase()
+    db.register_stream("a b", uniform_iid("xy", 2))
+    db.register_stream("a-b", uniform_iid("xy", 3))
+    save_database(db, tmp_path)
+    loaded = load_database(tmp_path)
+    assert loaded.streams() == ["a b", "a-b"]
+    assert loaded.stream("a b").length == 2
+    assert loaded.stream("a-b").length == 3
+
+
+def test_load_missing_catalog(tmp_path) -> None:
+    with pytest.raises(ReproError):
+        load_database(tmp_path / "nope")
+
+
+def test_sample_answer_deterministic_frequencies() -> None:
+    sequence = uniform_iid("ab", 3, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    rng = random.Random(0)
+    counts: dict = {}
+    for _ in range(2000):
+        answer = sample_answer(sequence, transducer, rng)
+        counts[answer] = counts.get(answer, 0) + 1
+    # Uniform: 8 answers, each with confidence 1/8.
+    assert len(counts) == 8
+    for count in counts.values():
+        assert abs(count - 250) < 120
+
+
+def test_sample_answer_rejection() -> None:
+    from repro.transducers.library import accept_filter
+
+    sequence = uniform_iid("ab", 3)
+    never = accept_filter(regex_to_dfa("aaaa", "ab"))  # rejects all length-3
+    assert sample_answer(sequence, never, random.Random(1), max_attempts=50) is None
+
+
+def test_sample_answer_sprojector() -> None:
+    sequence = uniform_iid("ab", 3)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a", "ab"), sigma_star("ab")
+    )
+    answer = sample_answer(sequence, projector, random.Random(2))
+    assert answer in (("a",), None) or answer == ("a",)

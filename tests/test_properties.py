@@ -1,0 +1,101 @@
+"""Cross-module invariants, property-based.
+
+These tie the subsystems together: total confidence mass equals the
+acceptance probability, heuristic scores sandwich confidences with the
+paper's ratios, exact and float arithmetic agree, and the three
+enumeration orders agree on the answer *set*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.confidence.brute_force import brute_force_answers, brute_force_emax
+from repro.confidence.language import language_probability
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.unranked import enumerate_unranked
+
+from tests.conftest import (
+    make_random_deterministic_transducer,
+    make_random_uniform_transducer,
+    make_sequence,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 4))
+def test_total_confidence_equals_acceptance_probability(seed: int, length: int) -> None:
+    """sum_o conf(o) = Pr(S in L(A)) for deterministic transducers.
+
+    (Each accepted world contributes its mass to exactly one answer.)
+    """
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    total = sum(brute_force_answers(sequence, transducer).values())
+    accept = language_probability(sequence, transducer.nfa)
+    assert math.isclose(total, accept, abs_tol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_emax_sandwich(seed: int) -> None:
+    """E_max(o) <= conf(o) <= |support| * E_max(o) — the Theorem 4.3 ratio.
+
+    (The paper states |Sigma|^n; the number of worlds is the sharp count.)
+    """
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    confidences = brute_force_answers(sequence, transducer)
+    emax = brute_force_emax(sequence, transducer)
+    support = sequence.support_size()
+    for answer, confidence in confidences.items():
+        assert emax[answer] <= confidence + 1e-12
+        assert confidence <= support * emax[answer] + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_enumeration_orders_agree_on_answer_set(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_uniform_transducer("ab", 2, rng, k=1)
+    unranked = set(enumerate_unranked(sequence, transducer))
+    emax_set = {answer for _s, answer in enumerate_emax(sequence, transducer)}
+    brute = set(brute_force_answers(sequence, transducer))
+    assert unranked == emax_set == brute
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_exact_and_float_agree(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    exact = sequence.as_fraction()
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    float_answers = brute_force_answers(sequence, transducer)
+    exact_answers = brute_force_answers(exact, transducer)
+    assert set(float_answers) == set(exact_answers)
+    for answer in float_answers:
+        assert math.isclose(
+            float_answers[answer], float(exact_answers[answer]), abs_tol=1e-6
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(length=st.integers(1, 10))
+def test_identity_query_answer_count_equals_support(length: int) -> None:
+    sequence = uniform_iid("ab", length, exact=True)
+    from repro.transducers.library import identity_mealy
+
+    count = 0
+    for _answer in enumerate_unranked(sequence, identity_mealy("ab")):
+        count += 1
+        if count > 2**length:
+            break
+    assert count == 2**length

@@ -1,0 +1,117 @@
+"""Language counting, sampling, and decision procedures."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.properties import (
+    count_words,
+    count_words_per_length,
+    includes,
+    is_universal,
+    sample_word,
+    shortest_word,
+)
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+
+from tests.conftest import make_random_dfa, make_random_nfa
+
+
+def brute_count(automaton, alphabet: str, length: int) -> int:
+    return sum(
+        1
+        for word in itertools.product(alphabet, repeat=length)
+        if automaton.accepts(word)
+    )
+
+
+@pytest.mark.parametrize("pattern", ["a*", "a*b", "(ab)*", ".*b.*", "a|b"])
+def test_count_words_matches_brute(pattern: str) -> None:
+    dfa = regex_to_dfa(pattern, "ab")
+    for length in range(6):
+        assert count_words(dfa, length) == brute_count(dfa, "ab", length)
+
+
+def test_count_words_nfa(rng: random.Random) -> None:
+    for _ in range(5):
+        nfa = make_random_nfa("ab", 3, rng)
+        for length in range(5):
+            assert count_words(nfa, length) == brute_count(nfa, "ab", length)
+
+
+def test_count_words_per_length() -> None:
+    dfa = regex_to_dfa("a*b", "ab")
+    profile = count_words_per_length(dfa, 5)
+    assert profile == [count_words(dfa, i) for i in range(6)]
+    assert profile[0] == 0 and profile[1] == 1  # only 'b' at length 1
+
+
+def test_count_negative_length_rejected() -> None:
+    with pytest.raises(ReproError):
+        count_words(regex_to_dfa("a", "a"), -1)
+
+
+def test_sample_word_uniform() -> None:
+    dfa = regex_to_dfa(".*b", "ab")  # 2^(n-1) words of length n
+    rng = random.Random(0)
+    length = 4
+    counts: dict = {}
+    for _ in range(4000):
+        word = sample_word(dfa, length, rng)
+        assert dfa.accepts(word)
+        counts[word] = counts.get(word, 0) + 1
+    support = 2 ** (length - 1)
+    assert len(counts) == support
+    expected = 4000 / support
+    for count in counts.values():
+        assert abs(count - expected) < expected  # loose uniformity check
+
+
+def test_sample_word_empty_language() -> None:
+    dfa = regex_to_dfa("aaa", "ab")
+    with pytest.raises(ReproError):
+        sample_word(dfa, 2, random.Random(0))
+
+
+def test_is_universal() -> None:
+    assert is_universal(regex_to_dfa(".*", "ab"))
+    assert not is_universal(regex_to_dfa("a.*", "ab"))
+
+
+def test_includes() -> None:
+    star = regex_to_dfa(".*", "ab")
+    ends_b = regex_to_dfa(".*b", "ab")
+    assert includes(star, ends_b)
+    assert not includes(ends_b, star)
+    assert includes(ends_b, regex_to_dfa(".*ab", "ab"))
+
+
+def test_shortest_word() -> None:
+    assert shortest_word(regex_to_dfa("a*b", "ab")) == ("b",)
+    assert shortest_word(regex_to_dfa(".*", "ab")) == ()
+    assert shortest_word(regex_to_dfa("aaa", "ab")) == ("a", "a", "a")
+    assert shortest_word(regex_to_nfa("ab|b", "ab")) == ("b",)
+    # Empty language.
+    empty = regex_to_dfa("a", "ab")
+    from repro.automata.operations import difference
+
+    assert shortest_word(difference(empty, empty)) is None
+
+
+def test_counting_connects_to_uniform_confidence(rng: random.Random) -> None:
+    """count_words agrees with the Prop 4.7 reduction's recovered counts."""
+    from repro.confidence.uniform_subset import confidence_uniform
+    from repro.hardness.counting import exact_count_via_confidence, nfa_counting_instance
+
+    nfa = make_random_nfa("ab", 3, rng)
+    for n in (2, 3, 4):
+        instance = nfa_counting_instance(nfa, n)
+        confidence = confidence_uniform(
+            instance.sequence, instance.transducer, instance.answer
+        )
+        assert exact_count_via_confidence(instance, confidence) == count_words(nfa, n)

@@ -1,0 +1,151 @@
+"""The regex compiler, cross-checked against Python's re module."""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RegexSyntaxError
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+
+PATTERNS = [
+    "",
+    "a",
+    "ab",
+    "a|b",
+    "a*",
+    "a+",
+    "a?",
+    "(ab)*",
+    "(a|b)*abb",
+    "a*b|c",
+    "[ab]c",
+    "[a-c]*",
+    "[^a]",
+    "[^ab]*c",
+    ".*b",
+    "a.c",
+    "(a|bc)+",
+    "((a)|(b))?c",
+    "a{3}",
+    "a{2,}",
+    "(ab){1,2}",
+    "a{0,2}b",
+    "(a|b){2,3}",
+]
+
+
+def strings(alphabet: str, max_length: int):
+    for length in range(max_length + 1):
+        for tup in itertools.product(alphabet, repeat=length):
+            yield "".join(tup)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_against_re_fullmatch(pattern: str) -> None:
+    alphabet = "abc"
+    nfa = regex_to_nfa(pattern, alphabet)
+    compiled = re.compile(pattern)
+    for string in strings(alphabet, 5):
+        expected = compiled.fullmatch(string) is not None
+        assert nfa.accepts(string) == expected, (pattern, string)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_dfa_matches_nfa(pattern: str) -> None:
+    alphabet = "abc"
+    nfa = regex_to_nfa(pattern, alphabet)
+    dfa = regex_to_dfa(pattern, alphabet)
+    for string in strings(alphabet, 4):
+        assert dfa.accepts(string) == nfa.accepts(string)
+
+
+def test_escapes() -> None:
+    nfa = regex_to_nfa(r"\*\+", alphabet="*+")
+    assert nfa.accepts("*+")
+    assert not nfa.accepts("**")
+
+
+def test_default_alphabet_is_pattern_literals() -> None:
+    nfa = regex_to_nfa("ab|ba")
+    assert nfa.alphabet == frozenset("ab")
+
+
+def test_dot_respects_explicit_alphabet() -> None:
+    nfa = regex_to_nfa(".", "xyz")
+    assert nfa.accepts("x")
+    assert nfa.accepts("z")
+    assert not nfa.accepts("xx")
+
+
+def test_bounded_repetition_semantics() -> None:
+    nfa = regex_to_nfa("a{2,4}", "ab")
+    assert not nfa.accepts("a")
+    assert nfa.accepts("aa")
+    assert nfa.accepts("aaa")
+    assert nfa.accepts("aaaa")
+    assert not nfa.accepts("aaaaa")
+    zero = regex_to_nfa("a{0,1}", "ab")
+    assert zero.accepts("")
+    assert zero.accepts("a")
+    unbounded = regex_to_nfa("a{2,}", "ab")
+    assert unbounded.accepts("a" * 7)
+    assert not unbounded.accepts("a")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "(",
+        ")",
+        "(a",
+        "a)",
+        "*",
+        "a**b(",
+        "[ab",
+        "a\\",
+        "[a\\",
+        "[b-a]",
+        "a{",
+        "a{2",
+        "a{2,1}",
+        "a{x}",
+    ],
+)
+def test_syntax_errors(bad: str) -> None:
+    with pytest.raises(RegexSyntaxError):
+        regex_to_nfa(bad, "ab")
+
+
+def test_class_with_leading_bracket_char() -> None:
+    # ']' right after '[' is a literal member.
+    nfa = regex_to_nfa("[]a]", alphabet="]a")
+    assert nfa.accepts("]")
+    assert nfa.accepts("a")
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_random_patterns_against_re(data) -> None:
+    """Generate random small regexes and compare with re.fullmatch."""
+    alphabet = "ab"
+
+    def gen(depth: int) -> str:
+        choices = ["lit", "lit", "concat", "alt", "star"]
+        kind = data.draw(st.sampled_from(choices if depth < 3 else ["lit"]))
+        if kind == "lit":
+            return data.draw(st.sampled_from(["a", "b", "(a|b)"]))
+        if kind == "concat":
+            return gen(depth + 1) + gen(depth + 1)
+        if kind == "alt":
+            return f"({gen(depth + 1)}|{gen(depth + 1)})"
+        return f"({gen(depth + 1)})*"
+
+    pattern = gen(0)
+    nfa = regex_to_nfa(pattern, alphabet)
+    compiled = re.compile(pattern)
+    for string in strings(alphabet, 4):
+        assert nfa.accepts(string) == (compiled.fullmatch(string) is not None)

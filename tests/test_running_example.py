@@ -1,0 +1,152 @@
+"""The paper's running example, reproduced exactly (Figures 1-2, Table 1).
+
+Every number the paper states about the hospital example is asserted here
+with exact rational arithmetic: the Table 1 probabilities and outputs, the
+conf(12) = 0.4038 computation of Example 3.4, the E_max value of
+Example 4.2, and the transducer-class observations of Example 3.3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.examples_data.hospital import (
+    CONF_12,
+    TABLE_1_ROWS,
+    hospital_sequence,
+    room_change_transducer,
+)
+from repro.confidence.brute_force import (
+    brute_force_answers,
+    brute_force_emax,
+    brute_force_top_answer,
+)
+from repro.confidence.deterministic import confidence_deterministic
+from repro.core.engine import evaluate, top_k
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.unranked import enumerate_unranked
+from repro.semiring import VITERBI
+
+
+def test_table_1_probabilities_exact() -> None:
+    mu = hospital_sequence()
+    for name, world, probability, _output in TABLE_1_ROWS:
+        assert mu.prob_of(world) == probability, name
+
+
+def test_table_1_outputs() -> None:
+    transducer = room_change_transducer()
+    for name, world, _probability, output in TABLE_1_ROWS:
+        result = transducer.transduce_deterministic(world)
+        if output is None:
+            assert result is None, name  # "N/A": rejected by A
+        elif output == "ε":
+            assert result == (), name
+        else:
+            assert result == tuple(output), name
+
+
+def test_example_3_2_factorization_of_s() -> None:
+    mu = hospital_sequence()
+    factors = (
+        mu.initial_prob("r1a"),
+        mu.transition_prob(1, "r1a", "la"),
+        mu.transition_prob(2, "la", "la"),
+        mu.transition_prob(3, "la", "r1a"),
+        mu.transition_prob(4, "r1a", "r2a"),
+    )
+    assert factors == (
+        Fraction("0.7"),
+        Fraction("0.9"),
+        Fraction("0.9"),
+        Fraction("0.7"),
+        Fraction(1),
+    )
+
+
+def test_stated_figure_1_probabilities() -> None:
+    mu = hospital_sequence()
+    assert mu.initial_prob("r1a") == Fraction("0.7")
+    assert mu.transition_prob(3, "la", "lb") == Fraction("0.1")
+
+
+def test_example_3_4_confidence_of_12() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    assert confidence_deterministic(mu, transducer, ("1", "2")) == CONF_12
+    assert CONF_12 == Fraction("0.4038")
+
+
+def test_worlds_transduced_into_12_are_exactly_s_t_u() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    witnesses = {
+        world
+        for world, prob in mu.worlds()
+        if transducer.transduce_deterministic(world) == ("1", "2")
+    }
+    expected = {world for name, world, _p, out in TABLE_1_ROWS if out == "12"}
+    assert witnesses == expected
+
+
+def test_example_3_4_answer_set_contains_stated_answers() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    answers = set(enumerate_unranked(mu, transducer))
+    assert ("1", "2") in answers
+    assert ("2", "1", "λ") in answers
+    assert () in answers
+
+
+def test_example_3_3_transducer_class() -> None:
+    transducer = room_change_transducer()
+    assert transducer.is_deterministic()
+    assert transducer.is_selective()
+    assert not transducer.is_uniform()
+    assert set(transducer.output_alphabet) == {"1", "2", "λ"}
+    assert len(transducer.nfa.states) == 4
+
+
+def test_acceptance_means_visiting_the_lab() -> None:
+    transducer = room_change_transducer()
+    assert transducer.transduce_deterministic(("r1a",) * 5) is None
+    assert transducer.transduce_deterministic(("r1a", "la", "r1a", "r1a", "r1a")) == ("1",)
+
+
+def test_example_4_2_emax_of_12() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    emax = confidence_deterministic(mu, transducer, ("1", "2"), semiring=VITERBI)
+    assert emax == Fraction("0.3969")
+    assert brute_force_emax(mu, transducer)[("1", "2")] == Fraction("0.3969")
+
+
+def test_emax_enumeration_starts_with_12() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    ranked = list(enumerate_emax(mu, transducer))
+    assert ranked[0] == (Fraction("0.3969"), ("1", "2"))
+    scores = [score for score, _o in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert {o for _s, o in ranked} == set(brute_force_answers(mu, transducer))
+
+
+def test_top_answer_by_confidence_is_12() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    answer, confidence = brute_force_top_answer(mu, transducer)
+    assert answer == ("1", "2")
+    assert confidence == CONF_12
+
+
+def test_engine_end_to_end() -> None:
+    mu = hospital_sequence()
+    transducer = room_change_transducer()
+    answers = top_k(mu, transducer, 2)
+    assert answers[0].output == ("1", "2")
+    assert answers[0].confidence == CONF_12
+    assert answers[0].rendered() == "12"
+    unranked = list(evaluate(mu, transducer, order="unranked"))
+    assert {a.output for a in unranked} == set(
+        brute_force_answers(mu, transducer)
+    )

@@ -1,0 +1,137 @@
+"""s-projectors: direct semantics and compilation to transducers (Section 5)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InvalidTransducerError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import (
+    BOTTOM,
+    IndexedSProjector,
+    SProjector,
+    decode_indexed_output,
+)
+
+from tests.conftest import make_random_dfa
+
+ALPHABET = "abc"
+
+
+def make_projector(prefix: str, pattern: str, suffix: str) -> SProjector:
+    return SProjector(
+        regex_to_dfa(prefix, ALPHABET),
+        regex_to_dfa(pattern, ALPHABET),
+        regex_to_dfa(suffix, ALPHABET),
+    )
+
+
+def naive_occurrences(projector: SProjector, string):
+    """Definition-level oracle: try every split s = b . o . e."""
+    string = tuple(string)
+    n = len(string)
+    for start in range(n + 1):
+        for end in range(start, n + 1):
+            b, o, e = string[:start], string[start:end], string[end:]
+            if (
+                projector.prefix.accepts(b)
+                and projector.pattern.accepts(o)
+                and projector.suffix.accepts(e)
+            ):
+                yield o, start + 1
+
+
+@pytest.mark.parametrize(
+    "prefix,pattern,suffix",
+    [
+        (".*", "ab|b", ".*"),
+        (".*a", "b+", "c.*"),
+        ("", "a*", ".*"),
+        (".*", "", ".*"),  # pattern accepts only epsilon (Theorem 5.4 shape)
+    ],
+)
+def test_occurrences_match_naive_split_semantics(prefix, pattern, suffix) -> None:
+    projector = make_projector(prefix, pattern, suffix)
+    for length in range(5):
+        for string in itertools.product(ALPHABET, repeat=length):
+            expected = set(naive_occurrences(projector, string))
+            assert set(projector.occurrences(string)) == expected, string
+
+
+def test_transduce_deduplicates_outputs() -> None:
+    projector = make_projector(".*", "a", ".*")
+    assert projector.transduce(("a", "b", "a")) == {("a",)}
+    indexed = projector.indexed()
+    assert indexed.transduce(("a", "b", "a")) == {(("a",), 1), (("a",), 3)}
+
+
+def test_is_simple() -> None:
+    simple = SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a", ALPHABET), sigma_star(ALPHABET)
+    )
+    assert simple.is_simple()
+    assert not make_projector(".*a", "b", ".*").is_simple()
+
+
+def test_component_alphabets_must_match() -> None:
+    with pytest.raises(InvalidTransducerError):
+        SProjector(
+            regex_to_dfa(".*", "ab"),
+            regex_to_dfa("a", ALPHABET),
+            regex_to_dfa(".*", ALPHABET),
+        )
+
+
+def test_compiled_transducer_matches_direct_semantics() -> None:
+    projector = make_projector(".*", "ab|b", "c*")
+    compiled = projector.to_transducer()
+    assert not compiled.is_deterministic() or True  # nondeterminism expected
+    for length in range(5):
+        for string in itertools.product(ALPHABET, repeat=length):
+            assert compiled.transduce(string) == projector.transduce(string), string
+
+
+def test_compiled_indexed_transducer_encodes_positions() -> None:
+    projector = make_projector(".*", "a", ".*")
+    indexed = projector.indexed()
+    compiled = indexed.to_transducer()
+    for length in range(4):
+        for string in itertools.product(ALPHABET, repeat=length):
+            decoded = {
+                decode_indexed_output(output)
+                for output in compiled.transduce(string)
+            }
+            assert decoded == indexed.transduce(string), string
+
+
+def test_decode_indexed_output() -> None:
+    assert decode_indexed_output((BOTTOM, BOTTOM, "a", "b")) == (("a", "b"), 3)
+    assert decode_indexed_output(("a",)) == (("a",), 1)
+    assert decode_indexed_output((BOTTOM,)) == ((), 2)
+    assert decode_indexed_output(()) == ((), 1)
+
+
+def test_compiled_transducer_is_projector_class() -> None:
+    projector = make_projector(".*", "ab", ".*")
+    compiled = projector.to_transducer()
+    # Non-indexed compilation emits the input symbol or epsilon: a projector.
+    assert compiled.is_projector()
+
+
+def test_random_components_agree_with_naive(rng: random.Random) -> None:
+    for _ in range(5):
+        projector = SProjector(
+            make_random_dfa(ALPHABET, 2, rng),
+            make_random_dfa(ALPHABET, 2, rng),
+            make_random_dfa(ALPHABET, 2, rng),
+        )
+        compiled = projector.to_transducer()
+        for length in range(4):
+            for string in itertools.product(ALPHABET, repeat=length):
+                expected = {o for o, _i in naive_occurrences(projector, string)}
+                assert projector.transduce(string) == expected
+                assert compiled.transduce(string) == expected

@@ -1,0 +1,130 @@
+"""Lemma 5.10 / Theorem 5.2: I_max-ranked s-projector enumeration."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.sprojector_ranked import (
+    enumerate_sprojector_imax,
+    enumerate_sprojector_imax_naive,
+    top_answer_imax,
+)
+
+from tests.conftest import make_random_dfa, make_sequence
+
+ALPHABET = "abc"
+
+
+def random_projector(rng: random.Random) -> SProjector:
+    return SProjector(
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+    )
+
+
+def brute_imax(sequence, projector):
+    indexed = brute_force_answers(
+        sequence, IndexedSProjector(projector.prefix, projector.pattern, projector.suffix)
+    )
+    scores: dict = {}
+    for (output, _index), confidence in indexed.items():
+        scores[output] = max(scores.get(output, 0), confidence)
+    return scores
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_scores_order_and_dedup(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, length, rng)
+    projector = random_projector(rng)
+    expected = brute_imax(sequence, projector)
+    produced = list(enumerate_sprojector_imax(sequence, projector))
+    answers = [answer for _s, answer in produced]
+    assert len(answers) == len(set(answers))  # no duplicate output strings
+    assert set(answers) == set(expected)
+    for score, answer in produced:
+        assert math.isclose(score, expected[answer], abs_tol=1e-9), answer
+    scores = [s for s, _a in produced]
+    assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_proposition_5_9_sandwich(seed: int) -> None:
+    """I_max(o) <= conf(o) <= n * I_max(o) for every answer."""
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    confidences = brute_force_answers(sequence, projector)
+    for score, answer, confidence in enumerate_sprojector_imax(
+        sequence, projector, with_confidence=True
+    ):
+        assert math.isclose(confidence, confidences[answer], abs_tol=1e-9)
+        assert score <= confidence + 1e-9
+        assert confidence <= sequence.length * score + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_n_approximate_order(seed: int) -> None:
+    """The stream is n-approximately decreasing in confidence (Thm 5.2)."""
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    confidences = brute_force_answers(sequence, projector)
+    produced = [answer for _s, answer in enumerate_sprojector_imax(sequence, projector)]
+    n = sequence.length
+    for i, early in enumerate(produced):
+        for late in produced[i + 1 :]:
+            assert n * confidences[early] >= confidences[late] - 1e-9
+
+
+def test_top_answer_imax() -> None:
+    rng = random.Random(21)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    expected = brute_imax(sequence, projector)
+    found = top_answer_imax(sequence, projector)
+    if not expected:
+        assert found is None
+    else:
+        score, _answer = found
+        assert math.isclose(score, max(expected.values()), abs_tol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_naive_dedupe_variant_agrees(seed: int) -> None:
+    """Section 5.2's naive dedupe baseline produces the same scored set
+    and the same non-increasing order as the Lawler-based enumerator."""
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    lawler = {o: s for s, o in enumerate_sprojector_imax(sequence, projector)}
+    naive_stream = list(enumerate_sprojector_imax_naive(sequence, projector))
+    naive = {o: s for s, o in naive_stream}
+    assert set(naive) == set(lawler)
+    for output, score in naive.items():
+        assert math.isclose(score, lawler[output], abs_tol=1e-9)
+    scores = [s for s, _o in naive_stream]
+    assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+
+
+def test_lazy_on_large_instance() -> None:
+    sequence = uniform_iid("ab", 30)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a+", "ab"), sigma_star("ab")
+    )
+    iterator = enumerate_sprojector_imax(sequence, projector)
+    top = [next(iterator) for _ in range(3)]
+    assert [a for _s, a in top][0] == ("a",)

@@ -1,0 +1,127 @@
+"""Answer-distribution statistics for deterministic transducers."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidTransducerError
+from repro.markov.builders import uniform_iid
+from repro.automata.nfa import NFA
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.transducers.library import collapse_transducer
+from repro.transducers.transducer import Transducer
+from repro.confidence.statistics import (
+    acceptance_probability,
+    expected_output_length,
+    output_length_distribution,
+    symbol_emission_expectations,
+)
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+
+def brute_length_distribution(sequence, transducer):
+    lengths: dict = {}
+    rejected = 0
+    for world, prob in sequence.worlds():
+        output = transducer.transduce_deterministic(world)
+        if output is None:
+            rejected += prob
+        else:
+            lengths[len(output)] = lengths.get(len(output), 0) + prob
+    return lengths, rejected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_length_distribution_matches_brute(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    lengths, rejected = output_length_distribution(sequence, transducer)
+    expected_lengths, expected_rejected = brute_length_distribution(
+        sequence, transducer
+    )
+    assert set(lengths) == set(expected_lengths)
+    for length, mass in lengths.items():
+        assert math.isclose(mass, expected_lengths[length], abs_tol=1e-9)
+    assert math.isclose(rejected, expected_rejected, abs_tol=1e-9)
+
+
+def test_running_example_statistics() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    lengths, rejected = output_length_distribution(mu, query)
+    # The rejected mass is the probability of never visiting the lab.
+    never_lab = sum(
+        prob
+        for world, prob in mu.worlds()
+        if all(symbol not in ("la", "lb") for symbol in world)
+    )
+    assert rejected == never_lab
+    # Distribution sums to 1 overall (exact rationals).
+    assert sum(lengths.values()) + rejected == 1
+    # conf(12) contributes to length 2.
+    assert lengths[2] >= Fraction("0.4038")
+
+
+def test_expected_length_mealy_is_n() -> None:
+    sequence = uniform_iid("ab", 7, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert expected_output_length(sequence, transducer) == 7
+
+
+def test_expected_length_conditional_vs_unconditional() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    conditional = expected_output_length(mu, query, conditional=True)
+    unconditional = expected_output_length(mu, query, conditional=False)
+    assert unconditional <= conditional  # rejection mass only shrinks the mean
+
+
+def test_acceptance_probability() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    accept = acceptance_probability(mu, query)
+    _lengths, rejected = output_length_distribution(mu, query)
+    assert accept + rejected == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_symbol_expectations_match_brute(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    expectations = symbol_emission_expectations(sequence, transducer)
+    for out_symbol, expectation in expectations.items():
+        brute = sum(
+            prob * transducer.transduce_deterministic(world).count(out_symbol)
+            for world, prob in sequence.worlds()
+            if transducer.transduce_deterministic(world) is not None
+        )
+        assert math.isclose(expectation, brute, abs_tol=1e-9), out_symbol
+
+
+def test_symbol_expectations_sum_to_expected_length() -> None:
+    mu = hospital_sequence()
+    query = room_change_transducer()
+    expectations = symbol_emission_expectations(mu, query)
+    unconditional_mean = expected_output_length(mu, query, conditional=False)
+    assert sum(expectations.values()) == unconditional_mean
+
+
+def test_rejects_nondeterministic() -> None:
+    sequence = uniform_iid("a", 2)
+    nondeterministic = Transducer(
+        NFA("a", {0, 1}, 0, {0, 1}, {(0, "a"): {0, 1}}), {}
+    )
+    with pytest.raises(InvalidTransducerError):
+        output_length_distribution(sequence, nondeterministic)
+    with pytest.raises(InvalidTransducerError):
+        symbol_emission_expectations(sequence, nondeterministic)

@@ -1,0 +1,113 @@
+"""Confidence-threshold queries."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.markov.builders import uniform_iid
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.threshold import (
+    indexed_answers_above,
+    transducer_answers_above,
+)
+
+from tests.conftest import make_random_deterministic_transducer, make_sequence
+
+ALPHABET = "ab"
+
+
+def test_indexed_answers_above_exact() -> None:
+    rng = random.Random(2)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    projector = IndexedSProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    )
+    expected = brute_force_answers(sequence, projector)
+    theta = sorted(expected.values())[len(expected) // 2]
+    produced = dict(
+        (answer, confidence)
+        for confidence, answer in indexed_answers_above(sequence, projector, theta)
+    )
+    want = {a: c for a, c in expected.items() if c >= theta - 1e-12}
+    assert set(produced) == set(want)
+    for answer, confidence in produced.items():
+        assert math.isclose(confidence, expected[answer], abs_tol=1e-9)
+
+
+def test_indexed_threshold_streams_in_order() -> None:
+    rng = random.Random(3)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    projector = IndexedSProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a", ALPHABET), sigma_star(ALPHABET)
+    )
+    confidences = [c for c, _a in indexed_answers_above(sequence, projector, 0.0)]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_transducer_answers_above_complete() -> None:
+    rng = random.Random(5)
+    for _ in range(4):
+        sequence = make_sequence(ALPHABET, 4, rng)
+        transducer = make_random_deterministic_transducer(ALPHABET, 3, rng)
+        expected = brute_force_answers(sequence, transducer)
+        if not expected:
+            continue
+        theta = max(expected.values()) / 2
+        produced = dict(
+            (answer, confidence)
+            for confidence, answer in transducer_answers_above(
+                sequence, transducer, theta
+            )
+        )
+        want = {a for a, c in expected.items() if c >= theta - 1e-12}
+        assert set(produced) == want
+
+
+def test_transducer_threshold_high_theta_empty() -> None:
+    sequence = uniform_iid(ALPHABET, 4, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert list(transducer_answers_above(sequence, transducer, 0.9)) == []
+
+
+def test_transducer_threshold_rejects_nonpositive_theta() -> None:
+    sequence = uniform_iid(ALPHABET, 2)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    with pytest.raises(ValueError):
+        list(transducer_answers_above(sequence, transducer, 0))
+
+
+def test_k_best_worlds_matches_brute() -> None:
+    from repro.markov.analysis import k_best_worlds
+
+    rng = random.Random(11)
+    for _ in range(4):
+        sequence = make_sequence("abc", 4, rng, branching=2)
+        ranked = k_best_worlds(sequence, 6)
+        brute = sorted(sequence.worlds(), key=lambda wp: -wp[1])[:6]
+        assert [w for w, _p in ranked] != []
+        got_scores = [p for _w, p in ranked]
+        want_scores = [p for _w, p in brute]
+        for got, want in zip(got_scores, want_scores):
+            assert math.isclose(got, want, abs_tol=1e-12)
+        assert got_scores == sorted(got_scores, reverse=True)
+        # Worlds themselves are distinct and valid.
+        worlds = [w for w, _p in ranked]
+        assert len(worlds) == len(set(worlds))
+        for world, prob in ranked:
+            assert math.isclose(sequence.prob_of(world), prob, abs_tol=1e-12)
+
+
+def test_k_best_worlds_k_larger_than_support() -> None:
+    from repro.markov.analysis import k_best_worlds
+    from repro.markov.builders import iid
+
+    sequence = iid({"a": 0.7, "b": 0.3}, 2)
+    ranked = k_best_worlds(sequence, 10)
+    assert len(ranked) == 4  # entire support, no duplicates

@@ -1,0 +1,150 @@
+"""The Fagin-style exact top-k by confidence for s-projectors."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.transducers.sprojector import SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.topk_exact import (
+    exact_top_answer_confidence,
+    exact_topk_confidence,
+)
+from repro.hardness.independent_set import occurrence_gap_instance
+
+from tests.conftest import make_random_dfa, make_sequence
+
+ALPHABET = "abc"
+
+
+def random_projector(rng: random.Random) -> SProjector:
+    return SProjector(
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+        make_random_dfa(ALPHABET, 2, rng),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 4))
+def test_matches_brute_force_topk(seed: int, k: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    projector = random_projector(rng)
+    expected = sorted(
+        brute_force_answers(sequence, projector).items(), key=lambda item: -item[1]
+    )
+    results, _examined = exact_topk_confidence(sequence, projector, k)
+    assert len(results) == min(k, len(expected))
+    # Confidences must match the brute-force ranking (answers may differ
+    # only under exact ties).
+    for (confidence, answer), (_want_answer, want_confidence) in zip(
+        results, expected
+    ):
+        assert math.isclose(confidence, want_confidence, abs_tol=1e-9)
+        assert math.isclose(
+            confidence,
+            dict(expected)[answer],
+            abs_tol=1e-9,
+        )
+
+
+def test_top_answer_on_gap_instance() -> None:
+    """On the occurrence-gap family the I_max-top answer coincides with
+    the confidence-top answer, and the TA loop certifies it exactly."""
+    instance = occurrence_gap_instance(8)
+    found = exact_top_answer_confidence(instance.sequence, instance.projector)
+    assert found is not None
+    confidence, answer = found
+    brute = brute_force_answers(instance.sequence, instance.projector)
+    best_answer = max(brute, key=brute.get)
+    assert answer == best_answer
+    assert math.isclose(float(confidence), float(brute[best_answer]), abs_tol=1e-12)
+
+
+def test_examined_counter_and_early_stop() -> None:
+    sequence = uniform_iid("ab", 12)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a+", "ab"), sigma_star("ab")
+    )
+    results, examined = exact_topk_confidence(sequence, projector, 1)
+    assert len(results) == 1
+    # The stream has 12 answers (a^1..a^12); the TA cut-off must fire well
+    # before exhausting it... but at least one candidate is examined.
+    assert 1 <= examined <= 12
+
+
+def test_max_candidates_warns() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence(ALPHABET, 5, rng)
+    projector = SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("[abc]+", ALPHABET), sigma_star(ALPHABET)
+    )
+    with pytest.warns(RuntimeWarning):
+        exact_topk_confidence(sequence, projector, 3, max_candidates=1)
+
+
+def test_empty_answer_set() -> None:
+    sequence = uniform_iid("ab", 2)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("aaa", "ab"), regex_to_dfa("aaa", "ab")
+    )
+    assert exact_top_answer_confidence(sequence, projector) is None
+    results, examined = exact_topk_confidence(sequence, projector, 3)
+    assert results == [] and examined == 0
+
+
+class TestTransducerTA:
+    def test_matches_brute_force(self) -> None:
+        from repro.enumeration.topk_exact import exact_topk_confidence_transducer
+        from repro.transducers.library import collapse_transducer
+
+        for seed in range(4):
+            rng = random.Random(seed)
+            sequence = make_sequence("ab", 5, rng)
+            query = collapse_transducer({"a": "X", "b": "Y"})
+            expected = sorted(
+                brute_force_answers(sequence, query).values(), reverse=True
+            )
+            for k in (1, 3):
+                results, examined = exact_topk_confidence_transducer(
+                    sequence, query, k
+                )
+                assert [float(c) for c, _a in results] == pytest.approx(
+                    [float(v) for v in expected[:k]]
+                )
+                assert examined >= len(results)
+
+    def test_max_candidates_warning(self) -> None:
+        from repro.enumeration.topk_exact import exact_topk_confidence_transducer
+        from repro.transducers.library import collapse_transducer
+
+        sequence = uniform_iid("ab", 6)
+        query = collapse_transducer({"a": "X", "b": "X"})  # heavy collapse
+        with pytest.warns(RuntimeWarning):
+            exact_topk_confidence_transducer(sequence, query, 2, max_candidates=1)
+
+    def test_k_validation(self) -> None:
+        from repro.enumeration.topk_exact import exact_topk_confidence_transducer
+        from repro.transducers.library import identity_mealy
+
+        with pytest.raises(ValueError):
+            exact_topk_confidence_transducer(
+                uniform_iid("ab", 2), identity_mealy("ab"), 0
+            )
+
+
+def test_k_validation() -> None:
+    sequence = uniform_iid("ab", 2)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a", "ab"), sigma_star("ab")
+    )
+    with pytest.raises(ValueError):
+        exact_topk_confidence(sequence, projector, 0)

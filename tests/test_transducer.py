@@ -1,0 +1,159 @@
+"""Transducer semantics and class predicates (Section 3.1.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import AlphabetMismatchError, InvalidTransducerError
+from repro.markov.builders import uniform_iid
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.transducers.library import (
+    accept_filter,
+    collapse_transducer,
+    identity_mealy,
+    projector_from_dfa,
+    relabel_mealy,
+)
+from repro.transducers.transducer import Transducer
+
+
+def two_state_dfa() -> DFA:
+    return DFA(
+        "ab",
+        {0, 1},
+        0,
+        {1},
+        {(0, "a"): 1, (0, "b"): 0, (1, "a"): 1, (1, "b"): 0},
+    )
+
+
+def test_identity_mealy_copies_input() -> None:
+    t = identity_mealy("ab")
+    assert t.transduce_deterministic(("a", "b", "a")) == ("a", "b", "a")
+    assert t.is_mealy()
+    assert t.is_projector()
+    assert not t.is_selective()
+
+
+def test_relabel_and_collapse() -> None:
+    t = relabel_mealy({"a": "X", "b": "Y"})
+    assert t.transduce_deterministic(("a", "b")) == ("X", "Y")
+    c = collapse_transducer({"a": "Z", "b": "Z"})
+    assert c.transduce_deterministic(("a", "b")) == ("Z", "Z")
+    assert c.is_mealy()
+    assert not c.is_projector()
+
+
+def test_accept_filter_is_0_uniform() -> None:
+    t = accept_filter(two_state_dfa())
+    assert t.uniformity() == 0
+    assert t.is_selective()
+    assert t.transduce_deterministic(("a",)) == ()
+    assert t.transduce_deterministic(("b",)) is None  # rejected
+
+
+def test_projector_from_dfa() -> None:
+    t = projector_from_dfa(two_state_dfa(), keep={"a"})
+    assert t.is_projector()
+    assert t.transduce_deterministic(("b", "a")) == ("a",)
+    assert t.transduce_deterministic(("a", "b")) is None
+    with pytest.raises(InvalidTransducerError):
+        projector_from_dfa(two_state_dfa(), keep={"z"})
+
+
+def test_uniformity_detection() -> None:
+    assert identity_mealy("ab").uniformity() == 1
+    dfa = two_state_dfa()
+    mixed = Transducer.from_dfa(dfa, {(0, "a", 1): ("x", "y"), (1, "a", 1): ()})
+    assert mixed.uniformity() is None
+    assert not mixed.is_uniform()
+    empty = Transducer(NFA("a", {0}, 0, {0}, {}), {})
+    assert empty.uniformity() == 0
+
+
+def test_string_emissions_are_split_per_character() -> None:
+    dfa = two_state_dfa()
+    t = Transducer.from_dfa(dfa, {(0, "a", 1): "xy"})
+    assert t.emission(0, "a", 1) == ("x", "y")
+    assert t.transduce_deterministic(("a",)) == ("x", "y")
+
+
+def test_single_symbol_emission_wrapping() -> None:
+    dfa = two_state_dfa()
+    t = Transducer.from_dfa(dfa, {(0, "a", 1): 7})
+    assert t.emission(0, "a", 1) == (7,)
+
+
+def test_nondeterministic_transduce_collects_all_outputs() -> None:
+    nfa = NFA(
+        "a",
+        {0, 1, 2},
+        0,
+        {1, 2},
+        {(0, "a"): {1, 2}},
+    )
+    t = Transducer(nfa, {(0, "a", 1): ("x",), (0, "a", 2): ("y",)})
+    assert t.transduce(("a",)) == {("x",), ("y",)}
+    assert not t.is_deterministic()
+    with pytest.raises(InvalidTransducerError):
+        t.transduce_deterministic(("a",))
+
+
+def test_transductions_pairs_runs_with_outputs() -> None:
+    nfa = NFA("a", {0, 1, 2}, 0, {1, 2}, {(0, "a"): {1, 2}})
+    t = Transducer(nfa, {(0, "a", 1): ("x",)})
+    pairs = dict(t.transductions(("a",)))
+    assert pairs == {(1,): ("x",), (2,): ()}
+
+
+def test_transduce_empty_string() -> None:
+    accepting_init = Transducer(NFA("a", {0}, 0, {0}, {(0, "a"): {0}}), {})
+    assert accepting_init.transduce(()) == {()}
+    rejecting_init = Transducer(NFA("a", {0, 1}, 0, {1}, {(0, "a"): {1}}), {})
+    assert rejecting_init.transduce(()) == set()
+
+
+def test_mealy_constructor_and_predicate() -> None:
+    dfa = two_state_dfa()
+    output = {(q, s): f"{q}{s}" for q in dfa.states for s in dfa.alphabet}
+    mealy = Transducer.mealy(dfa, output)
+    assert mealy.is_mealy()
+    assert mealy.uniformity() == 1
+    assert not mealy.is_selective()
+    assert mealy.transduce_deterministic(("a", "b")) == ("0a", "1b")
+
+
+def test_selectivity() -> None:
+    dfa = two_state_dfa()
+    t = Transducer.from_dfa(dfa, {})
+    assert t.is_selective()  # F = {1} != Q
+
+
+def test_omega_validation() -> None:
+    nfa = NFA("a", {0}, 0, {0}, {(0, "a"): {0}})
+    with pytest.raises(InvalidTransducerError):
+        Transducer(nfa, {(0, "a", 99): ("x",)})
+    with pytest.raises(InvalidTransducerError):
+        Transducer(nfa, {(0, "z", 0): ("x",)})
+
+
+def test_output_alphabet_is_image_of_omega() -> None:
+    dfa = two_state_dfa()
+    t = Transducer.from_dfa(dfa, {(0, "a", 1): ("p", "q"), (1, "a", 1): ("p",)})
+    assert set(t.output_alphabet) == {"p", "q"}
+
+
+def test_check_alphabet() -> None:
+    t = identity_mealy("ab")
+    t.check_alphabet(uniform_iid("ab", 2).alphabet)
+    with pytest.raises(AlphabetMismatchError):
+        t.check_alphabet(uniform_iid("abc", 2).alphabet)
+
+
+def test_moves(rng: random.Random) -> None:
+    t = identity_mealy("ab")
+    moves = list(t.moves("q", "a"))
+    assert moves == [("q", ("a",))]

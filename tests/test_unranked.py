@@ -1,0 +1,93 @@
+"""Theorem 4.1: unranked enumeration with polynomial delay and space."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.markov.builders import uniform_iid
+from repro.automata.regex import regex_to_dfa
+from repro.automata.operations import sigma_star
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import SProjector
+from repro.confidence.brute_force import brute_force_answers
+from repro.enumeration.unranked import count_answers, enumerate_unranked
+
+from tests.conftest import (
+    make_random_deterministic_transducer,
+    make_random_uniform_transducer,
+    make_sequence,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 5))
+def test_complete_and_duplicate_free_deterministic(seed: int, length: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", length, rng)
+    transducer = make_random_deterministic_transducer("ab", 3, rng)
+    produced = list(enumerate_unranked(sequence, transducer))
+    assert len(produced) == len(set(produced))
+    assert set(produced) == set(brute_force_answers(sequence, transducer))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_complete_for_nondeterministic(seed: int) -> None:
+    rng = random.Random(seed)
+    sequence = make_sequence("ab", 4, rng)
+    transducer = make_random_uniform_transducer("ab", 3, rng, k=1)
+    produced = set(enumerate_unranked(sequence, transducer))
+    assert produced == set(brute_force_answers(sequence, transducer))
+
+
+def test_exponentially_many_answers_streamed_lazily() -> None:
+    """The identity query has |support| answers; take only a few."""
+    sequence = uniform_iid("ab", 12, exact=True)
+    from repro.transducers.library import identity_mealy
+
+    iterator = enumerate_unranked(sequence, identity_mealy("ab"))
+    first = [next(iterator) for _ in range(5)]
+    assert len(set(first)) == 5  # no duplicates, produced without exhausting 2^12
+
+
+def test_sprojector_accepted_directly() -> None:
+    sequence = uniform_iid("ab", 3, exact=True)
+    projector = SProjector(
+        sigma_star("ab"), regex_to_dfa("a+", "ab"), sigma_star("ab")
+    )
+    produced = set(enumerate_unranked(sequence, projector))
+    assert produced == set(brute_force_answers(sequence, projector))
+
+
+def test_empty_answer_set() -> None:
+    sequence = uniform_iid("ab", 2)
+    # Selective transducer accepting nothing of length 2.
+    from repro.transducers.library import accept_filter
+
+    dfa = regex_to_dfa("aaa", "ab")
+    transducer = accept_filter(dfa)
+    assert list(enumerate_unranked(sequence, transducer)) == []
+
+
+def test_epsilon_answer_is_enumerated() -> None:
+    sequence = uniform_iid("ab", 2, exact=True)
+    from repro.transducers.library import accept_filter
+
+    transducer = accept_filter(regex_to_dfa(".*", "ab"))
+    assert list(enumerate_unranked(sequence, transducer)) == [()]
+
+
+def test_max_output_length_truncates() -> None:
+    sequence = uniform_iid("ab", 4, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    truncated = set(enumerate_unranked(sequence, transducer, max_output_length=0))
+    assert truncated == set()  # all answers have length 4 > 0
+
+
+def test_count_answers_with_limit() -> None:
+    sequence = uniform_iid("ab", 5, exact=True)
+    transducer = collapse_transducer({"a": "X", "b": "Y"})
+    assert count_answers(sequence, transducer) == 32
+    assert count_answers(sequence, transducer, limit=7) == 7

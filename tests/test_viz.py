@@ -1,0 +1,49 @@
+"""DOT export sanity checks (Figures 1-2 regeneration)."""
+
+from __future__ import annotations
+
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.automata.regex import regex_to_dfa, regex_to_nfa
+from repro.viz.dot import automaton_to_dot, sequence_to_dot, transducer_to_dot
+
+
+def test_sequence_to_dot_contains_figure_1_shape() -> None:
+    dot = sequence_to_dot(hospital_sequence().as_float())
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert '"r1a@1"' in dot
+    assert "0.7" in dot  # the stated initial probability
+    assert "start ->" in dot
+    # Only positive-probability edges are drawn.
+    assert dot.count("->") > 10
+
+
+def test_sequence_dot_skips_unreachable_nodes() -> None:
+    dot = sequence_to_dot(hospital_sequence())
+    # r2b is unreachable at position 2 in our reconstruction.
+    assert '"r2b@2"' not in dot
+
+
+def test_automaton_to_dot() -> None:
+    dot = automaton_to_dot(regex_to_dfa("a*b", "ab"))
+    assert "doublecircle" in dot
+    assert "circle" in dot
+    nfa_dot = automaton_to_dot(regex_to_nfa("a|b", "ab"))
+    assert nfa_dot.startswith("digraph")
+
+
+def test_transducer_to_dot_figure_2_labels() -> None:
+    dot = transducer_to_dot(room_change_transducer())
+    # Figure 2 style: grouped symbols with emissions after a colon.
+    assert " : 1" in dot
+    assert " : ε" in dot
+    assert '"q0"' in dot and '"q_lambda"' in dot
+    assert "doublecircle" in dot  # accepting states
+
+
+def test_quoting_of_special_characters() -> None:
+    from repro.automata.dfa import DFA
+
+    dfa = DFA('a"', {'s"'}, 's"', {'s"'}, {('s"', "a"): 's"', ('s"', '"'): 's"'})
+    dot = automaton_to_dot(dfa)
+    assert '\\"' in dot
