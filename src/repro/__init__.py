@@ -40,6 +40,14 @@ from repro.transducers.sprojector import IndexedSProjector, SProjector
 from repro.transducers.transducer import Transducer
 from repro.examples_data.hospital import hospital_sequence, room_change_transducer
 from repro.lahar.database import MarkovStreamDatabase
+from repro.runtime import (
+    PlanCache,
+    PlanKind,
+    QueryPlan,
+    StreamingEvaluator,
+    default_plan_cache,
+    plan_for,
+)
 
 __version__ = "1.0.0"
 
@@ -64,6 +72,12 @@ __all__ = [
     "Answer",
     "Order",
     "MarkovStreamDatabase",
+    "PlanCache",
+    "PlanKind",
+    "QueryPlan",
+    "StreamingEvaluator",
+    "default_plan_cache",
+    "plan_for",
     "iid",
     "uniform_iid",
     "homogeneous",

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
                     [--no-confidence] [--allow-exponential]
     repro confidence --sequence seq.json --query query.json
                      --answer 1,2 [--index I]
+    repro plan      --query query.json [--sequence seq.json]
     repro dot       --sequence seq.json | --query query.json
 
 The JSON formats are documented in :mod:`repro.io.json_format`.
@@ -19,11 +20,13 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 
 from repro.errors import ReproError
 from repro.core.engine import compute_confidence, evaluate, top_k
 from repro.io.json_format import read_query, read_sequence
 from repro.lahar.monitor import occurrence_profile
+from repro.runtime.cache import default_plan_cache
 from repro.transducers.sprojector import IndexedSProjector, SProjector
 from repro.transducers.transducer import Transducer
 from repro.viz.dot import sequence_to_dot, transducer_to_dot
@@ -150,6 +153,43 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    cache = default_plan_cache()
+    query = read_query(args.query)
+    plan = cache.get(query)
+    print(plan.describe())
+    if args.sequence:
+        sequence = read_sequence(args.sequence)
+        start = time.perf_counter()
+        answers = list(
+            evaluate(
+                sequence,
+                query,
+                order=args.order,
+                allow_exponential=args.allow_exponential,
+            )
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"evaluated:   order={args.order}, {len(answers)} answers "
+            f"in {elapsed * 1000:.2f} ms"
+        )
+        run_stats = plan.stats.as_dict()
+        print(
+            f"plan stats:  evaluations={run_stats['evaluations']} "
+            f"answers={run_stats['answers']} "
+            f"time={run_stats['seconds'] * 1000:.2f} ms "
+            f"dp_cells={run_stats['dp_cells']} appends={run_stats['appends']}"
+        )
+    cache_stats = cache.stats()
+    print(
+        f"plan cache:  size={cache_stats['size']}/{cache_stats['capacity']} "
+        f"hits={cache_stats['hits']} misses={cache_stats['misses']} "
+        f"evictions={cache_stats['evictions']}"
+    )
+    return 0
+
+
 def _cmd_dot(args) -> int:
     if args.sequence:
         print(sequence_to_dot(read_sequence(args.sequence)))
@@ -215,6 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--sequence", required=True)
     profile.add_argument("--query", required=True)
     profile.set_defaults(handler=_cmd_profile)
+
+    plan = sub.add_parser(
+        "plan", help="show the query plan (chosen algorithms, cache stats)"
+    )
+    plan.add_argument("--query", required=True)
+    plan.add_argument("--sequence", help="also run the plan once and time it")
+    plan.add_argument(
+        "--order",
+        default="unranked",
+        choices=["unranked", "emax", "imax", "confidence"],
+    )
+    plan.add_argument("--allow-exponential", action="store_true")
+    plan.set_defaults(handler=_cmd_plan)
 
     dot = sub.add_parser("dot", help="emit a graphviz rendering")
     dot.add_argument("--sequence")

@@ -4,34 +4,40 @@ The engine mirrors the paper's complexity landscape (Table 2): it
 dispatches on the query's class to the best available algorithm, and
 refuses combinations the paper proves intractable unless the caller
 explicitly opts into exponential work.
+
+Since the :mod:`repro.runtime` package landed, the engine is a thin
+shell: each call resolves the query to a cached
+:class:`~repro.runtime.plan.QueryPlan` (classification, Hopcroft
+minimization, and s-projector compilation happen once per query shape,
+via the process-wide :func:`~repro.runtime.cache.default_plan_cache`)
+and hands execution to :mod:`repro.runtime.executor`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.errors import ReproError
 from repro.markov.sequence import MarkovSequence, Number
-from repro.transducers.sprojector import (
-    IndexedSProjector,
-    SProjector,
-    decode_indexed_output,
-)
-from repro.transducers.transducer import Transducer
-from repro.confidence.brute_force import brute_force_answers, brute_force_confidence
-from repro.confidence.deterministic import confidence_deterministic
-from repro.confidence.indexed import confidence_indexed
-from repro.confidence.sprojector import confidence_sprojector
-from repro.confidence.uniform_subset import confidence_uniform
-from repro.enumeration.emax import enumerate_emax
-from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
-from repro.enumeration.sprojector_ranked import enumerate_sprojector_imax
-from repro.enumeration.unranked import enumerate_unranked
 from repro.core.results import Answer, Order
+from repro.runtime.cache import PlanCache, plan_for
+from repro.runtime.executor import (
+    apply_threshold,
+    plan_confidence,
+    run_evaluate,
+    run_top_k,
+)
+
+#: Backwards-compatible alias — the threshold filter lived here before the
+#: runtime split, and its early-stop behaviour is tested against this name.
+_apply_threshold = apply_threshold
 
 
 def compute_confidence(
-    sequence: MarkovSequence, query, output, allow_exponential: bool = True
+    sequence: MarkovSequence,
+    query,
+    output,
+    allow_exponential: bool = True,
+    cache: PlanCache | None = None,
 ) -> Number:
     """Confidence of one answer, via the best algorithm for the query class.
 
@@ -42,24 +48,8 @@ def compute_confidence(
     * anything else → FP^#P-complete (Prop. 4.7 / Thm 4.9); the
       brute-force oracle runs only if ``allow_exponential`` is True.
     """
-    if isinstance(query, IndexedSProjector):
-        answer_output, index = output
-        return confidence_indexed(sequence, query, answer_output, index)
-    if isinstance(query, SProjector):
-        return confidence_sprojector(sequence, query, output)
-    if isinstance(query, Transducer):
-        if query.is_deterministic():
-            return confidence_deterministic(sequence, query, output)
-        if query.is_uniform():
-            return confidence_uniform(sequence, query, output)
-        if allow_exponential:
-            return brute_force_confidence(sequence, query, output)
-        raise ReproError(
-            "confidence for a non-uniform nondeterministic transducer is "
-            "FP^#P-complete (Theorem 4.9); pass allow_exponential=True to "
-            "run the possible-world oracle"
-        )
-    raise TypeError(f"unsupported query type {type(query).__name__}")
+    plan = plan_for(query, cache)
+    return plan_confidence(plan, sequence, output, allow_exponential)
 
 
 def evaluate(
@@ -70,6 +60,7 @@ def evaluate(
     limit: int | None = None,
     allow_exponential: bool = False,
     min_confidence: Number | None = None,
+    cache: PlanCache | None = None,
 ) -> Iterator[Answer]:
     """Evaluate ``query`` over ``sequence``, streaming :class:`Answer` records.
 
@@ -78,8 +69,9 @@ def evaluate(
     sequence:
         The probabilistic data.
     query:
-        A :class:`Transducer`, :class:`SProjector`, or
-        :class:`IndexedSProjector` over the sequence's node alphabet.
+        A :class:`Transducer`, :class:`SProjector`,
+        :class:`IndexedSProjector` over the sequence's node alphabet, or
+        an already-built :class:`~repro.runtime.plan.QueryPlan`.
     order:
         An :class:`Order` (or its string value). Availability follows
         Table 2: ``CONFIDENCE`` is native only to indexed s-projectors;
@@ -101,145 +93,19 @@ def evaluate(
         satisfies ``conf <= support * E_max`` and ``conf <= n * I_max``)
         with per-answer exact filtering; unranked evaluation filters.
         Requires ``with_confidence=True`` (except for ``CONFIDENCE``).
+    cache:
+        Plan cache to resolve ``query`` through (the process-wide
+        default when None).
     """
-    order = Order(order)
-    if min_confidence is not None and order is not Order.CONFIDENCE:
-        if not with_confidence:
-            raise ReproError("min_confidence requires with_confidence=True")
-
-    if order is Order.CONFIDENCE:
-        answers = _evaluate_confidence_order(sequence, query, None, allow_exponential)
-    elif order is Order.IMAX:
-        answers = _evaluate_imax(sequence, query, with_confidence, None)
-    elif order is Order.EMAX:
-        answers = _evaluate_emax(
-            sequence, query, with_confidence, None, allow_exponential
-        )
-    else:
-        answers = _evaluate_unranked(
-            sequence, query, with_confidence, None, allow_exponential
-        )
-
-    if min_confidence is not None:
-        answers = _apply_threshold(sequence, order, answers, min_confidence)
-    yield from _take(answers, limit)
-
-
-def _apply_threshold(sequence, order, answers, min_confidence):
-    """Filter by confidence with the soundest early stop the order allows."""
-    if order is Order.CONFIDENCE:
-        for answer in answers:
-            if answer.confidence < min_confidence:
-                return
-            yield answer
-        return
-    if order is Order.EMAX:
-        # conf(o) <= support_size * E_max(o): once E_max falls below the
-        # scaled threshold no later answer can qualify.
-        cutoff = min_confidence / sequence.support_size()
-        for answer in answers:
-            if answer.score < cutoff:
-                return
-            if answer.confidence >= min_confidence:
-                yield answer
-        return
-    if order is Order.IMAX:
-        # Proposition 5.9: conf(o) <= n * I_max(o).
-        cutoff = min_confidence / sequence.length
-        for answer in answers:
-            if answer.score < cutoff:
-                return
-            if answer.confidence >= min_confidence:
-                yield answer
-        return
-    for answer in answers:
-        if answer.confidence >= min_confidence:
-            yield answer
-
-
-def _take(iterator, limit):
-    if limit is None:
-        yield from iterator
-        return
-    for count, item in enumerate(iterator):
-        if count >= limit:
-            return
-        yield item
-
-
-def _evaluate_unranked(sequence, query, with_confidence, limit, allow_exponential):
-    if isinstance(query, IndexedSProjector):
-        compiled = query.to_transducer()
-        raw = enumerate_unranked(sequence, compiled)
-        for output in _take(raw, limit):
-            answer = decode_indexed_output(output)
-            confidence = (
-                compute_confidence(sequence, query, answer) if with_confidence else None
-            )
-            yield Answer(answer, confidence, None, Order.UNRANKED)
-        return
-    raw = enumerate_unranked(sequence, query)
-    for output in _take(raw, limit):
-        confidence = (
-            compute_confidence(sequence, query, output, allow_exponential=True)
-            if with_confidence
-            else None
-        )
-        yield Answer(output, confidence, None, Order.UNRANKED)
-
-
-def _evaluate_emax(sequence, query, with_confidence, limit, allow_exponential):
-    if isinstance(query, IndexedSProjector):
-        compiled = query.to_transducer()
-        for score, output in _take(enumerate_emax(sequence, compiled), limit):
-            answer = decode_indexed_output(output)
-            confidence = (
-                compute_confidence(sequence, query, answer) if with_confidence else None
-            )
-            yield Answer(answer, confidence, score, Order.EMAX)
-        return
-    for score, output in _take(enumerate_emax(sequence, query), limit):
-        confidence = (
-            compute_confidence(sequence, query, output, allow_exponential=True)
-            if with_confidence
-            else None
-        )
-        yield Answer(output, confidence, score, Order.EMAX)
-
-
-def _evaluate_imax(sequence, query, with_confidence, limit):
-    if isinstance(query, IndexedSProjector) or not isinstance(query, SProjector):
-        raise ReproError(
-            "the I_max order (Lemma 5.10) applies to non-indexed s-projectors; "
-            "use CONFIDENCE for indexed s-projectors and EMAX for transducers"
-        )
-    raw = enumerate_sprojector_imax(sequence, query, with_confidence=with_confidence)
-    for item in _take(raw, limit):
-        if with_confidence:
-            score, output, confidence = item
-            yield Answer(output, confidence, score, Order.IMAX)
-        else:
-            score, output = item
-            yield Answer(output, None, score, Order.IMAX)
-
-
-def _evaluate_confidence_order(sequence, query, limit, allow_exponential):
-    if isinstance(query, IndexedSProjector):
-        raw = enumerate_indexed_ranked(sequence, query)
-        for confidence, answer in _take(raw, limit):
-            yield Answer(answer, confidence, confidence, Order.CONFIDENCE)
-        return
-    if not allow_exponential:
-        raise ReproError(
-            "exact decreasing-confidence enumeration is intractable for this "
-            "query class (Theorems 4.4/5.3); it is native only to indexed "
-            "s-projectors (Theorem 5.7). Pass allow_exponential=True to run "
-            "the brute-force oracle on a small instance."
-        )
-    confidences = brute_force_answers(sequence, query)
-    ranked = sorted(confidences.items(), key=lambda item: (-item[1], repr(item[0])))
-    for output, confidence in _take(iter(ranked), limit):
-        yield Answer(output, confidence, confidence, Order.CONFIDENCE)
+    return run_evaluate(
+        plan_for(query, cache),
+        sequence,
+        order=order,
+        with_confidence=with_confidence,
+        limit=limit,
+        allow_exponential=allow_exponential,
+        min_confidence=min_confidence,
+    )
 
 
 def top_k(
@@ -248,6 +114,7 @@ def top_k(
     k: int,
     order: Order | str | None = None,
     allow_exponential: bool = False,
+    cache: PlanCache | None = None,
 ) -> list[Answer]:
     """The first ``k`` answers under the best ranked order for the class.
 
@@ -256,19 +123,10 @@ def top_k(
     ``E_max`` (the Theorem 4.3 heuristic, worst-case optimal by
     Theorem 4.4).
     """
-    if order is None:
-        if isinstance(query, IndexedSProjector):
-            order = Order.CONFIDENCE
-        elif isinstance(query, SProjector):
-            order = Order.IMAX
-        else:
-            order = Order.EMAX
-    return list(
-        evaluate(
-            sequence,
-            query,
-            order=order,
-            limit=k,
-            allow_exponential=allow_exponential,
-        )
+    return run_top_k(
+        plan_for(query, cache),
+        sequence,
+        k,
+        order=order,
+        allow_exponential=allow_exponential,
     )

@@ -1,6 +1,7 @@
 """A small Lahar-style Markov-stream database (Sections 1 and 6)."""
 
 from repro.lahar.database import MarkovStreamDatabase, StreamAnswer
+from repro.runtime.incremental import StreamingEvaluator
 from repro.lahar.monitor import (
     occurrence_profile,
     prefix_acceptance_profile,
@@ -10,6 +11,7 @@ from repro.lahar.monitor import (
 __all__ = [
     "MarkovStreamDatabase",
     "StreamAnswer",
+    "StreamingEvaluator",
     "prefix_acceptance_profile",
     "occurrence_profile",
     "unanchored_match_dfa",

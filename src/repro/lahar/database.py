@@ -5,19 +5,34 @@ query processing over a collection of Markov sequences", and its stated
 goal is to bring transducer queries into such a system. This module is the
 system shell: named streams (e.g. one per tracked RFID object), registered
 queries, per-stream and cross-stream top-k evaluation — all routed through
-the :mod:`repro.core` engine, so each stream/query pair automatically gets
-the best algorithm for its class.
+the :mod:`repro.runtime` planner/executor, so each stream/query pair
+automatically gets the best algorithm for its class and pays planning
+(classification, minimization, s-projector compilation) once per query
+shape.
+
+Streams are *append-only live objects*: :meth:`MarkovStreamDatabase.append`
+grows a stream by one timestep, and any
+:class:`~repro.runtime.incremental.StreamingEvaluator` attached to it
+absorbs the timestep as a single DP layer instead of a from-scratch
+re-run. Plans whose compiled transducer is deterministic get such an
+evaluator automatically on first read, so repeated and append-heavy read
+workloads run off the cached frontier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator, Mapping
 
 from repro.errors import ReproError
-from repro.markov.sequence import MarkovSequence
-from repro.core.engine import evaluate, top_k
+from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
+from repro.runtime.cache import PlanCache
+from repro.runtime.executor import batch_top_k, run_evaluate, run_top_k
+from repro.runtime.incremental import StreamingEvaluator
+from repro.runtime.plan import QueryPlan
+
+Symbol = Hashable
 
 
 @dataclass(frozen=True)
@@ -29,11 +44,21 @@ class StreamAnswer:
 
 
 class MarkovStreamDatabase:
-    """A named collection of Markov sequences with a query interface."""
+    """A named collection of Markov sequences with a query interface.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    plan_cache:
+        The :class:`PlanCache` all reads go through; a private cache is
+        created when None (pass a shared one to pool plans across
+        databases).
+    """
+
+    def __init__(self, plan_cache: PlanCache | None = None) -> None:
         self._streams: dict[str, MarkovSequence] = {}
         self._queries: dict[str, object] = {}
+        self._plans = plan_cache if plan_cache is not None else PlanCache()
+        self._evaluators: dict[tuple[str, str], StreamingEvaluator] = {}
 
     # ------------------------------------------------------------------
     # Catalog
@@ -44,12 +69,14 @@ class MarkovStreamDatabase:
         if not name:
             raise ReproError("stream name must be non-empty")
         self._streams[name] = sequence
+        self._drop_evaluators(name)
 
     def drop_stream(self, name: str) -> None:
         """Remove a stream; missing names raise."""
         if name not in self._streams:
             raise ReproError(f"unknown stream {name!r}")
         del self._streams[name]
+        self._drop_evaluators(name)
 
     def register_query(self, name: str, query) -> None:
         """Store a reusable named query (transducer or s-projector)."""
@@ -80,6 +107,57 @@ class MarkovStreamDatabase:
                 raise ReproError(f"unknown query {query!r}") from None
         return query
 
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The plan cache all of this database's reads share."""
+        return self._plans
+
+    def plan(self, query) -> QueryPlan:
+        """The (cached) plan for a query object or registered name."""
+        return self._plans.get(self._resolve_query(query))
+
+    # ------------------------------------------------------------------
+    # Streaming writes
+    # ------------------------------------------------------------------
+
+    def append(
+        self, name: str, transition: Mapping[Symbol, Mapping[Symbol, Number]]
+    ) -> MarkovSequence:
+        """Append one timestep to a stream; returns the grown sequence.
+
+        Every streaming evaluator attached to the stream absorbs the
+        timestep incrementally (one DP layer each), so the next read is
+        warm.
+        """
+        grown = self.stream(name).extended(transition)
+        self._streams[name] = grown
+        for (stream_name, _fingerprint), evaluator in self._evaluators.items():
+            if stream_name == name:
+                evaluator.append(transition)
+        return grown
+
+    def streaming_evaluator(self, name: str, query) -> StreamingEvaluator:
+        """The live evaluator for (stream, query), creating it if needed.
+
+        Explicitly requesting an evaluator works for *any* query class;
+        only plans with a deterministic compiled transducer (polynomial
+        frontier) are attached automatically on reads.
+        """
+        plan = self._plans.get(self._resolve_query(query))
+        return self._attach_evaluator(name, plan)
+
+    def _attach_evaluator(self, name: str, plan: QueryPlan) -> StreamingEvaluator:
+        key = (name, plan.fingerprint)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None or evaluator.length != self.stream(name).length:
+            evaluator = StreamingEvaluator(plan, self.stream(name))
+            self._evaluators[key] = evaluator
+        return evaluator
+
+    def _drop_evaluators(self, name: str) -> None:
+        for key in [key for key in self._evaluators if key[0] == name]:
+            del self._evaluators[key]
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -92,41 +170,66 @@ class MarkovStreamDatabase:
         limit: int | None = None,
         with_confidence: bool = True,
         allow_exponential: bool = False,
+        min_confidence: Number | None = None,
     ) -> Iterator[Answer]:
         """Evaluate a query (object or registered name) over one stream."""
         sequence = self.stream(stream)
-        return evaluate(
+        plan = self._plans.get(self._resolve_query(query))
+        evaluator = None
+        if Order(order) is Order.UNRANKED and plan.supports_streaming():
+            evaluator = self._attach_evaluator(stream, plan)
+        return run_evaluate(
+            plan,
             sequence,
-            self._resolve_query(query),
             order=order,
             with_confidence=with_confidence,
             limit=limit,
             allow_exponential=allow_exponential,
+            min_confidence=min_confidence,
+            evaluator=evaluator,
         )
 
-    def top_k(self, stream: str, query, k: int) -> list[Answer]:
+    def top_k(
+        self,
+        stream: str,
+        query,
+        k: int,
+        order: Order | str | None = None,
+        allow_exponential: bool = False,
+    ) -> list[Answer]:
         """Top-k answers of one stream under the class's best ranked order."""
-        return top_k(self.stream(stream), self._resolve_query(query), k)
+        plan = self._plans.get(self._resolve_query(query))
+        return run_top_k(
+            plan,
+            self.stream(stream),
+            k,
+            order=order,
+            allow_exponential=allow_exponential,
+        )
 
     def top_k_across(
-        self, query, k: int, streams: Iterable[str] | None = None
+        self,
+        query,
+        k: int,
+        streams: Iterable[str] | None = None,
+        order: Order | str | None = None,
+        allow_exponential: bool = False,
     ) -> list[StreamAnswer]:
         """Globally best ``k`` answers across streams, merged by score.
 
         Runs the per-stream ranked enumeration lazily k answers deep on
-        each stream, then merges — the standard top-k-over-partitions
-        pattern of stream warehouses.
+        each stream (reusing one plan throughout), then merges — the
+        standard top-k-over-partitions pattern of stream warehouses.
+        Answers without a score sort after all ranked answers with a
+        deterministic (stream, output) tiebreak.
         """
         names = list(streams) if streams is not None else self.streams()
-        candidates: list[StreamAnswer] = []
-        resolved = self._resolve_query(query)
-        for name in names:
-            for answer in top_k(self.stream(name), resolved, k):
-                candidates.append(StreamAnswer(name, answer))
-        candidates.sort(
-            key=lambda item: (
-                -(item.answer.score if item.answer.score is not None else 0),
-                item.stream,
-            )
+        plan = self._plans.get(self._resolve_query(query))
+        merged = batch_top_k(
+            plan,
+            {name: self.stream(name) for name in names},
+            k,
+            order=order,
+            allow_exponential=allow_exponential,
         )
-        return candidates[:k]
+        return [StreamAnswer(name, answer) for name, answer in merged]

@@ -289,6 +289,46 @@ class MarkovSequence:
             initial[top] = initial[top] + (1 - total)
         return MarkovSequence(self.symbols, initial, transitions)
 
+    def extended(
+        self, transition: Mapping[Symbol, Mapping[Symbol, Number]]
+    ) -> "MarkovSequence":
+        """Append one timestep: the length-``n+1`` sequence whose new
+        transition function ``mu_{n->}`` is ``transition``.
+
+        Only the appended transition function is validated — the existing
+        ``n - 1`` functions were validated at construction and are shared
+        (they are never mutated), so appending is O(|transition|) plus a
+        pointer copy of the transition tuple. This is the primitive under
+        the Lahar-style append-to-stream API and the streaming evaluator.
+        """
+        symbol_set = set(self.symbols)
+        step: dict[Symbol, dict[Symbol, Number]] = {}
+        for source in self.symbols:
+            row = transition.get(source)
+            if row is None:
+                raise InvalidMarkovSequenceError(
+                    f"appended transition: missing row for source {source!r}"
+                )
+            unknown = set(row) - symbol_set
+            if unknown:
+                raise InvalidMarkovSequenceError(
+                    f"appended transition: unknown successors {unknown!r}"
+                )
+            _check_distribution(row, f"appended transition, source {source!r}")
+            step[source] = {t: p for t, p in row.items() if p != 0}
+        unknown = set(transition) - symbol_set
+        if unknown:
+            raise InvalidMarkovSequenceError(
+                f"appended transition: unknown sources {unknown!r}"
+            )
+        grown = object.__new__(MarkovSequence)
+        grown.symbols = self.symbols
+        grown._index = self._index
+        grown.length = self.length + 1
+        grown._initial = self._initial
+        grown._transitions = self._transitions + (step,)
+        return grown
+
     def concat_independent(self, other: "MarkovSequence") -> "MarkovSequence":
         """Concatenate two Markov sequences as independent blocks.
 

@@ -1,0 +1,293 @@
+"""Plan-based execution: the read path of the runtime.
+
+Everything here takes a :class:`~repro.runtime.plan.QueryPlan` (or
+anything :func:`~repro.runtime.cache.plan_for` accepts) instead of a raw
+query, so class detection and s-projector compilation are never repeated
+per call. :func:`repro.core.evaluate` is a thin shell over
+:func:`run_evaluate`; the Lahar database additionally passes a live
+:class:`~repro.runtime.incremental.StreamingEvaluator` so repeated reads
+of an unchanged (or grown) stream reuse the cached DP frontier, and uses
+:func:`batch_top_k` to run one plan across many streams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.core.results import Answer, Order
+from repro.confidence.brute_force import brute_force_answers, brute_force_confidence
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.indexed import confidence_indexed
+from repro.confidence.sprojector import confidence_sprojector
+from repro.confidence.uniform_subset import confidence_uniform
+from repro.enumeration.emax import enumerate_emax
+from repro.enumeration.indexed_ranked import enumerate_indexed_ranked
+from repro.enumeration.sprojector_ranked import enumerate_sprojector_imax
+from repro.enumeration.unranked import enumerate_unranked
+from repro.runtime.cache import PlanCache, plan_for
+from repro.runtime.incremental import StreamingEvaluator
+from repro.runtime.plan import PlanKind, QueryPlan
+from repro.runtime.stats import instrument
+from repro.transducers.sprojector import decode_indexed_output
+
+
+def plan_confidence(
+    plan: QueryPlan,
+    sequence: MarkovSequence,
+    output,
+    allow_exponential: bool = True,
+) -> Number:
+    """Confidence of one answer via the plan's recorded Table-2 dispatch."""
+    if plan.kind is PlanKind.INDEXED_SPROJECTOR:
+        answer_output, index = output
+        return confidence_indexed(sequence, plan.minimized, answer_output, index)
+    if plan.kind is PlanKind.SPROJECTOR:
+        # Components were Hopcroft-minimized at plan time.
+        return confidence_sprojector(
+            sequence, plan.minimized, output, minimize_suffix=False
+        )
+    if plan.kind is PlanKind.DETERMINISTIC:
+        return confidence_deterministic(sequence, plan.query, output)
+    if plan.kind is PlanKind.UNIFORM:
+        return confidence_uniform(sequence, plan.query, output)
+    if allow_exponential:
+        return brute_force_confidence(sequence, plan.query, output)
+    raise ReproError(
+        "confidence for a non-uniform nondeterministic transducer is "
+        "FP^#P-complete (Theorem 4.9); pass allow_exponential=True to "
+        "run the possible-world oracle"
+    )
+
+
+def run_evaluate(
+    plan,
+    sequence: MarkovSequence,
+    order: Order | str = Order.UNRANKED,
+    with_confidence: bool = True,
+    limit: int | None = None,
+    allow_exponential: bool = False,
+    min_confidence: Number | None = None,
+    evaluator: StreamingEvaluator | None = None,
+    cache: PlanCache | None = None,
+) -> Iterator[Answer]:
+    """Evaluate a planned query; semantics of :func:`repro.core.evaluate`.
+
+    ``evaluator`` optionally substitutes a live streaming evaluator's
+    cached frontier for the from-scratch unranked run (the answers are
+    identical); it is only consulted for the ``UNRANKED`` order.
+    """
+    plan = plan_for(plan, cache)
+    order = Order(order)
+    if min_confidence is not None and order is not Order.CONFIDENCE:
+        if not with_confidence:
+            raise ReproError("min_confidence requires with_confidence=True")
+
+    if order is Order.CONFIDENCE:
+        answers = _evaluate_confidence_order(plan, sequence, allow_exponential)
+    elif order is Order.IMAX:
+        answers = _evaluate_imax(plan, sequence, with_confidence)
+    elif order is Order.EMAX:
+        answers = _evaluate_emax(plan, sequence, with_confidence)
+    elif evaluator is not None:
+        answers = evaluator.answers(with_confidence=with_confidence)
+    else:
+        answers = _evaluate_unranked(plan, sequence, with_confidence)
+
+    if min_confidence is not None:
+        answers = apply_threshold(sequence, order, answers, min_confidence)
+    yield from _take(instrument(answers, plan.stats), limit)
+
+
+def apply_threshold(sequence, order, answers, min_confidence):
+    """Filter by confidence with the soundest early stop the order allows.
+
+    * ``CONFIDENCE``: the stream is exactly decreasing — stop at the
+      first answer below the threshold (output-sensitive).
+    * ``EMAX``: ``conf(o) <= support_size * E_max(o)``, so once the score
+      falls below ``min_confidence / support_size`` no later answer can
+      qualify.
+    * ``IMAX``: Proposition 5.9 gives ``conf(o) <= n * I_max(o)``; stop
+      once the score falls below ``min_confidence / n``.
+    * unranked: plain per-answer filtering (no sound early stop exists).
+    """
+    if order is Order.CONFIDENCE:
+        for answer in answers:
+            if answer.confidence < min_confidence:
+                return
+            yield answer
+        return
+    if order is Order.EMAX:
+        cutoff = min_confidence / sequence.support_size()
+        for answer in answers:
+            if answer.score < cutoff:
+                return
+            if answer.confidence >= min_confidence:
+                yield answer
+        return
+    if order is Order.IMAX:
+        cutoff = min_confidence / sequence.length
+        for answer in answers:
+            if answer.score < cutoff:
+                return
+            if answer.confidence >= min_confidence:
+                yield answer
+        return
+    for answer in answers:
+        if answer.confidence >= min_confidence:
+            yield answer
+
+
+def _take(iterator, limit):
+    if limit is None:
+        yield from iterator
+        return
+    if limit <= 0:
+        iterator.close()
+        return
+    for count, item in enumerate(iterator):
+        yield item
+        if count + 1 >= limit:
+            iterator.close()
+            return
+
+
+def _evaluate_unranked(plan, sequence, with_confidence):
+    if plan.kind is PlanKind.INDEXED_SPROJECTOR:
+        for output in enumerate_unranked(sequence, plan.compiled):
+            answer = decode_indexed_output(output)
+            confidence = (
+                plan_confidence(plan, sequence, answer) if with_confidence else None
+            )
+            yield Answer(answer, confidence, None, Order.UNRANKED)
+        return
+    for output in enumerate_unranked(sequence, plan.compiled):
+        confidence = (
+            plan_confidence(plan, sequence, output, allow_exponential=True)
+            if with_confidence
+            else None
+        )
+        yield Answer(output, confidence, None, Order.UNRANKED)
+
+
+def _evaluate_emax(plan, sequence, with_confidence):
+    if plan.kind is PlanKind.INDEXED_SPROJECTOR:
+        for score, output in enumerate_emax(sequence, plan.compiled):
+            answer = decode_indexed_output(output)
+            confidence = (
+                plan_confidence(plan, sequence, answer) if with_confidence else None
+            )
+            yield Answer(answer, confidence, score, Order.EMAX)
+        return
+    for score, output in enumerate_emax(sequence, plan.compiled):
+        confidence = (
+            plan_confidence(plan, sequence, output, allow_exponential=True)
+            if with_confidence
+            else None
+        )
+        yield Answer(output, confidence, score, Order.EMAX)
+
+
+def _evaluate_imax(plan, sequence, with_confidence):
+    if plan.kind is not PlanKind.SPROJECTOR:
+        raise ReproError(
+            "the I_max order (Lemma 5.10) applies to non-indexed s-projectors; "
+            "use CONFIDENCE for indexed s-projectors and EMAX for transducers"
+        )
+    raw = enumerate_sprojector_imax(
+        sequence, plan.minimized, with_confidence=with_confidence
+    )
+    for item in raw:
+        if with_confidence:
+            score, output, confidence = item
+            yield Answer(output, confidence, score, Order.IMAX)
+        else:
+            score, output = item
+            yield Answer(output, None, score, Order.IMAX)
+
+
+def _evaluate_confidence_order(plan, sequence, allow_exponential):
+    if plan.kind is PlanKind.INDEXED_SPROJECTOR:
+        for confidence, answer in enumerate_indexed_ranked(sequence, plan.minimized):
+            yield Answer(answer, confidence, confidence, Order.CONFIDENCE)
+        return
+    if not allow_exponential:
+        raise ReproError(
+            "exact decreasing-confidence enumeration is intractable for this "
+            "query class (Theorems 4.4/5.3); it is native only to indexed "
+            "s-projectors (Theorem 5.7). Pass allow_exponential=True to run "
+            "the brute-force oracle on a small instance."
+        )
+    confidences = brute_force_answers(sequence, plan.query)
+    ranked = sorted(confidences.items(), key=lambda item: (-item[1], repr(item[0])))
+    for output, confidence in ranked:
+        yield Answer(output, confidence, confidence, Order.CONFIDENCE)
+
+
+def run_top_k(
+    plan,
+    sequence: MarkovSequence,
+    k: int,
+    order: Order | str | None = None,
+    allow_exponential: bool = False,
+    cache: PlanCache | None = None,
+    evaluator: StreamingEvaluator | None = None,
+) -> list[Answer]:
+    """The first ``k`` answers under the class's best ranked order."""
+    plan = plan_for(plan, cache)
+    if order is None:
+        order = plan.default_order
+    return list(
+        run_evaluate(
+            plan,
+            sequence,
+            order=order,
+            limit=k,
+            allow_exponential=allow_exponential,
+            evaluator=evaluator,
+        )
+    )
+
+
+def _merge_rank(item: tuple[str, Answer]):
+    """Deterministic merge order: ranked answers by decreasing score, then
+    unranked answers (``score=None``), both tie-broken by (origin, text)."""
+    name, answer = item
+    if answer.score is None:
+        return (1, 0, name, answer.rendered())
+    return (0, -answer.score, name, answer.rendered())
+
+
+def batch_top_k(
+    plan,
+    sequences: Mapping[str, MarkovSequence],
+    k: int,
+    order: Order | str | None = None,
+    allow_exponential: bool = False,
+    cache: PlanCache | None = None,
+    evaluators: Mapping[str, StreamingEvaluator] | None = None,
+) -> list[tuple[str, Answer]]:
+    """Globally best ``k`` answers across named sequences, one shared plan.
+
+    Runs the per-sequence ranked enumeration lazily ``k`` answers deep,
+    then merges — the standard top-k-over-partitions pattern of stream
+    warehouses. Answers without a score (unranked evaluation) sort after
+    all ranked answers, with a deterministic (name, rendered-output)
+    tiebreak, rather than masquerading as score 0.
+    """
+    plan = plan_for(plan, cache)
+    candidates: list[tuple[str, Answer]] = []
+    for name, sequence in sequences.items():
+        evaluator = evaluators.get(name) if evaluators is not None else None
+        for answer in run_top_k(
+            plan,
+            sequence,
+            k,
+            order=order,
+            allow_exponential=allow_exponential,
+            evaluator=evaluator,
+        ):
+            candidates.append((name, answer))
+    candidates.sort(key=_merge_rank)
+    return candidates[:k]

@@ -1,0 +1,230 @@
+"""Incremental streaming evaluation: append a timestep, not a re-run.
+
+Lahar-style streams grow one timestep at a time, yet a from-scratch
+``evaluate`` on a length-``n`` stream re-runs every forward DP over all
+``n`` positions. A :class:`StreamingEvaluator` keeps, per (stream, plan)
+pair, the only state those DPs ever carry forward — the *frontier* at
+the last position — so absorbing one new timestep costs one DP layer.
+
+Two frontier representations, both exact:
+
+* **Deterministic plans** (the compiled transducer is deterministic):
+  each world has at most one run, so the frontier maps
+  ``(last node, automaton state, emitted output)`` to probability mass.
+  Worlds sharing a cell evolve identically and never double count —
+  this is the Theorem 4.6 DP with the output coordinate left free.
+  One append costs ``O(frontier · |Sigma| )`` cell updates, i.e.
+  ``O(|Sigma|^2 · |Q|)`` per distinct live output.
+
+* **Nondeterministic plans**: summing over runs would double-count
+  worlds with several accepting runs for one output (exactly the
+  Theorem 4.9 obstruction), so the frontier instead maps
+  ``(last node, run summary)`` to mass, where the run summary is the
+  *set* of live ``(state, output)`` pairs — a weighted subset
+  construction over run space. Worlds with equal last node and summary
+  are indistinguishable to the future, so the partition is exact; its
+  size can grow exponentially, matching the class's #P-hardness, which
+  is why the database only auto-streams deterministic plans.
+
+``conf(o)`` falls out of either frontier by summing the mass of cells
+whose (summary contains an) accepting state with output ``o`` — *exactly*
+equal (over ``Fraction`` inputs, bit-for-bit) to a from-scratch
+``evaluate`` of the grown stream.
+
+:meth:`checkpoint` / :meth:`rollback` snapshot and restore the frontier,
+which is how sliding windows re-anchor without replaying the stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.core.results import Answer, Order
+from repro.runtime.cache import PlanCache, plan_for
+from repro.runtime.plan import PlanKind
+from repro.transducers.sprojector import decode_indexed_output
+
+Symbol = Hashable
+
+
+class StreamingEvaluator:
+    """Maintains answers-with-confidence of one query over a growing stream.
+
+    Parameters
+    ----------
+    query:
+        A query object or an already-built
+        :class:`~repro.runtime.plan.QueryPlan`.
+    sequence:
+        The stream so far (length >= 1). The evaluator runs the forward
+        DP once over it; every later :meth:`append` is one layer.
+    cache:
+        Optional :class:`~repro.runtime.cache.PlanCache` used to resolve
+        ``query`` (the process default when None).
+    """
+
+    def __init__(
+        self,
+        query,
+        sequence: MarkovSequence,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.plan = plan_for(query, cache)
+        self.plan.compiled.check_alphabet(sequence.alphabet)
+        self._deterministic = self.plan.deterministic
+        self._sequence = sequence
+        self._frontier: dict = self._initial_frontier(sequence)
+        for i in range(1, sequence.length):
+            self._advance(i)
+        self._checkpoints: list[tuple[MarkovSequence, dict]] = []
+
+    # ------------------------------------------------------------------
+    # Frontier maintenance
+    # ------------------------------------------------------------------
+
+    def _initial_frontier(self, sequence: MarkovSequence) -> dict:
+        compiled = self.plan.compiled
+        initial = compiled.nfa.initial
+        frontier: dict = {}
+        if self._deterministic:
+            for symbol, prob in sequence.initial_support():
+                for state, emission in compiled.moves(initial, symbol):
+                    key = (symbol, state, emission)
+                    frontier[key] = frontier.get(key, 0) + prob
+        else:
+            for symbol, prob in sequence.initial_support():
+                summary = frozenset(compiled.moves(initial, symbol))
+                if summary:
+                    key = (symbol, summary)
+                    frontier[key] = frontier.get(key, 0) + prob
+        return frontier
+
+    def _advance(self, i: int) -> None:
+        """Push the frontier across transition ``i`` (paper indexing)."""
+        compiled = self.plan.compiled
+        sequence = self._sequence
+        nxt: dict = {}
+        cells = 0
+        if self._deterministic:
+            for (symbol, state, output), mass in self._frontier.items():
+                for target_symbol, prob in sequence.successors(i, symbol):
+                    for target_state, emission in compiled.moves(state, target_symbol):
+                        key = (target_symbol, target_state, output + emission)
+                        nxt[key] = nxt.get(key, 0) + mass * prob
+                        cells += 1
+        else:
+            for (symbol, summary), mass in self._frontier.items():
+                for target_symbol, prob in sequence.successors(i, symbol):
+                    new_summary = frozenset(
+                        (target_state, output + emission)
+                        for state, output in summary
+                        for target_state, emission in compiled.moves(state, target_symbol)
+                    )
+                    cells += len(summary)
+                    if new_summary:
+                        key = (target_symbol, new_summary)
+                        nxt[key] = nxt.get(key, 0) + mass * prob
+        self._frontier = nxt
+        self.plan.stats.record_append(cells)
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+
+    def append(
+        self, transition: Mapping[Symbol, Mapping[Symbol, Number]]
+    ) -> dict:
+        """Absorb one timestep and return the updated answer confidences.
+
+        ``transition`` maps each source node to its successor
+        distribution (one element of the :class:`MarkovSequence`
+        ``transitions`` argument); it is validated before anything
+        mutates. The return value equals
+        ``{a.output: a.confidence for a in evaluate(grown_sequence, query)}``
+        exactly — ``Fraction`` inputs give bit-identical rationals.
+        """
+        self._sequence = self._sequence.extended(transition)
+        self._advance(self._sequence.length - 1)
+        return self.confidences()
+
+    def confidences(self) -> dict:
+        """``{answer: conf(answer)}`` for the stream so far.
+
+        Indexed s-projector answers are decoded to ``(output, index)``
+        pairs, mirroring :func:`repro.core.evaluate`.
+        """
+        conf = self._raw_confidences()
+        if self.plan.kind is PlanKind.INDEXED_SPROJECTOR:
+            return {decode_indexed_output(output): value for output, value in conf.items()}
+        return conf
+
+    def _raw_confidences(self) -> dict:
+        accepting = self.plan.compiled.nfa.accepting
+        conf: dict = {}
+        if self._deterministic:
+            for (_symbol, state, output), mass in self._frontier.items():
+                if state in accepting:
+                    conf[output] = conf.get(output, 0) + mass
+        else:
+            for (_symbol, summary), mass in self._frontier.items():
+                outputs = {output for state, output in summary if state in accepting}
+                for output in outputs:
+                    conf[output] = conf.get(output, 0) + mass
+        return conf
+
+    def answers(self, with_confidence: bool = True) -> Iterator[Answer]:
+        """Stream :class:`Answer` records for the current stream.
+
+        The order matches unranked enumeration (lexicographic in the
+        canonical output-alphabet order), so the executor can substitute
+        this for a from-scratch run.
+        """
+        raw = self._raw_confidences()
+        alphabet = sorted(self.plan.compiled.output_alphabet, key=repr)
+        rank = {symbol: i for i, symbol in enumerate(alphabet)}
+        indexed = self.plan.kind is PlanKind.INDEXED_SPROJECTOR
+        for output in sorted(raw, key=lambda o: [rank[s] for s in o]):
+            payload = decode_indexed_output(output) if indexed else output
+            confidence = raw[output] if with_confidence else None
+            yield Answer(payload, confidence, None, Order.UNRANKED)
+
+    # ------------------------------------------------------------------
+    # Checkpoints (sliding windows)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the stream + frontier; returns the checkpoint depth."""
+        self._checkpoints.append((self._sequence, dict(self._frontier)))
+        return len(self._checkpoints)
+
+    def rollback(self) -> None:
+        """Restore the most recent checkpoint (and consume it)."""
+        if not self._checkpoints:
+            raise ReproError("no checkpoint to roll back to")
+        self._sequence, self._frontier = self._checkpoints.pop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def sequence(self) -> MarkovSequence:
+        """The stream as absorbed so far."""
+        return self._sequence
+
+    @property
+    def length(self) -> int:
+        return self._sequence.length
+
+    @property
+    def frontier_size(self) -> int:
+        """Live DP cells — the per-append cost driver."""
+        return len(self._frontier)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingEvaluator(n={self._sequence.length}, "
+            f"frontier={len(self._frontier)}, kind={self.plan.kind.value})"
+        )

@@ -1,0 +1,300 @@
+"""Query planning: classify once, compile once (the write-side of Table 2).
+
+A :class:`QueryPlan` does, ahead of execution, everything about a query
+that does not depend on the Markov sequence:
+
+* **classification** — which column of the paper's Table 2 the query
+  falls into (indexed s-projector / s-projector / deterministic /
+  uniform / general transducer);
+* **compilation** — s-projectors are compiled to their equivalent
+  nondeterministic transducer exactly once (the engine used to re-run
+  ``to_transducer()`` on every call), after Hopcroft-minimizing the
+  three component DFAs (shrinking ``E`` is an exponential win for the
+  Theorem 5.5 confidence algorithm);
+* **dispatch recording** — for each enumeration order and for the
+  confidence computation, which algorithm will run (or why the order is
+  unavailable), so tools can display the decision without executing;
+* **fingerprinting** — a structural hash that lets a
+  :class:`~repro.runtime.cache.PlanCache` recognise the same query shape
+  across separately constructed objects.
+
+Plans are immutable except for their :class:`~repro.runtime.stats.PlanStats`
+counter block.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from collections.abc import Hashable
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.core.results import Order
+from repro.runtime.stats import PlanStats
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+
+class PlanKind(enum.Enum):
+    """The query classes of Table 2, in dispatch-priority order."""
+
+    INDEXED_SPROJECTOR = "indexed-sprojector"
+    SPROJECTOR = "sprojector"
+    DETERMINISTIC = "deterministic-transducer"
+    UNIFORM = "uniform-transducer"
+    GENERAL = "general-transducer"
+
+
+#: Which confidence algorithm each class dispatches to (Table 2's
+#: "confidence" column, by theorem).
+_CONFIDENCE_ALGORITHM = {
+    PlanKind.INDEXED_SPROJECTOR: "indexed DP (Theorem 5.8, polynomial)",
+    PlanKind.SPROJECTOR: "subset DP (Theorem 5.5, exponential in |Q_E| only)",
+    PlanKind.DETERMINISTIC: "layered DP (Theorem 4.6, polynomial)",
+    PlanKind.UNIFORM: "subset DP (Theorem 4.8, exponential in |Q_A| only)",
+    PlanKind.GENERAL: "possible-world oracle (FP^#P-complete, Theorem 4.9)",
+}
+
+#: The best ranked order per class (the engine's top-k default).
+_DEFAULT_ORDER = {
+    PlanKind.INDEXED_SPROJECTOR: Order.CONFIDENCE,
+    PlanKind.SPROJECTOR: Order.IMAX,
+    PlanKind.DETERMINISTIC: Order.EMAX,
+    PlanKind.UNIFORM: Order.EMAX,
+    PlanKind.GENERAL: Order.EMAX,
+}
+
+
+def _sorted_by_repr(items):
+    return sorted(items, key=repr)
+
+
+def _canonical_dfa(dfa: DFA, alphabet_order: list) -> tuple:
+    """A naming-independent serialization of a (trimmed) DFA.
+
+    States are renumbered by BFS from the initial state, exploring
+    symbols in the canonical alphabet order — for a *minimal* DFA this
+    yields the unique canonical form of the language, so two
+    separately-built, language-equal components fingerprint identically.
+    """
+    number = {dfa.initial: 0}
+    queue = [dfa.initial]
+    while queue:
+        state = queue.pop(0)
+        for symbol in alphabet_order:
+            target = dfa.step(state, symbol)
+            if target not in number:
+                number[target] = len(number)
+                queue.append(target)
+    transitions = tuple(
+        tuple(number[dfa.step(state, symbol)] for symbol in alphabet_order)
+        for state in sorted(number, key=number.get)
+    )
+    accepting = tuple(sorted(number[q] for q in dfa.accepting if q in number))
+    return (len(number), transitions, accepting)
+
+
+def _canonical_transducer(transducer: Transducer, alphabet_order: list) -> tuple:
+    """A serialization of a transducer, stable up to state naming.
+
+    States are renumbered by BFS from the initial state; nondeterministic
+    successor sets are explored in ``repr`` order of the original state
+    names, so the form is canonical for deterministic machines and stable
+    within a process for nondeterministic ones (which is all the plan
+    cache needs).
+    """
+    nfa = transducer.nfa
+    number = {nfa.initial: 0}
+    queue = [nfa.initial]
+    while queue:
+        state = queue.pop(0)
+        for symbol in alphabet_order:
+            for target in _sorted_by_repr(nfa.successors(state, symbol)):
+                if target not in number:
+                    number[target] = len(number)
+                    queue.append(target)
+    transitions = []
+    for state in sorted(number, key=number.get):
+        for si, symbol in enumerate(alphabet_order):
+            for target in nfa.successors(state, symbol):
+                if target in number:
+                    emission = transducer.emission(state, symbol, target)
+                    transitions.append(
+                        (number[state], si, number[target], tuple(map(repr, emission)))
+                    )
+    accepting = tuple(sorted(number[q] for q in nfa.accepting if q in number))
+    return (len(number), tuple(sorted(transitions)), accepting)
+
+
+def fingerprint(query) -> str:
+    """A structural fingerprint of a query (hex digest).
+
+    Equal for separately constructed queries with the same structure —
+    and, for s-projectors and deterministic transducers, for any two
+    queries whose canonical (minimized) automata coincide. Distinct
+    structures always get distinct serializations, so a collision
+    requires breaking SHA-256.
+    """
+    if isinstance(query, SProjector):
+        alphabet_order = _sorted_by_repr(query.alphabet)
+        payload = (
+            "indexed-sprojector" if isinstance(query, IndexedSProjector) else "sprojector",
+            tuple(map(repr, alphabet_order)),
+            _canonical_dfa(minimize(query.prefix), alphabet_order),
+            _canonical_dfa(minimize(query.pattern), alphabet_order),
+            _canonical_dfa(minimize(query.suffix), alphabet_order),
+        )
+    elif isinstance(query, Transducer):
+        alphabet_order = _sorted_by_repr(query.input_alphabet)
+        payload = (
+            "transducer",
+            tuple(map(repr, alphabet_order)),
+            _canonical_transducer(query, alphabet_order),
+        )
+    else:
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass
+class QueryPlan:
+    """A compiled, classified query, ready for repeated execution.
+
+    Attributes
+    ----------
+    query:
+        The query object the plan was built from.
+    kind:
+        Its Table-2 class.
+    fingerprint:
+        Structural hash (the :class:`~repro.runtime.cache.PlanCache` key).
+    minimized:
+        For s-projectors, the same projector with Hopcroft-minimized
+        components (used for all execution); ``None`` for transducers.
+    compiled:
+        The transducer that enumeration algorithms run on: the
+        (minimized) s-projector's compilation, or the query itself.
+    deterministic / uniformity:
+        Cached class predicates of ``compiled``.
+    default_order:
+        The best ranked order for the class (``top_k``'s default).
+    confidence_algorithm:
+        Human-readable record of the Table-2 confidence dispatch.
+    stats:
+        Mutable execution counters.
+    """
+
+    query: object
+    kind: PlanKind
+    fingerprint: str
+    minimized: SProjector | None
+    compiled: Transducer
+    deterministic: bool
+    uniformity: int | None
+    default_order: Order
+    confidence_algorithm: str
+    stats: PlanStats = field(default_factory=PlanStats)
+
+    @staticmethod
+    def build(query) -> "QueryPlan":
+        """Classify, minimize, and compile ``query`` into a plan."""
+        digest = fingerprint(query)
+        if isinstance(query, SProjector):
+            kind = (
+                PlanKind.INDEXED_SPROJECTOR
+                if isinstance(query, IndexedSProjector)
+                else PlanKind.SPROJECTOR
+            )
+            minimized = type(query)(
+                minimize(query.prefix), minimize(query.pattern), minimize(query.suffix)
+            )
+            compiled = minimized.to_transducer()
+        elif isinstance(query, Transducer):
+            if query.is_deterministic():
+                kind = PlanKind.DETERMINISTIC
+            elif query.is_uniform():
+                kind = PlanKind.UNIFORM
+            else:
+                kind = PlanKind.GENERAL
+            minimized = None
+            compiled = query
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        return QueryPlan(
+            query=query,
+            kind=kind,
+            fingerprint=digest,
+            minimized=minimized,
+            compiled=compiled,
+            deterministic=compiled.is_deterministic(),
+            uniformity=compiled.uniformity(),
+            default_order=_DEFAULT_ORDER[kind],
+            confidence_algorithm=_CONFIDENCE_ALGORITHM[kind],
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch records (Table 2, per order)
+    # ------------------------------------------------------------------
+
+    def order_dispatch(self) -> dict[Order, str]:
+        """For each order: the algorithm used, or why it is unavailable."""
+        table = {
+            Order.UNRANKED: "prefix-tree DFS, polynomial delay (Theorem 4.1)",
+            Order.EMAX: "Lawler on best-evidence scores (Theorem 4.3)",
+        }
+        if self.kind is PlanKind.SPROJECTOR:
+            table[Order.IMAX] = "answer-DAG ranked paths (Theorem 5.2 / Lemma 5.10)"
+        else:
+            table[Order.IMAX] = "unavailable: I_max needs a non-indexed s-projector"
+        if self.kind is PlanKind.INDEXED_SPROJECTOR:
+            table[Order.CONFIDENCE] = "exact ranked answer DAG (Theorem 5.7)"
+            table[Order.IMAX] = "unavailable: use CONFIDENCE (exact) instead"
+        else:
+            table[Order.CONFIDENCE] = (
+                "unavailable without allow_exponential: intractable for this "
+                "class (Theorems 4.4/5.3); brute-force oracle if permitted"
+            )
+        return table
+
+    def supports_streaming(self) -> bool:
+        """Whether the streaming evaluator has a polynomial frontier.
+
+        True when the compiled transducer is deterministic — one run per
+        world, so the frontier is one cell per (node, state, emitted
+        output). Nondeterministic plans still stream *exactly* via the
+        world-summary frontier, but its size can grow exponentially
+        (matching the class's #P-hardness), so callers must opt in.
+        """
+        return self.deterministic
+
+    def describe(self) -> str:
+        """A multi-line human-readable plan card (the CLI's ``plan`` view)."""
+        lines = [
+            f"class:       {self.kind.value}",
+            f"fingerprint: {self.fingerprint[:16]}",
+            f"compiled:    |Q|={len(self.compiled.nfa.states)} "
+            f"({'deterministic' if self.deterministic else 'nondeterministic'}, "
+            + (
+                f"{self.uniformity}-uniform)"
+                if self.uniformity is not None
+                else "non-uniform)"
+            ),
+        ]
+        if self.minimized is not None:
+            assert isinstance(self.query, SProjector)
+            lines.append(
+                "minimized:   "
+                f"|Q_B| {len(self.query.prefix.states)}->{len(self.minimized.prefix.states)}  "
+                f"|Q_A| {len(self.query.pattern.states)}->{len(self.minimized.pattern.states)}  "
+                f"|Q_E| {len(self.query.suffix.states)}->{len(self.minimized.suffix.states)}"
+            )
+        lines.append(f"confidence:  {self.confidence_algorithm}")
+        lines.append(f"top-k order: {self.default_order.value}")
+        for order, algorithm in self.order_dispatch().items():
+            lines.append(f"  {order.value:<11} {algorithm}")
+        lines.append(f"streaming:   {'yes' if self.supports_streaming() else 'opt-in (world-summary frontier)'}")
+        return "\n".join(lines)

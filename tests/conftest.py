@@ -84,6 +84,36 @@ def make_sequence(alphabet, length: int, rng: random.Random, branching: int = 2)
     return random_sequence(tuple(alphabet), length, rng, branching=branching)
 
 
+def make_fraction_row(alphabet, rng: random.Random) -> dict:
+    """A random exactly-stochastic distribution over ``alphabet``."""
+    from fractions import Fraction
+
+    weights = [rng.randint(0, 3) for _ in alphabet]
+    if not any(weights):
+        weights[rng.randrange(len(weights))] = 1
+    total = sum(weights)
+    return {
+        symbol: Fraction(weight, total)
+        for symbol, weight in zip(alphabet, weights)
+        if weight
+    }
+
+
+def make_fraction_timestep(alphabet, rng: random.Random) -> dict:
+    """A random transition function with exact ``Fraction`` rows."""
+    return {source: make_fraction_row(alphabet, rng) for source in alphabet}
+
+
+def make_fraction_sequence(alphabet, length: int, rng: random.Random) -> MarkovSequence:
+    """A random Markov sequence with exact ``Fraction`` probabilities."""
+    alphabet = tuple(alphabet)
+    return MarkovSequence(
+        alphabet,
+        make_fraction_row(alphabet, rng),
+        [make_fraction_timestep(alphabet, rng) for _ in range(length - 1)],
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministically seeded RNG per test."""

@@ -1,0 +1,89 @@
+"""PlanCache: LRU bounds, counters, and structural sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.runtime.cache import PlanCache, default_plan_cache, plan_for
+from repro.runtime.plan import QueryPlan
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import SProjector
+
+ALPHABET = "ab"
+
+
+def projector(regex: str) -> SProjector:
+    return SProjector(
+        sigma_star(ALPHABET), regex_to_dfa(regex, ALPHABET), sigma_star(ALPHABET)
+    )
+
+
+def test_hit_returns_same_plan_object() -> None:
+    cache = PlanCache()
+    first = cache.get(projector("a+"))
+    second = cache.get(projector("a+"))  # separately constructed, same shape
+    assert second is first
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert projector("a+") in cache
+    assert len(cache) == 1
+
+
+def test_lru_eviction_is_bounded_and_counted() -> None:
+    cache = PlanCache(capacity=2)
+    a = cache.get(projector("a+"))
+    cache.get(projector("b+"))
+    cache.get(projector("ab"))  # evicts the least recently used ("a+")
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert projector("a+") not in cache
+    assert cache.get(projector("a+")) is not a  # rebuilt after eviction
+
+
+def test_lru_recency_updates_on_hit() -> None:
+    cache = PlanCache(capacity=2)
+    cache.get(projector("a+"))
+    cache.get(projector("b+"))
+    cache.get(projector("a+"))  # refresh "a+" so "b+" is now oldest
+    cache.get(projector("ab"))
+    assert projector("a+") in cache
+    assert projector("b+") not in cache
+
+
+def test_capacity_must_be_positive() -> None:
+    with pytest.raises(ReproError):
+        PlanCache(capacity=0)
+
+
+def test_clear_resets_counters() -> None:
+    cache = PlanCache()
+    cache.get(projector("a+"))
+    cache.get(projector("a+"))
+    cache.clear()
+    assert len(cache) == 0
+    assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+
+
+def test_stats_exposes_plan_counters() -> None:
+    cache = PlanCache()
+    cache.get(collapse_transducer({"a": "X", "b": "Y"}))
+    stats = cache.stats()
+    assert stats["size"] == 1
+    assert stats["misses"] == 1
+    (plan_stats,) = stats["plans"].values()
+    assert set(plan_stats) >= {"evaluations", "answers", "seconds", "dp_cells"}
+
+
+def test_plan_for_passes_plans_through() -> None:
+    plan = QueryPlan.build(projector("a+"))
+    assert plan_for(plan) is plan
+    cache = PlanCache()
+    assert plan_for(projector("a+"), cache) is cache.get(projector("a+"))
+
+
+def test_default_cache_is_a_process_singleton() -> None:
+    assert default_plan_cache() is default_plan_cache()
+    plan = plan_for(projector("ba"))
+    assert default_plan_cache().get(projector("ba")) is plan

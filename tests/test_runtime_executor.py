@@ -1,0 +1,157 @@
+"""run_evaluate / run_top_k / batch_top_k against the engine facade."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.core.engine import evaluate, top_k
+from repro.core.results import Order
+from repro.runtime.cache import PlanCache
+from repro.runtime.executor import batch_top_k, plan_confidence, run_evaluate, run_top_k
+from repro.runtime.plan import QueryPlan
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+
+from tests.conftest import make_fraction_sequence, make_sequence
+
+ALPHABET = "ab"
+
+
+def projector(indexed: bool = False) -> SProjector:
+    cls = IndexedSProjector if indexed else SProjector
+    return cls(sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET))
+
+
+def collapse():
+    return collapse_transducer({"a": "X", "b": "Y"})
+
+
+def as_tuples(answers):
+    return [(a.output, a.confidence, a.score) for a in answers]
+
+
+@pytest.mark.parametrize(
+    "build,order",
+    [
+        (collapse, "unranked"),
+        (collapse, "emax"),
+        (projector, "unranked"),
+        (projector, "imax"),
+        (lambda: projector(indexed=True), "confidence"),
+    ],
+)
+def test_prebuilt_plan_matches_engine(build, order) -> None:
+    rng = random.Random(11)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    query = build()
+    plan = QueryPlan.build(query)
+    assert as_tuples(run_evaluate(plan, sequence, order=order)) == as_tuples(
+        evaluate(sequence, query, order=order)
+    )
+
+
+def test_plan_confidence_matches_engine_dispatch() -> None:
+    rng = random.Random(3)
+    sequence = make_fraction_sequence(ALPHABET, 4, rng)
+    for build in (collapse, projector, lambda: projector(indexed=True)):
+        query = build()
+        plan = QueryPlan.build(query)
+        for answer in evaluate(sequence, query, allow_exponential=True):
+            assert plan_confidence(plan, sequence, answer.output) == answer.confidence
+
+
+def test_run_top_k_uses_plan_default_order() -> None:
+    rng = random.Random(5)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    plan = QueryPlan.build(collapse())
+    answers = run_top_k(plan, sequence, 3)
+    assert [a.order for a in answers] == [Order.EMAX] * len(answers)
+    assert as_tuples(answers) == as_tuples(top_k(sequence, collapse(), 3))
+
+
+def test_limit_truncates() -> None:
+    rng = random.Random(7)
+    sequence = make_sequence(ALPHABET, 4, rng)
+    full = list(run_evaluate(QueryPlan.build(collapse()), sequence))
+    assert len(full) > 2
+    limited = list(run_evaluate(QueryPlan.build(collapse()), sequence, limit=2))
+    assert as_tuples(limited) == as_tuples(full)[:2]
+
+
+def test_confidence_order_gated_for_non_indexed() -> None:
+    rng = random.Random(9)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    plan = QueryPlan.build(collapse())
+    with pytest.raises(ReproError, match="intractable"):
+        list(run_evaluate(plan, sequence, order="confidence"))
+    oracle = list(run_evaluate(plan, sequence, order="confidence", allow_exponential=True))
+    confidences = [a.confidence for a in oracle]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_imax_rejected_for_transducers() -> None:
+    rng = random.Random(9)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    with pytest.raises(ReproError, match="s-projector"):
+        list(run_evaluate(QueryPlan.build(collapse()), sequence, order="imax"))
+
+
+def test_stats_record_evaluations_and_answers() -> None:
+    rng = random.Random(13)
+    sequence = make_sequence(ALPHABET, 3, rng)
+    plan = QueryPlan.build(collapse())
+    produced = list(run_evaluate(plan, sequence))
+    assert plan.stats.evaluations == 1
+    assert plan.stats.answers == len(produced)
+    assert plan.stats.seconds >= 0.0
+    list(run_evaluate(plan, sequence, limit=1))
+    assert plan.stats.evaluations == 2
+
+
+def test_batch_top_k_merges_by_score() -> None:
+    rng = random.Random(17)
+    sequences = {name: make_sequence(ALPHABET, 4, rng) for name in ("s1", "s2", "s3")}
+    plan = QueryPlan.build(collapse())
+    merged = batch_top_k(plan, sequences, 4, order="emax")
+    # Global top-4 of the per-stream top-4 candidate pool, by score.
+    pool = [
+        (name, answer)
+        for name, sequence in sequences.items()
+        for answer in run_top_k(plan, sequence, 4, order="emax")
+    ]
+    pool.sort(key=lambda item: (-item[1].score, item[0], item[1].rendered()))
+    assert [(n, as_tuples([a])[0]) for n, a in merged] == [
+        (n, as_tuples([a])[0]) for n, a in pool[:4]
+    ]
+    scores = [answer.score for _, answer in merged]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_batch_top_k_sorts_unranked_answers_last() -> None:
+    """score=None must not masquerade as score 0 (it used to sort first
+    among, and tie with, genuinely ranked answers)."""
+    rng = random.Random(19)
+    sequences = {name: make_sequence(ALPHABET, 3, rng) for name in ("b", "a")}
+    plan = QueryPlan.build(collapse())
+    merged = batch_top_k(plan, sequences, 100, order="unranked")
+    assert merged and all(answer.score is None for _, answer in merged)
+    keys = [(name, answer.rendered()) for name, answer in merged]
+    assert keys == sorted(keys)  # deterministic (stream, output) tiebreak
+    # Repeated runs are stable.
+    assert keys == [
+        (name, answer.rendered())
+        for name, answer in batch_top_k(plan, sequences, 100, order="unranked")
+    ]
+
+
+def test_batch_top_k_shares_one_plan() -> None:
+    rng = random.Random(23)
+    sequences = {name: make_sequence(ALPHABET, 3, rng) for name in ("s1", "s2")}
+    cache = PlanCache()
+    batch_top_k(collapse(), sequences, 2, cache=cache)
+    assert (cache.misses, len(cache)) == (1, 1)

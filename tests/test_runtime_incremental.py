@@ -1,0 +1,221 @@
+"""StreamingEvaluator: appends must equal from-scratch evaluation exactly.
+
+The acceptance property for the runtime subsystem: for every query class,
+``StreamingEvaluator.append(timestep)`` returns confidences identical —
+bit-for-bit ``Fraction`` equality, not approximate — to a from-scratch
+``evaluate`` of the grown sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.automata.nfa import NFA
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.core.engine import evaluate
+from repro.runtime.incremental import StreamingEvaluator
+from repro.runtime.plan import PlanKind, QueryPlan
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+from tests.conftest import (
+    make_fraction_sequence,
+    make_fraction_timestep,
+    make_random_deterministic_transducer,
+    make_random_uniform_transducer,
+)
+
+ALPHABET = "ab"
+
+
+def _branching_nfa() -> NFA:
+    """A genuinely nondeterministic two-state machine over ``ab``."""
+    return NFA(
+        ALPHABET,
+        ["p", "q"],
+        "p",
+        {"p", "q"},
+        {
+            ("p", "a"): {"p", "q"},
+            ("p", "b"): {"p"},
+            ("q", "a"): {"q"},
+            ("q", "b"): {"p", "q"},
+        },
+    )
+
+
+def _uniform_nondeterministic() -> Transducer:
+    nfa = _branching_nfa()
+    omega = {move: ("x",) for move in nfa.transitions()}
+    omega[("p", "a", "q")] = ("y",)
+    omega[("q", "b", "p")] = ("y",)
+    return Transducer(nfa, omega)
+
+
+def _general_transducer() -> Transducer:
+    nfa = _branching_nfa()
+    omega = {move: ("x",) for move in nfa.transitions()}
+    omega[("p", "a", "q")] = ()
+    omega[("q", "b", "p")] = ("y", "x")
+    return Transducer(nfa, omega)
+
+
+QUERY_FAMILIES = {
+    "deterministic-transducer": lambda: collapse_transducer({"a": "X", "b": "Y"}),
+    "uniform-transducer": _uniform_nondeterministic,
+    "general-transducer": _general_transducer,
+    "sprojector": lambda: SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    ),
+    "indexed-sprojector": lambda: IndexedSProjector(
+        sigma_star(ALPHABET), regex_to_dfa("ab*", ALPHABET), sigma_star(ALPHABET)
+    ),
+}
+
+
+def scratch_confidences(sequence, query) -> dict:
+    return {
+        answer.output: answer.confidence
+        for answer in evaluate(sequence, query, allow_exponential=True)
+    }
+
+
+@pytest.mark.parametrize("family", sorted(QUERY_FAMILIES))
+def test_append_matches_scratch_exactly(family: str) -> None:
+    rng = random.Random(sum(map(ord, family)))
+    query = QUERY_FAMILIES[family]()
+    sequence = make_fraction_sequence(ALPHABET, 2, rng)
+    evaluator = StreamingEvaluator(query, sequence)
+    assert evaluator.confidences() == scratch_confidences(sequence, query)
+    for _ in range(4):
+        produced = evaluator.append(make_fraction_timestep(ALPHABET, rng))
+        expected = scratch_confidences(evaluator.sequence, query)
+        assert produced == expected  # exact Fraction equality
+        assert all(isinstance(v, Fraction) for v in produced.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6), length=st.integers(1, 4))
+def test_append_property(seed: int, length: int) -> None:
+    """Hypothesis sweep: random family, random exact stream, random appends."""
+    rng = random.Random(seed)
+    family = rng.choice(sorted(QUERY_FAMILIES))
+    query = QUERY_FAMILIES[family]()
+    evaluator = StreamingEvaluator(
+        query, make_fraction_sequence(ALPHABET, length, rng)
+    )
+    for _ in range(2):
+        produced = evaluator.append(make_fraction_timestep(ALPHABET, rng))
+        assert produced == scratch_confidences(evaluator.sequence, query)
+
+
+def test_initial_run_on_longer_sequence(rng) -> None:
+    query = QUERY_FAMILIES["sprojector"]()
+    sequence = make_fraction_sequence(ALPHABET, 5, rng)
+    evaluator = StreamingEvaluator(query, sequence)
+    assert evaluator.length == 5
+    assert evaluator.confidences() == scratch_confidences(sequence, query)
+
+
+def test_answers_match_unranked_enumeration(rng) -> None:
+    """answers() must reproduce the unranked order so run_evaluate can
+    substitute the cached frontier for a from-scratch run."""
+    for family in sorted(QUERY_FAMILIES):
+        query = QUERY_FAMILIES[family]()
+        sequence = make_fraction_sequence(ALPHABET, 4, rng)
+        evaluator = StreamingEvaluator(query, sequence)
+        streamed = [(a.output, a.confidence) for a in evaluator.answers()]
+        scratch = [
+            (a.output, a.confidence)
+            for a in evaluate(sequence, query, allow_exponential=True)
+        ]
+        assert streamed == scratch, family
+
+
+def test_checkpoint_rollback(rng) -> None:
+    query = QUERY_FAMILIES["deterministic-transducer"]()
+    evaluator = StreamingEvaluator(query, make_fraction_sequence(ALPHABET, 3, rng))
+    before = evaluator.confidences()
+    evaluator.checkpoint()
+    evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    assert evaluator.length == 5
+    evaluator.rollback()
+    assert evaluator.length == 3
+    assert evaluator.confidences() == before
+    # The restored frontier keeps absorbing appends correctly.
+    produced = evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    assert produced == scratch_confidences(evaluator.sequence, query)
+
+
+def test_rollback_without_checkpoint_raises(rng) -> None:
+    evaluator = StreamingEvaluator(
+        QUERY_FAMILIES["deterministic-transducer"](),
+        make_fraction_sequence(ALPHABET, 2, rng),
+    )
+    with pytest.raises(ReproError):
+        evaluator.rollback()
+
+
+def test_accepts_prebuilt_plan(rng) -> None:
+    plan = QueryPlan.build(QUERY_FAMILIES["deterministic-transducer"]())
+    sequence = make_fraction_sequence(ALPHABET, 3, rng)
+    evaluator = StreamingEvaluator(plan, sequence)
+    assert evaluator.plan is plan
+    assert evaluator.confidences() == scratch_confidences(sequence, plan.query)
+
+
+def test_append_records_dp_cells(rng) -> None:
+    plan = QueryPlan.build(QUERY_FAMILIES["deterministic-transducer"]())
+    evaluator = StreamingEvaluator(plan, make_fraction_sequence(ALPHABET, 2, rng))
+    before = plan.stats.dp_cells
+    evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    assert plan.stats.appends >= 1
+    assert plan.stats.dp_cells > before
+    assert evaluator.frontier_size > 0
+
+
+def test_float_sequences_stream_too(rng) -> None:
+    """Float streams match from-scratch runs up to float noise."""
+    from tests.conftest import make_sequence
+
+    query = QUERY_FAMILIES["indexed-sprojector"]()
+    sequence = make_sequence(ALPHABET, 3, rng)
+    evaluator = StreamingEvaluator(query, sequence)
+    produced = evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    expected = scratch_confidences(evaluator.sequence, query)
+    assert set(produced) == set(expected)
+    for answer, value in produced.items():
+        assert abs(float(value) - float(expected[answer])) < 1e-9
+
+
+def test_plan_kinds_cover_all_families() -> None:
+    kinds = {
+        family: QueryPlan.build(QUERY_FAMILIES[family]()).kind
+        for family in QUERY_FAMILIES
+    }
+    assert kinds == {
+        "deterministic-transducer": PlanKind.DETERMINISTIC,
+        "uniform-transducer": PlanKind.UNIFORM,
+        "general-transducer": PlanKind.GENERAL,
+        "sprojector": PlanKind.SPROJECTOR,
+        "indexed-sprojector": PlanKind.INDEXED_SPROJECTOR,
+    }
+
+
+def test_random_machines_stream_exactly(rng) -> None:
+    """Random transducers from the shared factories, exact streams."""
+    for make in (make_random_deterministic_transducer, make_random_uniform_transducer):
+        query = make(ALPHABET, 3, rng)
+        evaluator = StreamingEvaluator(query, make_fraction_sequence(ALPHABET, 2, rng))
+        for _ in range(3):
+            produced = evaluator.append(make_fraction_timestep(ALPHABET, rng))
+            assert produced == scratch_confidences(evaluator.sequence, query)

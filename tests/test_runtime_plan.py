@@ -1,0 +1,106 @@
+"""QueryPlan classification, compilation, and fingerprinting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import Order
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.runtime.plan import PlanKind, QueryPlan, fingerprint
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+
+ALPHABET = "ab"
+
+
+def a_plus_projector(indexed: bool = False) -> SProjector:
+    cls = IndexedSProjector if indexed else SProjector
+    return cls(sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET))
+
+
+def test_sprojector_plan_compiles_and_minimizes() -> None:
+    plan = QueryPlan.build(a_plus_projector())
+    assert plan.kind is PlanKind.SPROJECTOR
+    assert plan.minimized is not None
+    assert plan.compiled.check_alphabet(ALPHABET) is None
+    assert plan.default_order is Order.IMAX
+    # Minimized components never grow.
+    for name in ("prefix", "pattern", "suffix"):
+        assert len(getattr(plan.minimized, name).states) <= len(
+            getattr(plan.query, name).states
+        )
+
+
+def test_indexed_plan_defaults_to_confidence_order() -> None:
+    plan = QueryPlan.build(a_plus_projector(indexed=True))
+    assert plan.kind is PlanKind.INDEXED_SPROJECTOR
+    assert plan.default_order is Order.CONFIDENCE
+    assert "5.8" in plan.confidence_algorithm
+
+
+def test_deterministic_plan_streams() -> None:
+    plan = QueryPlan.build(collapse_transducer({"a": "X", "b": "Y"}))
+    assert plan.kind is PlanKind.DETERMINISTIC
+    assert plan.deterministic
+    assert plan.supports_streaming()
+    assert plan.default_order is Order.EMAX
+    assert plan.minimized is None
+    assert plan.compiled is plan.query
+
+
+def test_fingerprint_equal_for_equal_structures() -> None:
+    assert fingerprint(a_plus_projector()) == fingerprint(a_plus_projector())
+    assert fingerprint(collapse_transducer({"a": "X", "b": "Y"})) == fingerprint(
+        collapse_transducer({"a": "X", "b": "Y"})
+    )
+
+
+def test_fingerprint_canonicalizes_equivalent_components() -> None:
+    """Language-equal (but structurally different) component DFAs coincide
+    after the plan-time minimization, so they share a fingerprint."""
+    by_plus = a_plus_projector()
+    by_star = SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("aa*", ALPHABET), sigma_star(ALPHABET)
+    )
+    assert fingerprint(by_plus) == fingerprint(by_star)
+
+
+def test_fingerprint_separates_structures() -> None:
+    prints = {
+        fingerprint(a_plus_projector()),
+        fingerprint(a_plus_projector(indexed=True)),  # class is part of the hash
+        fingerprint(
+            SProjector(
+                sigma_star(ALPHABET), regex_to_dfa("b+", ALPHABET), sigma_star(ALPHABET)
+            )
+        ),
+        fingerprint(collapse_transducer({"a": "X", "b": "Y"})),
+        fingerprint(collapse_transducer({"a": "X", "b": "Z"})),
+    }
+    assert len(prints) == 5
+
+
+def test_fingerprint_rejects_non_queries() -> None:
+    with pytest.raises(TypeError):
+        fingerprint("not a query")
+    with pytest.raises(TypeError):
+        QueryPlan.build(42)
+
+
+def test_order_dispatch_mentions_each_order() -> None:
+    plan = QueryPlan.build(a_plus_projector())
+    dispatch = plan.order_dispatch()
+    assert set(dispatch) == set(Order)
+    assert "5.10" in dispatch[Order.IMAX]
+    indexed = QueryPlan.build(a_plus_projector(indexed=True)).order_dispatch()
+    assert "5.7" in indexed[Order.CONFIDENCE]
+    assert "unavailable" in indexed[Order.IMAX]
+
+
+def test_describe_is_a_plan_card() -> None:
+    card = QueryPlan.build(a_plus_projector()).describe()
+    for token in ("class:", "fingerprint:", "minimized:", "confidence:", "top-k"):
+        assert token in card
+    det = QueryPlan.build(collapse_transducer({"a": "X", "b": "Y"})).describe()
+    assert "streaming:   yes" in det

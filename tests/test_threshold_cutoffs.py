@@ -1,0 +1,172 @@
+"""Early-stop cutoffs of the min_confidence filter, per order.
+
+Each ranked order admits a sound early stop (``apply_threshold``):
+
+* CONFIDENCE — the stream is exactly decreasing; stop at the first
+  answer below the threshold.
+* EMAX — ``conf(o) <= support_size * E_max(o)`` (each world contributes
+  at most its probability, and there are ``support_size`` worlds), so
+  scores below ``theta / support_size`` end the scan.
+* IMAX — Proposition 5.9: ``conf(o) <= n * I_max(o)``, so scores below
+  ``theta / n`` end the scan.
+
+These tests verify not only *what* is yielded but *how much of the
+answer stream is consumed*, using a counting spy around a synthetic
+generator — an early stop that silently degrades to full consumption
+would still pass a results-only test.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.confidence.brute_force import brute_force_answers
+from repro.core.engine import _apply_threshold, evaluate
+from repro.core.results import Answer, Order
+from repro.markov.builders import uniform_iid
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+
+from tests.conftest import make_fraction_sequence
+
+ALPHABET = "ab"
+
+
+def spy(answers, consumed: list):
+    for answer in answers:
+        consumed.append(answer)
+        yield answer
+
+
+def ranked(order: Order, *pairs) -> list[Answer]:
+    """Synthetic (score, confidence) answer stream for one order."""
+    return [
+        Answer(("o", i), confidence, score, order)
+        for i, (score, confidence) in enumerate(pairs)
+    ]
+
+
+def test_confidence_order_stops_at_first_below() -> None:
+    sequence = uniform_iid(ALPHABET, 3, exact=True)
+    answers = ranked(
+        Order.CONFIDENCE,
+        (Fraction(3, 4), Fraction(3, 4)),
+        (Fraction(1, 2), Fraction(1, 2)),
+        (Fraction(1, 4), Fraction(1, 4)),
+        (Fraction(1, 8), Fraction(1, 8)),
+    )
+    consumed: list = []
+    out = list(
+        _apply_threshold(
+            sequence, Order.CONFIDENCE, spy(answers, consumed), Fraction(1, 2)
+        )
+    )
+    assert [a.confidence for a in out] == [Fraction(3, 4), Fraction(1, 2)]
+    # Stops on the first sub-threshold answer; the fourth is never pulled.
+    assert len(consumed) == 3
+
+
+def test_emax_cutoff_is_theta_over_support_size() -> None:
+    sequence = uniform_iid(ALPHABET, 3, exact=True)
+    assert sequence.support_size() == 8
+    theta = Fraction(1, 2)  # cutoff = theta / 8 = 1/16
+    answers = ranked(
+        Order.EMAX,
+        (Fraction(1, 2), Fraction(1, 2)),   # yielded
+        (Fraction(1, 8), Fraction(1, 4)),   # above cutoff, conf below theta: skipped
+        (Fraction(1, 32), Fraction(1, 4)),  # below cutoff 1/16: scan ends
+        (Fraction(1, 64), Fraction(1, 1)),  # unreachable
+    )
+    consumed: list = []
+    out = list(_apply_threshold(sequence, Order.EMAX, spy(answers, consumed), theta))
+    assert [a.output for a in out] == [("o", 0)]
+    assert len(consumed) == 3
+
+
+def test_imax_cutoff_is_theta_over_n() -> None:
+    sequence = uniform_iid(ALPHABET, 3, exact=True)
+    theta = Fraction(1, 2)  # cutoff = theta / n = 1/6
+    answers = ranked(
+        Order.IMAX,
+        (Fraction(1, 2), Fraction(1, 2)),   # yielded
+        (Fraction(1, 4), Fraction(1, 4)),   # above cutoff, conf below theta: skipped
+        (Fraction(1, 12), Fraction(1, 4)),  # below cutoff 1/6: scan ends
+        (Fraction(1, 24), Fraction(1, 1)),  # unreachable
+    )
+    consumed: list = []
+    out = list(_apply_threshold(sequence, Order.IMAX, spy(answers, consumed), theta))
+    assert [a.output for a in out] == [("o", 0)]
+    assert len(consumed) == 3
+
+
+def test_unranked_filters_without_early_stop() -> None:
+    """No sound cutoff exists without scores: everything is consumed."""
+    sequence = uniform_iid(ALPHABET, 3, exact=True)
+    answers = [
+        Answer(("o", i), confidence, None, Order.UNRANKED)
+        for i, confidence in enumerate(
+            [Fraction(1, 4), Fraction(3, 4), Fraction(1, 8), Fraction(1, 2)]
+        )
+    ]
+    consumed: list = []
+    out = list(
+        _apply_threshold(
+            sequence, Order.UNRANKED, spy(answers, consumed), Fraction(1, 2)
+        )
+    )
+    assert [a.confidence for a in out] == [Fraction(3, 4), Fraction(1, 2)]
+    assert len(consumed) == 4
+
+
+def projector(indexed: bool) -> SProjector:
+    cls = IndexedSProjector if indexed else SProjector
+    return cls(sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET))
+
+
+@pytest.mark.parametrize(
+    "build,order",
+    [
+        (lambda: collapse_transducer({"a": "X", "b": "Y"}), "emax"),
+        (lambda: projector(indexed=False), "imax"),
+        (lambda: projector(indexed=True), "confidence"),
+    ],
+)
+def test_fraction_thresholds_end_to_end(build, order) -> None:
+    """Exact-arithmetic integration: each ranked order with a Fraction
+    threshold returns exactly the brute-force answers at or above it."""
+    rng = random.Random(31)
+    sequence = make_fraction_sequence(ALPHABET, 4, rng)
+    query = build()
+    oracle = brute_force_answers(sequence, query)
+    theta = sorted(oracle.values())[len(oracle) // 2]
+    assert isinstance(theta, Fraction)
+    produced = {
+        a.output: a.confidence
+        for a in evaluate(sequence, query, order=order, min_confidence=theta)
+    }
+    assert produced == {
+        answer: confidence
+        for answer, confidence in oracle.items()
+        if confidence >= theta
+    }
+
+
+def test_min_confidence_requires_confidences() -> None:
+    sequence = uniform_iid(ALPHABET, 3, exact=True)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    with pytest.raises(ReproError, match="with_confidence"):
+        list(
+            evaluate(
+                sequence,
+                query,
+                order="emax",
+                with_confidence=False,
+                min_confidence=Fraction(1, 2),
+            )
+        )
