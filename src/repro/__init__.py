@@ -48,6 +48,13 @@ from repro.runtime import (
     default_plan_cache,
     plan_for,
 )
+from repro.parallel import (
+    PoolStats,
+    WorkerPool,
+    parallel_batch_confidence,
+    parallel_batch_top_k,
+    parallel_evaluate_many,
+)
 
 __version__ = "1.0.0"
 
@@ -78,6 +85,11 @@ __all__ = [
     "StreamingEvaluator",
     "default_plan_cache",
     "plan_for",
+    "PoolStats",
+    "WorkerPool",
+    "parallel_batch_confidence",
+    "parallel_batch_top_k",
+    "parallel_evaluate_many",
     "iid",
     "uniform_iid",
     "homogeneous",

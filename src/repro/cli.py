@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
     repro confidence --sequence seq.json --query query.json
                      --answer 1,2 [--index I]
     repro plan      --query query.json [--sequence seq.json]
+    repro batch     --query query.json --sequence a.json --sequence b.json
+                    [--corpus DIR] [-k K] [--workers N] [--answer 1,2]
     repro dot       --sequence seq.json | --query query.json
 
 The JSON formats are documented in :mod:`repro.io.json_format`.
@@ -18,6 +20,7 @@ The JSON formats are documented in :mod:`repro.io.json_format`.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import random
 import sys
 import time
@@ -26,6 +29,7 @@ from repro.errors import ReproError
 from repro.core.engine import compute_confidence, evaluate, top_k
 from repro.io.json_format import read_query, read_sequence
 from repro.lahar.monitor import occurrence_profile
+from repro.parallel import WorkerPool
 from repro.runtime.cache import default_plan_cache
 from repro.transducers.sprojector import IndexedSProjector, SProjector
 from repro.transducers.transducer import Transducer
@@ -190,6 +194,89 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _collect_corpus(args) -> dict:
+    """Named streams from repeated --sequence files and/or a --corpus dir."""
+    paths: list[pathlib.Path] = [pathlib.Path(p) for p in args.sequence or []]
+    if args.corpus:
+        directory = pathlib.Path(args.corpus)
+        if not directory.is_dir():
+            raise ReproError(f"--corpus {args.corpus!r} is not a directory")
+        paths.extend(sorted(directory.glob("*.json")))
+    if not paths:
+        raise ReproError("batch needs --sequence files and/or --corpus DIR")
+    corpus: dict = {}
+    for path in paths:
+        name = path.stem
+        suffix = 1
+        while name in corpus:
+            suffix += 1
+            name = f"{path.stem}~{suffix}"
+        corpus[name] = read_sequence(path)
+    return corpus
+
+
+def _print_pool_stats(stats: dict) -> None:
+    speedup = stats["speedup_estimate"]
+    print(
+        f"pool stats:  batches={stats['batches']} tasks={stats['tasks']} "
+        f"completed={stats['completed']} streams={stats['streams']} "
+        f"chunks={stats['chunks']}"
+    )
+    print(
+        f"             retries={stats['retries']} timeouts={stats['timeouts']} "
+        f"broken_pools={stats['broken_pools']} worker_errors={stats['worker_errors']} "
+        f"serial_fallbacks={stats['serial_fallbacks']} "
+        f"serial_batches={stats['serial_batches']} "
+        f"vectorized_batches={stats['vectorized_batches']}"
+    )
+    line = (
+        f"             wall={stats['wall_seconds'] * 1000:.2f} ms "
+        f"serial_estimate={stats['serial_estimate_seconds'] * 1000:.2f} ms"
+    )
+    if speedup is not None:
+        line += f" speedup_estimate={speedup:.2f}x"
+    print(line)
+
+
+def _cmd_batch(args) -> int:
+    corpus = _collect_corpus(args)
+    query = read_query(args.query)
+    vectorized = {"auto": "auto", "always": True, "never": False}[args.vectorized]
+    with WorkerPool(
+        args.workers,
+        chunk_size=args.chunk_size,
+        task_timeout=args.timeout,
+    ) as pool:
+        if args.answer is not None:
+            output = _parse_answer(args.answer)
+            confidences = pool.batch_confidence(
+                query,
+                corpus,
+                output,
+                allow_exponential=args.allow_exponential,
+                vectorized=vectorized,
+            )
+            for name, value in confidences.items():
+                print(f"{name}\t{float(value):.10g}")
+        else:
+            merged = pool.batch_top_k(
+                query,
+                corpus,
+                args.k,
+                order=args.order,
+                allow_exponential=args.allow_exponential,
+            )
+            for name, answer in merged:
+                fields = [name, answer.rendered()]
+                if answer.score is not None:
+                    fields.append(f"score={float(answer.score):.6g}")
+                if answer.confidence is not None:
+                    fields.append(f"confidence={float(answer.confidence):.6g}")
+                print("\t".join(fields))
+        _print_pool_stats(pool.stats.as_dict())
+    return 0
+
+
 def _cmd_dot(args) -> int:
     if args.sequence:
         print(sequence_to_dot(read_sequence(args.sequence)))
@@ -268,6 +355,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument("--allow-exponential", action="store_true")
     plan.set_defaults(handler=_cmd_plan)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run one query across many streams (process pool / vectorized)",
+    )
+    batch.add_argument("--query", required=True)
+    batch.add_argument(
+        "--sequence",
+        action="append",
+        help="a stream file; repeat for more (stream name = file stem)",
+    )
+    batch.add_argument("--corpus", help="directory of *.json stream files")
+    batch.add_argument("-k", type=int, default=5)
+    batch.add_argument(
+        "--order",
+        default=None,
+        choices=["unranked", "emax", "imax", "confidence"],
+        help="ranked order (default: the plan's best order)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: usable CPUs; 1 = serial)",
+    )
+    batch.add_argument("--chunk-size", type=int, default=None)
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-chunk timeout in seconds"
+    )
+    batch.add_argument(
+        "--answer",
+        default=None,
+        help="batched confidence of this comma-separated answer instead of top-k",
+    )
+    batch.add_argument(
+        "--vectorized",
+        default="auto",
+        choices=["auto", "always", "never"],
+        help="dense same-plan batching for --answer (default: auto)",
+    )
+    batch.add_argument("--allow-exponential", action="store_true")
+    batch.set_defaults(handler=_cmd_batch)
 
     dot = sub.add_parser("dot", help="emit a graphviz rendering")
     dot.add_argument("--sequence")

@@ -63,7 +63,9 @@ class MarkovSequence:
         Verify all stochasticity constraints (default True).
     """
 
-    __slots__ = ("symbols", "_index", "_initial", "_transitions", "length")
+    # __weakref__ lets per-stream derived data (e.g. the vectorized batch
+    # DP's gathered probability tensors) be cached weakly off the sequence.
+    __slots__ = ("symbols", "_index", "_initial", "_transitions", "length", "__weakref__")
 
     def __init__(
         self,
@@ -132,6 +134,15 @@ class MarkovSequence:
         if not 1 <= i < self.length:
             raise IndexError(f"transition index {i} outside [1, {self.length - 1}]")
         yield from self._transitions[i - 1].get(source, {}).items()
+
+    def transition_rows(self, i: int) -> Mapping[Symbol, Mapping[Symbol, Number]]:
+        """The sparse row dicts of ``mu_{i->}`` (``1 <= i < n``), keyed by
+        source symbol. Read-only: bulk consumers (the vectorized batch DP)
+        iterate it directly instead of paying one :meth:`successors`
+        generator per (position, source) pair."""
+        if not 1 <= i < self.length:
+            raise IndexError(f"transition index {i} outside [1, {self.length - 1}]")
+        return self._transitions[i - 1]
 
     def predecessors(self, i: int, target: Symbol) -> Iterator[tuple[Symbol, Number]]:
         """Nonzero predecessors ``(source, mu_{i->}(source, target))``."""

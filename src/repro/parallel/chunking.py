@@ -1,0 +1,54 @@
+"""Partitioning a stream corpus into worker-sized chunks.
+
+The unit of work shipped to a worker process is a *chunk*: a slice of
+the ``{name: MarkovSequence}`` corpus, small enough to load-balance
+across workers and large enough to amortize task overhead (pickling the
+query, re-planning in the worker on first sight of a fingerprint).
+
+Chunks preserve the corpus's mapping order and carry stream names, so
+any merge the parent performs can reproduce the exact deterministic
+(name, output) ordering of serial execution regardless of the order in
+which workers finish.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence
+
+#: Target number of chunks handed to each worker: oversubscribing a few
+#: chunks per worker keeps stragglers from idling the rest of the pool.
+OVERSUBSCRIPTION = 4
+
+
+def auto_chunk_size(items: int, workers: int) -> int:
+    """A chunk size giving ~``OVERSUBSCRIPTION`` chunks per worker."""
+    if items <= 0:
+        return 1
+    if workers < 1:
+        raise ReproError("chunking requires at least one worker")
+    return max(1, math.ceil(items / (workers * OVERSUBSCRIPTION)))
+
+
+def chunk_corpus(
+    sequences: Mapping[str, MarkovSequence],
+    chunk_size: int | None,
+    workers: int,
+) -> list[tuple[tuple[str, MarkovSequence], ...]]:
+    """Split a named corpus into chunks of ``chunk_size`` streams.
+
+    ``chunk_size=None`` picks :func:`auto_chunk_size`. Mapping order is
+    preserved within and across chunks.
+    """
+    items = list(sequences.items())
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(len(items), workers)
+    if chunk_size < 1:
+        raise ReproError("chunk size must be at least 1")
+    return [
+        tuple(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]

@@ -1,0 +1,326 @@
+"""A process-pool executor for one-plan/many-streams workloads.
+
+:class:`WorkerPool` fans a corpus of named Markov streams out across
+worker processes, ``OVERSUBSCRIPTION`` chunks per worker, and merges the
+results back into the exact deterministic ordering serial execution
+produces. What crosses the process boundary is always the *query* plus
+its fingerprint — never the plan (see :mod:`repro.parallel.worker`).
+
+Robustness model
+----------------
+* **Per-task timeouts** — the parent bounds how long it waits on each
+  chunk; a chunk that blows the budget is recomputed serially in the
+  parent (correct results, recorded as a timeout + serial fallback) and
+  the executor is retired, since a hung worker poisons its queue.
+* **Bounded retry with backoff** — a chunk whose worker raised, or that
+  died with the pool (``BrokenProcessPool``), is resubmitted up to
+  ``max_retries`` times with exponential backoff; the executor is
+  re-created after a breakage.
+* **Graceful serial fallback** — a chunk that exhausts its retries, and
+  every chunk of a batch when no executor can be created at all, runs
+  serially in the parent through the *same* chunk-execution code path,
+  so degraded batches return complete, identical results. Every event
+  lands in :class:`~repro.runtime.stats.PoolStats`.
+
+Batches over fewer than two streams, and pools configured with
+``workers <= 1``, skip process fan-out entirely and run serially
+in-process (``serial_batches`` in the stats).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from collections.abc import Mapping
+from concurrent.futures.process import BrokenProcessPool
+
+import multiprocessing
+
+from repro.errors import ReproError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.core.results import Answer, Order
+from repro.parallel.chunking import chunk_corpus
+from repro.parallel.vectorized import confidence_dense_batch, dense_batch_eligible
+from repro.parallel.worker import (
+    MODE_CONFIDENCE,
+    MODE_EVALUATE,
+    MODE_TOP_K,
+    ChunkResult,
+    ChunkTask,
+    execute_chunk,
+    make_task,
+)
+from repro.runtime.cache import PlanCache, plan_for
+from repro.runtime.executor import _merge_rank
+from repro.runtime.stats import PoolStats
+
+
+def default_worker_count() -> int:
+    """Usable CPUs for this process (affinity-aware when available)."""
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)
+
+
+class WorkerPool:
+    """Executes one query plan against many streams concurrently.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` uses the machine's usable CPUs,
+        ``<= 1`` keeps every batch serial in-process.
+    chunk_size:
+        Streams per task; ``None`` auto-sizes for ~4 chunks per worker.
+    task_timeout:
+        Parent-side bound, in seconds, on waiting for each chunk; ``None``
+        waits indefinitely.
+    max_retries:
+        Resubmissions allowed per chunk before falling back to serial.
+    retry_backoff:
+        Base of the exponential backoff sleep between retry rounds.
+    start_method:
+        Multiprocessing start method; ``None`` prefers ``fork`` where
+        available (workers inherit the imported engine; no re-import per
+        process) and otherwise uses the platform default.
+    cache:
+        Parent-side :class:`PlanCache` used to plan incoming queries;
+        a private cache when ``None``.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        chunk_size: int | None = None,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        start_method: str | None = None,
+        cache: PlanCache | None = None,
+        _worker_fn=None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ReproError("worker count cannot be negative")
+        if max_retries < 0:
+            raise ReproError("max_retries cannot be negative")
+        self.workers = workers if workers is not None else default_worker_count()
+        self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.start_method = start_method
+        self.stats = PoolStats()
+        self._cache = cache if cache is not None else PlanCache()
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._worker_fn = _worker_fn if _worker_fn is not None else execute_chunk
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the executor down without waiting for stragglers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _mp_context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            try:
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._mp_context()
+                )
+            except (OSError, ValueError, PermissionError):
+                self._executor = None
+        return self._executor
+
+    def _retire_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Public batch operations
+    # ------------------------------------------------------------------
+
+    def batch_top_k(
+        self,
+        query,
+        sequences: Mapping[str, MarkovSequence],
+        k: int,
+        order: Order | str | None = None,
+        allow_exponential: bool = False,
+    ) -> list[tuple[str, Answer]]:
+        """Globally best ``k`` answers across the corpus, one shared plan.
+
+        Result is identical — answers, scores, confidences, and
+        (name, output) ordering — to serial
+        :func:`repro.runtime.executor.batch_top_k`.
+        """
+        plan = plan_for(query, self._cache)
+        start = time.perf_counter()
+        options = {"k": k, "order": order, "allow_exponential": allow_exponential}
+        payloads = self._run_batch(MODE_TOP_K, plan, sequences, options)
+        candidates = [pair for payload in payloads for pair in payload]
+        candidates.sort(key=_merge_rank)
+        self.stats.record_batch(time.perf_counter() - start)
+        return candidates[:k]
+
+    def evaluate_many(
+        self,
+        query,
+        sequences: Mapping[str, MarkovSequence],
+        order: Order | str = Order.UNRANKED,
+        with_confidence: bool = True,
+        limit: int | None = None,
+        allow_exponential: bool = False,
+        min_confidence: Number | None = None,
+    ) -> dict[str, list[Answer]]:
+        """Full per-stream answer lists, keyed by name in corpus order."""
+        plan = plan_for(query, self._cache)
+        start = time.perf_counter()
+        options = {
+            "order": Order(order),
+            "with_confidence": with_confidence,
+            "limit": limit,
+            "allow_exponential": allow_exponential,
+            "min_confidence": min_confidence,
+        }
+        payloads = self._run_batch(MODE_EVALUATE, plan, sequences, options)
+        collected = {
+            name: list(answers) for payload in payloads for name, answers in payload
+        }
+        self.stats.record_batch(time.perf_counter() - start)
+        return {name: collected[name] for name in sequences}
+
+    def batch_confidence(
+        self,
+        query,
+        sequences: Mapping[str, MarkovSequence],
+        output,
+        allow_exponential: bool = True,
+        vectorized: bool | str = "auto",
+    ) -> dict[str, Number]:
+        """One output's confidence on every stream of the corpus.
+
+        ``vectorized="auto"`` uses the batched numpy DP when the plan is
+        dense-eligible (deterministic, k-uniform) and the corpus is an
+        equal-length float stack; ``True`` forces it (exact streams are
+        downgraded to floats); ``False`` always takes the exact
+        per-stream path through the pool.
+        """
+        plan = plan_for(query, self._cache)
+        start = time.perf_counter()
+        ordered = list(sequences.values())
+        if vectorized is True or (
+            vectorized == "auto" and dense_batch_eligible(plan, ordered)
+        ):
+            values = confidence_dense_batch(ordered, plan.compiled, output)
+            self.stats.vectorized_batches += 1
+            self.stats.streams += len(ordered)
+            self.stats.record_batch(time.perf_counter() - start)
+            return dict(zip(sequences, values))
+        options = {"output": tuple(output), "allow_exponential": allow_exponential}
+        payloads = self._run_batch(MODE_CONFIDENCE, plan, sequences, options)
+        collected = {name: value for payload in payloads for name, value in payload}
+        self.stats.record_batch(time.perf_counter() - start)
+        return {name: collected[name] for name in sequences}
+
+    # ------------------------------------------------------------------
+    # Fan-out machinery
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, mode, plan, sequences, options) -> list[tuple]:
+        """Chunk, ship, retry, fall back; returns per-chunk payloads."""
+        if self.workers <= 1 or len(sequences) <= 1:
+            task = make_task(mode, plan, sequences.items(), **options)
+            result = execute_chunk(task)
+            self.stats.serial_batches += 1
+            self.stats.record_chunk(result.seconds, len(task.items))
+            return [result.payload]
+        chunks = chunk_corpus(sequences, self.chunk_size, self.workers)
+        tasks = [
+            make_task(mode, plan, chunk, **options) for chunk in chunks
+        ]
+        return self._run_chunks(tasks)
+
+    def _run_chunks(self, tasks: list[ChunkTask]) -> list[tuple]:
+        results: list[tuple | None] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        while pending:
+            executor = self._ensure_executor()
+            if executor is None:
+                # No process pool available at all: degrade gracefully.
+                for index in pending:
+                    self._serial_fallback(tasks, results, index)
+                break
+            submitted = [
+                (index, executor.submit(self._worker_fn, tasks[index]))
+                for index in pending
+            ]
+            self.stats.tasks += len(submitted)
+            retry: list[int] = []
+            pool_broke = False
+            for index, future in submitted:
+                try:
+                    chunk: ChunkResult = future.result(timeout=self.task_timeout)
+                except concurrent.futures.TimeoutError:
+                    self.stats.timeouts += 1
+                    future.cancel()
+                    # A worker stuck past its budget poisons the queue;
+                    # retire the executor and answer from the parent.
+                    self._retire_executor()
+                    self._serial_fallback(tasks, results, index)
+                except BrokenProcessPool:
+                    if not pool_broke:
+                        pool_broke = True
+                        self.stats.broken_pools += 1
+                    self._retire_executor()
+                    self._schedule_retry(tasks, results, attempts, retry, index)
+                except concurrent.futures.CancelledError:
+                    # Cancelled alongside a retired executor: just retry.
+                    self._schedule_retry(tasks, results, attempts, retry, index)
+                except Exception:
+                    self.stats.worker_errors += 1
+                    self._schedule_retry(tasks, results, attempts, retry, index)
+                else:
+                    self.stats.completed += 1
+                    self.stats.record_chunk(chunk.seconds, len(tasks[index].items))
+                    results[index] = chunk.payload
+            if retry:
+                round_number = max(attempts[index] for index in retry)
+                time.sleep(self.retry_backoff * (2 ** (round_number - 1)))
+            pending = retry
+        # Every index completed, fell back, or was retried to one of those
+        # ends, so all slots are filled; chunk (= corpus) order preserved.
+        return list(results)
+
+    def _schedule_retry(self, tasks, results, attempts, retry, index) -> None:
+        attempts[index] += 1
+        if attempts[index] <= self.max_retries:
+            self.stats.retries += 1
+            retry.append(index)
+        else:
+            self._serial_fallback(tasks, results, index)
+
+    def _serial_fallback(self, tasks, results, index) -> None:
+        result = execute_chunk(tasks[index])
+        self.stats.serial_fallbacks += 1
+        self.stats.record_chunk(result.seconds, len(tasks[index].items))
+        results[index] = result.payload

@@ -29,12 +29,13 @@ from repro.runtime.cache import PlanCache, default_plan_cache, plan_for
 from repro.runtime.executor import batch_top_k, run_evaluate, run_top_k
 from repro.runtime.incremental import StreamingEvaluator
 from repro.runtime.plan import PlanKind, QueryPlan
-from repro.runtime.stats import PlanStats
+from repro.runtime.stats import PlanStats, PoolStats
 
 __all__ = [
     "PlanCache",
     "PlanKind",
     "PlanStats",
+    "PoolStats",
     "QueryPlan",
     "StreamingEvaluator",
     "batch_top_k",

@@ -6,10 +6,19 @@ query shapes over and over should pay it once. The cache is keyed by the
 plan's *structural fingerprint*, so separately constructed but
 structurally identical query objects share one plan — and one set of
 execution counters.
+
+The cache is thread-safe: the ``OrderedDict`` and the hit/miss/eviction
+counters are guarded by a :class:`threading.Lock`, so the process-wide
+default cache survives concurrent use (the parallel subsystem's merge
+threads, future async endpoints). Plan *construction* also happens under
+the lock — concurrent misses on the same shape serialize rather than
+racing to build duplicate plans, which keeps the per-fingerprint
+``PlanStats`` block unique.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import ReproError
@@ -31,49 +40,62 @@ class PlanCache:
             raise ReproError("plan cache capacity must be at least 1")
         self.capacity = capacity
         self._plans: OrderedDict[str, QueryPlan] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, query) -> QueryPlan:
-        """The cached plan for ``query``'s shape, building it on a miss."""
-        key = fingerprint(query)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
+    def get(self, query, fingerprint_hint: str | None = None) -> QueryPlan:
+        """The cached plan for ``query``'s shape, building it on a miss.
+
+        ``fingerprint_hint`` optionally supplies a fingerprint computed
+        elsewhere (e.g. shipped to a worker process alongside the query),
+        skipping the canonicalization hashing; it must be the value
+        :func:`repro.runtime.plan.fingerprint` would return.
+        """
+        key = fingerprint_hint if fingerprint_hint is not None else fingerprint(query)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+            plan = QueryPlan.build(query, fingerprint_hint=key)
+            self._plans[key] = plan
+            if len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
             return plan
-        self.misses += 1
-        plan = QueryPlan.build(query)
-        self._plans[key] = plan
-        if len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.evictions += 1
-        return plan
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, query) -> bool:
-        return fingerprint(query) in self._plans
+        key = fingerprint(query)
+        with self._lock:
+            return key in self._plans
 
     def clear(self) -> None:
         """Drop all plans and reset the counters."""
-        self._plans.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict:
         """Counters plus the per-plan execution stats, for display."""
-        return {
-            "size": len(self._plans),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "plans": {
-                key[:16]: plan.stats.as_dict() for key, plan in self._plans.items()
-            },
-        }
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "plans": {
+                    key[:16]: plan.stats.as_dict() for key, plan in self._plans.items()
+                },
+            }
 
 
 _DEFAULT_CACHE = PlanCache()

@@ -12,11 +12,13 @@ of an unchanged (or grown) stream reuse the cached DP frontier, and uses
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Iterator, Mapping
 
 from repro.errors import ReproError
 from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
+from repro.confidence.batch import confidence_deterministic_batch
 from repro.confidence.brute_force import brute_force_answers, brute_force_confidence
 from repro.confidence.deterministic import confidence_deterministic
 from repro.confidence.indexed import confidence_indexed
@@ -275,19 +277,73 @@ def batch_top_k(
     warehouses. Answers without a score (unranked evaluation) sort after
     all ranked answers, with a deterministic (name, rendered-output)
     tiebreak, rather than masquerading as score 0.
+
+    For deterministic-transducer plans (whose merge ranks do not depend
+    on confidence) the per-answer Theorem 4.6 DP is deferred until after
+    the merge and then run as *one shared-trie batch pass per surviving
+    stream* (:func:`repro.confidence.batch.confidence_deterministic_batch`),
+    so at most ``k`` confidences are computed in total instead of ``k``
+    per stream. The answers, scores, order, and confidences are
+    identical to the eager path — bit-for-bit over ``Fraction`` inputs.
     """
     plan = plan_for(plan, cache)
+    resolved = Order(order) if order is not None else plan.default_order
+    defer_confidence = plan.kind is PlanKind.DETERMINISTIC and resolved in (
+        Order.EMAX,
+        Order.UNRANKED,
+    )
     candidates: list[tuple[str, Answer]] = []
     for name, sequence in sequences.items():
         evaluator = evaluators.get(name) if evaluators is not None else None
-        for answer in run_top_k(
-            plan,
-            sequence,
-            k,
-            order=order,
-            allow_exponential=allow_exponential,
-            evaluator=evaluator,
-        ):
+        if defer_confidence and evaluator is None:
+            answers = run_evaluate(
+                plan,
+                sequence,
+                order=resolved,
+                with_confidence=False,
+                limit=k,
+                allow_exponential=allow_exponential,
+            )
+        else:
+            answers = run_top_k(
+                plan,
+                sequence,
+                k,
+                order=resolved,
+                allow_exponential=allow_exponential,
+                evaluator=evaluator,
+            )
+        for answer in answers:
             candidates.append((name, answer))
     candidates.sort(key=_merge_rank)
-    return candidates[:k]
+    top = candidates[:k]
+    if defer_confidence:
+        top = _fill_deferred_confidences(plan, sequences, top)
+    return top
+
+
+def _fill_deferred_confidences(
+    plan: QueryPlan,
+    sequences: Mapping[str, MarkovSequence],
+    merged: list[tuple[str, Answer]],
+) -> list[tuple[str, Answer]]:
+    """Attach confidences the merge deferred, one trie-batch DP per stream."""
+    pending: dict[str, list[int]] = {}
+    for position, (name, answer) in enumerate(merged):
+        if answer.confidence is None:
+            pending.setdefault(name, []).append(position)
+    filled = list(merged)
+    for name, positions in pending.items():
+        outputs = [merged[position][1].output for position in positions]
+        confidences = confidence_deterministic_batch(
+            sequences[name], plan.compiled, outputs
+        )
+        for position in positions:
+            answer = merged[position][1]
+            filled[position] = (
+                name,
+                dataclasses.replace(
+                    answer, confidence=confidences[tuple(answer.output)]
+                ),
+            )
+    return filled

@@ -200,9 +200,14 @@ class QueryPlan:
     stats: PlanStats = field(default_factory=PlanStats)
 
     @staticmethod
-    def build(query) -> "QueryPlan":
-        """Classify, minimize, and compile ``query`` into a plan."""
-        digest = fingerprint(query)
+    def build(query, fingerprint_hint: str | None = None) -> "QueryPlan":
+        """Classify, minimize, and compile ``query`` into a plan.
+
+        ``fingerprint_hint`` optionally supplies the structural
+        fingerprint when the caller already computed (or was shipped)
+        it; it must equal ``fingerprint(query)``.
+        """
+        digest = fingerprint_hint if fingerprint_hint is not None else fingerprint(query)
         if isinstance(query, SProjector):
             kind = (
                 PlanKind.INDEXED_SPROJECTOR

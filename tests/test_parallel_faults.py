@@ -1,0 +1,162 @@
+"""Fault injection for the worker pool.
+
+Workers that raise, hang past the timeout, or die outright
+(``BrokenProcessPool``) must never change *results* — only the stats
+record that the batch degraded (retries, timeouts, broken pools, serial
+fallbacks). Every injected worker below is a module-level function so it
+pickles across the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.parallel import WorkerPool
+from repro.parallel.worker import execute_chunk
+from repro.runtime.executor import batch_top_k
+from repro.runtime.plan import QueryPlan
+from repro.transducers.library import collapse_transducer
+
+from tests.conftest import make_fraction_sequence
+
+ALPHABET = "ab"
+
+
+def _query():
+    return collapse_transducer({"a": "X", "b": "Y"})
+
+
+def _corpus(streams: int = 4, length: int = 3, seed: int = 11) -> dict:
+    rng = random.Random(seed)
+    return {
+        f"s{i}": make_fraction_sequence(ALPHABET, length, rng)
+        for i in range(streams)
+    }
+
+
+def _serial(corpus, k: int = 4):
+    pairs = batch_top_k(QueryPlan.build(_query()), corpus, k)
+    return [(n, a.output, a.confidence, a.score) for n, a in pairs]
+
+
+def _key(pairs):
+    return [(n, a.output, a.confidence, a.score) for n, a in pairs]
+
+
+# --- injected workers (module-level: must pickle) -------------------------
+
+
+def _raise_worker(task):  # pragma: no cover - runs in worker processes
+    raise RuntimeError("injected worker failure")
+
+
+def _hang_worker(task):  # pragma: no cover - runs in worker processes
+    time.sleep(2.0)
+    return execute_chunk(task)
+
+
+def _crash_worker(task):  # pragma: no cover - runs in worker processes
+    os._exit(1)
+
+
+def _poison_worker(task):  # pragma: no cover - runs in worker processes
+    if any(name == "poison" for name, _sequence in task.items):
+        raise RuntimeError("injected poison stream")
+    return execute_chunk(task)
+
+
+# --- the faults -----------------------------------------------------------
+
+
+def test_raising_worker_retries_then_falls_back() -> None:
+    corpus = _corpus(4)
+    with WorkerPool(
+        2, chunk_size=2, max_retries=1, retry_backoff=0.001, _worker_fn=_raise_worker
+    ) as pool:
+        result = pool.batch_top_k(_query(), corpus, 4)
+        stats = pool.stats
+        # 2 chunks x (1 attempt + 1 retry), all raising, then serial rescue.
+        assert stats.worker_errors == 4
+        assert stats.retries == 2
+        assert stats.serial_fallbacks == 2
+        assert stats.completed == 0
+    assert _key(result) == _serial(corpus)
+
+
+def test_hanging_worker_times_out_and_answers_serially() -> None:
+    corpus = _corpus(2)
+    with WorkerPool(
+        2, chunk_size=2, task_timeout=0.2, _worker_fn=_hang_worker
+    ) as pool:
+        start = time.perf_counter()
+        result = pool.batch_top_k(_query(), corpus, 4)
+        elapsed = time.perf_counter() - start
+        stats = pool.stats
+        assert stats.timeouts == 1
+        assert stats.serial_fallbacks == 1
+        assert stats.completed == 0
+        assert pool._executor is None  # hung worker retired the executor
+    assert elapsed < 1.9  # answered before the hung worker would have
+    assert _key(result) == _serial(corpus)
+
+
+def test_broken_pool_retries_with_backoff_then_falls_back() -> None:
+    corpus = _corpus(2)
+    with WorkerPool(
+        2, chunk_size=2, max_retries=1, retry_backoff=0.01, _worker_fn=_crash_worker
+    ) as pool:
+        result = pool.batch_top_k(_query(), corpus, 4)
+        stats = pool.stats
+        # The pool broke on the first attempt, was re-created for the
+        # retry, broke again, and the chunk was rescued serially.
+        assert stats.broken_pools == 2
+        assert stats.retries == 1
+        assert stats.serial_fallbacks == 1
+        assert stats.completed == 0
+    assert _key(result) == _serial(corpus)
+
+
+def test_broken_pool_recovers_mid_batch_with_partial_results() -> None:
+    # One poisoned chunk; the rest complete in workers. With no retry
+    # budget, the batch reports partial worker results plus exactly one
+    # serial rescue — and the merged answers are still exact.
+    corpus = _corpus(3)
+    corpus["poison"] = make_fraction_sequence(ALPHABET, 3, random.Random(99))
+    with WorkerPool(
+        2, chunk_size=1, max_retries=0, _worker_fn=_poison_worker
+    ) as pool:
+        result = pool.batch_top_k(_query(), corpus, 6)
+        stats = pool.stats
+        assert stats.completed == 3  # partial results from live workers
+        assert stats.worker_errors == 1
+        assert stats.serial_fallbacks == 1
+    serial = batch_top_k(QueryPlan.build(_query()), corpus, 6)
+    assert _key(result) == _key(serial)
+
+
+def test_no_executor_available_degrades_to_serial(monkeypatch) -> None:
+    corpus = _corpus(4)
+    with WorkerPool(2, chunk_size=2) as pool:
+        monkeypatch.setattr(pool, "_ensure_executor", lambda: None)
+        result = pool.batch_top_k(_query(), corpus, 4)
+        stats = pool.stats
+        assert stats.serial_fallbacks == 2
+        assert stats.tasks == 0
+    assert _key(result) == _serial(corpus)
+
+
+def test_stats_dict_reflects_fault_counters() -> None:
+    corpus = _corpus(2)
+    with WorkerPool(
+        2, chunk_size=2, max_retries=0, retry_backoff=0.001, _worker_fn=_raise_worker
+    ) as pool:
+        pool.batch_top_k(_query(), corpus, 2)
+        snapshot = pool.stats.as_dict()
+    assert snapshot["worker_errors"] == 1
+    assert snapshot["serial_fallbacks"] == 1
+    assert snapshot["retries"] == 0
+    assert snapshot["chunks"] == 1  # only the serial rescue computed it

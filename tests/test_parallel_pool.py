@@ -1,0 +1,286 @@
+"""The worker pool: chunking, fan-out, deterministic merges, rewiring."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.cli import main
+from repro.io.json_format import write_query, write_sequence
+from repro.lahar.database import MarkovStreamDatabase
+from repro.parallel import (
+    WorkerPool,
+    auto_chunk_size,
+    chunk_corpus,
+    parallel_batch_confidence,
+    parallel_batch_top_k,
+    parallel_evaluate_many,
+)
+from repro.runtime.executor import batch_top_k, plan_confidence, run_evaluate
+from repro.runtime.plan import QueryPlan
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import SProjector
+
+from tests.conftest import make_fraction_sequence
+
+ALPHABET = "ab"
+
+
+def collapse():
+    return collapse_transducer({"a": "X", "b": "Y"})
+
+
+def projector():
+    return SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    )
+
+
+def corpus_of(count: int, length: int = 4, seed: int = 5):
+    rng = random.Random(seed)
+    return {
+        f"s{i:02d}": make_fraction_sequence(ALPHABET, length, rng)
+        for i in range(count)
+    }
+
+
+def as_tuples(pairs):
+    return [(n, a.output, a.confidence, a.score, a.order) for n, a in pairs]
+
+
+# ---------------------------------------------------------------------------
+# Chunking
+# ---------------------------------------------------------------------------
+
+
+def test_auto_chunk_size_targets_oversubscription() -> None:
+    assert auto_chunk_size(0, 4) == 1
+    assert auto_chunk_size(1, 4) == 1
+    assert auto_chunk_size(64, 4) == 4  # 16 chunks for 4 workers
+    assert auto_chunk_size(3, 8) == 1
+
+
+def test_chunk_corpus_preserves_order_and_names() -> None:
+    corpus = corpus_of(7)
+    chunks = chunk_corpus(corpus, 3, workers=2)
+    assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+    flattened = [name for chunk in chunks for name, _sequence in chunk]
+    assert flattened == list(corpus)
+
+
+def test_chunk_corpus_rejects_bad_size() -> None:
+    with pytest.raises(ReproError):
+        chunk_corpus(corpus_of(2), 0, workers=2)
+
+
+# ---------------------------------------------------------------------------
+# Pool results == serial results
+# ---------------------------------------------------------------------------
+
+
+def test_pool_batch_top_k_matches_serial() -> None:
+    corpus = corpus_of(6)
+    query = collapse()
+    serial = batch_top_k(QueryPlan.build(query), corpus, 5, order="emax")
+    with WorkerPool(2, chunk_size=2) as pool:
+        merged = pool.batch_top_k(query, corpus, 5, order="emax")
+        # Repeat through the same pool: same answer, warm worker caches.
+        again = pool.batch_top_k(query, corpus, 5, order="emax")
+    assert as_tuples(merged) == as_tuples(serial)
+    assert as_tuples(again) == as_tuples(serial)
+
+
+def test_pool_serial_mode_and_single_stream_skip_fanout() -> None:
+    corpus = corpus_of(4)
+    query = collapse()
+    serial = batch_top_k(QueryPlan.build(query), corpus, 3)
+    with WorkerPool(1) as pool:
+        assert as_tuples(pool.batch_top_k(query, corpus, 3)) == as_tuples(serial)
+        assert pool.stats.serial_batches == 1
+        assert pool.stats.tasks == 0
+    single = {"only": next(iter(corpus.values()))}
+    with WorkerPool(4) as pool:
+        pool.batch_top_k(query, single, 3)
+        assert pool.stats.serial_batches == 1  # one stream: not worth shipping
+
+
+def test_pool_evaluate_many_matches_run_evaluate() -> None:
+    corpus = corpus_of(5, length=3)
+    query = projector()
+    plan = QueryPlan.build(query)
+    expected = {
+        name: [
+            (a.output, a.confidence, a.score)
+            for a in run_evaluate(plan, sequence, order="imax")
+        ]
+        for name, sequence in corpus.items()
+    }
+    with WorkerPool(2, chunk_size=2) as pool:
+        produced = pool.evaluate_many(query, corpus, order="imax")
+    assert list(produced) == list(corpus)  # corpus order, regardless of chunks
+    assert {
+        name: [(a.output, a.confidence, a.score) for a in answers]
+        for name, answers in produced.items()
+    } == expected
+
+
+def test_pool_batch_confidence_exact_path() -> None:
+    corpus = corpus_of(5, length=3)
+    query = collapse()
+    plan = QueryPlan.build(query)
+    output = next(iter(run_evaluate(plan, next(iter(corpus.values()))))).output
+    expected = {
+        name: plan_confidence(plan, sequence, output)
+        for name, sequence in corpus.items()
+    }
+    with WorkerPool(2, chunk_size=2) as pool:
+        produced = pool.batch_confidence(query, corpus, output, vectorized=False)
+    assert produced == expected  # exact Fractions survive the pool
+
+
+def test_one_shot_helpers_match_serial() -> None:
+    corpus = corpus_of(4, length=3)
+    query = collapse()
+    plan = QueryPlan.build(query)
+    serial = batch_top_k(plan, corpus, 4, order="emax")
+    assert as_tuples(
+        parallel_batch_top_k(query, corpus, 4, workers=2, order="emax", chunk_size=1)
+    ) == as_tuples(serial)
+    produced = parallel_evaluate_many(query, corpus, workers=2, order="emax")
+    assert list(produced) == list(corpus)
+    output = serial[0][1].output
+    confidences = parallel_batch_confidence(
+        query, corpus, output, workers=2, vectorized=False
+    )
+    assert confidences == {
+        name: plan_confidence(plan, sequence, output)
+        for name, sequence in corpus.items()
+    }
+
+
+def test_pool_stats_account_chunks_and_streams() -> None:
+    corpus = corpus_of(6)
+    with WorkerPool(2, chunk_size=2) as pool:
+        pool.batch_top_k(collapse(), corpus, 3)
+        stats = pool.stats.as_dict()
+    assert stats["batches"] == 1
+    assert stats["tasks"] == 3 == stats["completed"] == stats["chunks"]
+    assert stats["streams"] == 6
+    assert stats["serial_estimate_seconds"] > 0
+    assert stats["wall_seconds"] > 0
+    assert stats["speedup_estimate"] is not None
+
+
+def test_worker_count_validation() -> None:
+    with pytest.raises(ReproError):
+        WorkerPool(-1)
+    with pytest.raises(ReproError):
+        WorkerPool(2, max_retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# Database rewiring
+# ---------------------------------------------------------------------------
+
+
+def test_database_top_k_across_workers_matches_serial() -> None:
+    db = MarkovStreamDatabase()
+    for name, sequence in corpus_of(5).items():
+        db.register_stream(name, sequence)
+    db.register_query("collapse", collapse())
+    serial = db.top_k_across("collapse", 4)
+    pooled = db.top_k_across("collapse", 4, workers=2)
+    assert [(r.stream, r.answer) for r in pooled] == [
+        (r.stream, r.answer) for r in serial
+    ]
+    with WorkerPool(2, chunk_size=2) as pool:
+        held = db.top_k_across("collapse", 4, pool=pool)
+        assert pool.stats.batches == 1
+    assert [(r.stream, r.answer) for r in held] == [
+        (r.stream, r.answer) for r in serial
+    ]
+
+
+def test_database_batch_confidence() -> None:
+    db = MarkovStreamDatabase()
+    corpus = corpus_of(4, length=3)
+    for name, sequence in corpus.items():
+        db.register_stream(name, sequence)
+    query = collapse()
+    plan = QueryPlan.build(query)
+    output = next(iter(run_evaluate(plan, next(iter(corpus.values()))))).output
+    values = db.batch_confidence(query, output, vectorized=False)
+    assert values == {
+        name: plan_confidence(plan, sequence, output)
+        for name, sequence in corpus.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def batch_files(tmp_path):
+    query_path = tmp_path / "query.json"
+    write_query(collapse(), query_path)
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    for name, sequence in corpus_of(3, length=3).items():
+        write_sequence(sequence, corpus_dir / f"{name}.json")
+    return str(query_path), str(corpus_dir)
+
+
+def test_cli_batch_top_k(batch_files, capsys) -> None:
+    query, corpus_dir = batch_files
+    assert (
+        main(
+            [
+                "batch",
+                "--query", query,
+                "--corpus", corpus_dir,
+                "-k", "4",
+                "--workers", "2",
+                "--chunk-size", "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    answer_lines = [line for line in lines if line.startswith("s")]
+    assert 3 <= len(answer_lines) <= 4  # every stream answers; merged cap is k
+    assert all("score=" in line and "confidence=" in line for line in answer_lines)
+    assert "pool stats:" in out and "serial_fallbacks=0" in out
+
+
+def test_cli_batch_confidence_mode(batch_files, capsys) -> None:
+    query, corpus_dir = batch_files
+    assert (
+        main(
+            [
+                "batch",
+                "--query", query,
+                "--corpus", corpus_dir,
+                "--answer", "X",
+                "--workers", "1",
+                "--vectorized", "never",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    value_lines = [line for line in out.strip().splitlines() if line.startswith("s")]
+    assert len(value_lines) == 3
+
+
+def test_cli_batch_requires_streams(tmp_path, capsys) -> None:
+    query_path = tmp_path / "query.json"
+    write_query(collapse(), query_path)
+    assert main(["batch", "--query", str(query_path)]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,166 @@
+"""Property test: pooled execution is bit-identical to serial execution.
+
+The acceptance property for the parallel subsystem: for every Table-2
+query class, :class:`WorkerPool` results — answers, confidences, scores,
+and ordering — equal serial ``batch_top_k``/``run_evaluate`` results with
+exact ``Fraction`` equality, across the fan-out path, the ``workers=1``
+serial path, and the forced fallback-to-serial path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.operations import sigma_star
+from repro.automata.regex import regex_to_dfa
+from repro.parallel import WorkerPool
+from repro.runtime.executor import batch_top_k, run_evaluate
+from repro.runtime.plan import PlanKind, QueryPlan
+from repro.transducers.library import collapse_transducer
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+from tests.conftest import make_fraction_sequence
+
+ALPHABET = "ab"
+
+
+def _branching_nfa() -> NFA:
+    """A genuinely nondeterministic two-state machine over ``ab``."""
+    return NFA(
+        ALPHABET,
+        ["p", "q"],
+        "p",
+        {"p", "q"},
+        {
+            ("p", "a"): {"p", "q"},
+            ("p", "b"): {"p"},
+            ("q", "a"): {"q"},
+            ("q", "b"): {"p", "q"},
+        },
+    )
+
+
+def _uniform_nondeterministic() -> Transducer:
+    nfa = _branching_nfa()
+    omega = {move: ("x",) for move in nfa.transitions()}
+    omega[("p", "a", "q")] = ("y",)
+    omega[("q", "b", "p")] = ("y",)
+    return Transducer(nfa, omega)
+
+
+def _general_transducer() -> Transducer:
+    nfa = _branching_nfa()
+    omega = {move: ("x",) for move in nfa.transitions()}
+    omega[("p", "a", "q")] = ()
+    omega[("q", "b", "p")] = ("y", "x")
+    return Transducer(nfa, omega)
+
+
+QUERY_FAMILIES = {
+    "deterministic-transducer": lambda: collapse_transducer({"a": "X", "b": "Y"}),
+    "uniform-transducer": _uniform_nondeterministic,
+    "general-transducer": _general_transducer,
+    "sprojector": lambda: SProjector(
+        sigma_star(ALPHABET), regex_to_dfa("a+", ALPHABET), sigma_star(ALPHABET)
+    ),
+    "indexed-sprojector": lambda: IndexedSProjector(
+        sigma_star(ALPHABET), regex_to_dfa("ab*", ALPHABET), sigma_star(ALPHABET)
+    ),
+}
+
+EXPECTED_KINDS = {
+    "deterministic-transducer": PlanKind.DETERMINISTIC,
+    "uniform-transducer": PlanKind.UNIFORM,
+    "general-transducer": PlanKind.GENERAL,
+    "sprojector": PlanKind.SPROJECTOR,
+    "indexed-sprojector": PlanKind.INDEXED_SPROJECTOR,
+}
+
+
+def _raise_worker(task):  # pragma: no cover - runs inside worker processes
+    raise RuntimeError("injected worker failure")
+
+
+@pytest.fixture(scope="module")
+def fanout_pool():
+    with WorkerPool(2, chunk_size=1) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def failing_pool():
+    # Every submission raises; with no retry budget every chunk must be
+    # recomputed serially in the parent — results still exact.
+    with WorkerPool(2, chunk_size=1, max_retries=0, _worker_fn=_raise_worker) as pool:
+        yield pool
+
+
+def _corpus(rng: random.Random, streams: int = 3, length: int = 3) -> dict:
+    return {
+        f"s{i}": make_fraction_sequence(ALPHABET, length, rng)
+        for i in range(streams)
+    }
+
+
+def _key(pairs):
+    return [(name, a.output, a.confidence, a.score, a.order) for name, a in pairs]
+
+
+def test_families_cover_all_table2_classes() -> None:
+    for family, build in QUERY_FAMILIES.items():
+        assert QueryPlan.build(build()).kind is EXPECTED_KINDS[family]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_pool_top_k_bit_identical_to_serial(seed: int, fanout_pool, failing_pool) -> None:
+    rng = random.Random(seed)
+    family = rng.choice(sorted(QUERY_FAMILIES))
+    query = QUERY_FAMILIES[family]()
+    corpus = _corpus(rng)
+    serial = _key(
+        batch_top_k(QueryPlan.build(query), corpus, 4, allow_exponential=True)
+    )
+    pooled = _key(
+        fanout_pool.batch_top_k(query, corpus, 4, allow_exponential=True)
+    )
+    assert pooled == serial
+    with WorkerPool(1) as single:
+        assert (
+            _key(single.batch_top_k(query, corpus, 4, allow_exponential=True))
+            == serial
+        )
+    fallbacks_before = failing_pool.stats.serial_fallbacks
+    assert (
+        _key(failing_pool.batch_top_k(query, corpus, 4, allow_exponential=True))
+        == serial
+    )
+    assert failing_pool.stats.serial_fallbacks > fallbacks_before
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_pool_evaluate_bit_identical_to_serial(seed: int, fanout_pool) -> None:
+    rng = random.Random(seed)
+    family = rng.choice(sorted(QUERY_FAMILIES))
+    query = QUERY_FAMILIES[family]()
+    corpus = _corpus(rng, streams=2)
+    plan = QueryPlan.build(query)
+    serial = {
+        name: [
+            (a.output, a.confidence, a.score, a.order)
+            for a in run_evaluate(plan, sequence, allow_exponential=True)
+        ]
+        for name, sequence in corpus.items()
+    }
+    pooled = fanout_pool.evaluate_many(query, corpus, allow_exponential=True)
+    assert {
+        name: [(a.output, a.confidence, a.score, a.order) for a in answers]
+        for name, answers in pooled.items()
+    } == serial

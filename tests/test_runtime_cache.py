@@ -87,3 +87,37 @@ def test_default_cache_is_a_process_singleton() -> None:
     assert default_plan_cache() is default_plan_cache()
     plan = plan_for(projector("ba"))
     assert default_plan_cache().get(projector("ba")) is plan
+
+def test_concurrent_access_is_consistent() -> None:
+    """Hammer one cache from many threads: counters must balance exactly.
+
+    The cache serves the parallel subsystem's merge threads, so the
+    OrderedDict mutations and the counters are lock-guarded; without the
+    lock this test loses updates or corrupts the dict.
+    """
+    import threading
+
+    cache = PlanCache(capacity=4)
+    regexes = ["a+", "b+", "ab", "ba", "a*b", "b*a"]
+    calls_per_thread = 30
+    errors: list[BaseException] = []
+
+    def hammer(offset: int) -> None:
+        try:
+            for i in range(calls_per_thread):
+                regex = regexes[(offset + i) % len(regexes)]
+                plan = cache.get(projector(regex))
+                assert plan.kind is not None
+        except BaseException as error:  # noqa: BLE001 - recorded for the assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert cache.hits + cache.misses == 8 * calls_per_thread
+    assert len(cache) <= cache.capacity
+    assert cache.misses - cache.evictions == len(cache)

@@ -155,3 +155,33 @@ def test_batch_top_k_shares_one_plan() -> None:
     cache = PlanCache()
     batch_top_k(collapse(), sequences, 2, cache=cache)
     assert (cache.misses, len(cache)) == (1, 1)
+
+@pytest.mark.parametrize("order", ["emax", "unranked"])
+def test_batch_top_k_deferred_confidence_matches_eager(order) -> None:
+    """The deterministic-plan batch path defers confidence until after the
+    merge (one shared-trie DP per surviving stream); the merged answers
+    must be exactly what eager per-stream evaluation produces."""
+    rng = random.Random(29)
+    sequences = {
+        name: make_fraction_sequence(ALPHABET, 4, rng)
+        for name in ("s1", "s2", "s3", "s4")
+    }
+    plan = QueryPlan.build(collapse())
+    merged = batch_top_k(plan, sequences, 5, order=order)
+    assert merged and all(answer.confidence is not None for _, answer in merged)
+
+    # Eager replication: per-stream ranked answers, then the same merge.
+    from repro.runtime.executor import _merge_rank
+
+    candidates = [
+        (name, answer)
+        for name, sequence in sequences.items()
+        for answer in run_top_k(plan, sequence, 5, order=order)
+    ]
+    candidates.sort(key=_merge_rank)
+    expected = candidates[:5]
+    assert [(n, a.output, a.score) for n, a in merged] == [
+        (n, a.output, a.score) for n, a in expected
+    ]
+    # Exact Fraction equality: the trie DP computes the same numbers.
+    assert [a.confidence for _, a in merged] == [a.confidence for _, a in expected]
