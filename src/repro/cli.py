@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
     repro plan      --query query.json [--sequence seq.json]
     repro batch     --query query.json --sequence a.json --sequence b.json
                     [--corpus DIR] [-k K] [--workers N] [--answer 1,2]
+    repro verify    [--budget SECONDS] [--seed N] [--classes a,b]
+                    [--corpus DIR] [--save-failures DIR] [--no-metamorphic]
     repro dot       --sequence seq.json | --query query.json
 
 The JSON formats are documented in :mod:`repro.io.json_format`.
@@ -277,6 +279,42 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.oracle.generators import CLASS_LABELS
+    from repro.oracle.harness import verify
+
+    if args.workers is not None and args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    classes = (
+        tuple(label.strip() for label in args.classes.split(",") if label.strip())
+        if args.classes
+        else CLASS_LABELS
+    )
+    report = verify(
+        seed=args.seed,
+        budget=args.budget,
+        max_rounds=args.max_rounds,
+        classes=classes,
+        workers=args.workers if args.workers is not None else 1,
+        corpus=args.corpus,
+        save_failures=args.save_failures,
+        metamorphic=not args.no_metamorphic,
+    )
+    print(report.matrix_report())
+    for diff in report.diffs:
+        print(f"DIFF {diff.describe()}")
+    for path in report.saved:
+        print(f"saved minimized case: {path}")
+    print(report.summary())
+    if report.diffs:
+        print(
+            "reproduce with: repro verify "
+            f"--seed {report.seed} --max-rounds {max(report.rounds, 2)}",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_dot(args) -> int:
     if args.sequence:
         print(sequence_to_dot(read_sequence(args.sequence)))
@@ -397,6 +435,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--allow-exponential", action="store_true")
     batch.set_defaults(handler=_cmd_batch)
+
+    check = sub.add_parser(
+        "verify",
+        help="differential & metamorphic conformance fuzzing (repro.oracle)",
+    )
+    check.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        help="wall-clock budget in seconds (default: 10)",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="stop after this many fuzz rounds regardless of budget",
+    )
+    check.add_argument(
+        "--classes",
+        default=None,
+        help="comma-separated Table-2 classes (default: all five)",
+    )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool-engine worker processes (default: 1 = serial in-process)",
+    )
+    check.add_argument("--corpus", help="directory of oracle_case regression files")
+    check.add_argument(
+        "--save-failures",
+        help="write minimized failing cases into this directory",
+    )
+    check.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic transforms (differential checks only)",
+    )
+    check.set_defaults(handler=_cmd_verify)
 
     dot = sub.add_parser("dot", help="emit a graphviz rendering")
     dot.add_argument("--sequence")

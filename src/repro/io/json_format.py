@@ -97,17 +97,25 @@ def sequence_to_dict(sequence: MarkovSequence) -> dict:
 
 def sequence_from_dict(document: dict) -> MarkovSequence:
     """Decode a Markov sequence from its dict form (validates)."""
+    if not isinstance(document, dict):
+        raise ReproError(
+            f"not a markov_sequence document: expected an object, got "
+            f"{type(document).__name__}"
+        )
     if document.get("type") != "markov_sequence":
         raise ReproError(f"not a markov_sequence document: {document.get('type')!r}")
-    symbols = document["symbols"]
-    initial = {s: _decode_number(p) for s, p in document["initial"].items()}
-    transitions = [
-        {
-            source: {target: _decode_number(p) for target, p in row.items()}
-            for source, row in step.items()
-        }
-        for step in document["transitions"]
-    ]
+    try:
+        symbols = document["symbols"]
+        initial = {s: _decode_number(p) for s, p in document["initial"].items()}
+        transitions = [
+            {
+                source: {target: _decode_number(p) for target, p in row.items()}
+                for source, row in step.items()
+            }
+            for step in document["transitions"]
+        ]
+    except (KeyError, AttributeError, TypeError) as exc:
+        raise ReproError(f"malformed markov_sequence document: {exc}") from exc
     return MarkovSequence(symbols, initial, transitions)
 
 
@@ -118,7 +126,7 @@ def dumps_sequence(sequence: MarkovSequence, indent: int | None = 2) -> str:
 
 def loads_sequence(text: str) -> MarkovSequence:
     """Parse a Markov sequence from a JSON string."""
-    return sequence_from_dict(json.loads(text))
+    return sequence_from_dict(parse_json(text))
 
 
 def write_sequence(sequence: MarkovSequence, path: str | Path) -> None:
@@ -128,7 +136,24 @@ def write_sequence(sequence: MarkovSequence, path: str | Path) -> None:
 
 def read_sequence(path: str | Path) -> MarkovSequence:
     """Read a Markov sequence from a JSON file."""
-    return loads_sequence(Path(path).read_text())
+    return sequence_from_dict(parse_json(read_text(path), source=str(path)))
+
+
+def parse_json(text: str, source: str | None = None):
+    """``json.loads`` with failures wrapped as :class:`ReproError`."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        where = f" in {source}" if source else ""
+        raise ReproError(f"invalid JSON{where}: {exc}") from exc
+
+
+def read_text(path: str | Path) -> str:
+    """Read a file with I/O failures wrapped as :class:`ReproError`."""
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc.strerror or exc}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -196,32 +221,39 @@ def query_to_dict(query) -> dict:
 
 def query_from_dict(document: dict):
     """Decode a query document into the matching object."""
+    if not isinstance(document, dict):
+        raise ReproError(
+            f"not a query document: expected an object, got {type(document).__name__}"
+        )
     kind = document.get("type")
-    if kind == "transducer":
-        alphabet = document["alphabet"]
-        delta: dict = {}
-        omega: dict = {}
-        for t in document["transitions"]:
-            delta.setdefault((t["from"], t["symbol"]), set()).add(t["to"])
-            emission = tuple(t.get("emit", ()))
-            if emission:
-                omega[(t["from"], t["symbol"], t["to"])] = emission
-        nfa = NFA(
-            alphabet,
-            document["states"],
-            document["initial"],
-            document["accepting"],
-            delta,
-        )
-        return Transducer(nfa, omega)
-    if kind in ("sprojector", "indexed_sprojector"):
-        alphabet = document["alphabet"]
-        cls = IndexedSProjector if kind == "indexed_sprojector" else SProjector
-        return cls(
-            _dfa_from_dict(document["prefix"], alphabet),
-            _dfa_from_dict(document["pattern"], alphabet),
-            _dfa_from_dict(document["suffix"], alphabet),
-        )
+    try:
+        if kind == "transducer":
+            alphabet = document["alphabet"]
+            delta: dict = {}
+            omega: dict = {}
+            for t in document["transitions"]:
+                delta.setdefault((t["from"], t["symbol"]), set()).add(t["to"])
+                emission = tuple(t.get("emit", ()))
+                if emission:
+                    omega[(t["from"], t["symbol"], t["to"])] = emission
+            nfa = NFA(
+                alphabet,
+                document["states"],
+                document["initial"],
+                document["accepting"],
+                delta,
+            )
+            return Transducer(nfa, omega)
+        if kind in ("sprojector", "indexed_sprojector"):
+            alphabet = document["alphabet"]
+            cls = IndexedSProjector if kind == "indexed_sprojector" else SProjector
+            return cls(
+                _dfa_from_dict(document["prefix"], alphabet),
+                _dfa_from_dict(document["pattern"], alphabet),
+                _dfa_from_dict(document["suffix"], alphabet),
+            )
+    except (KeyError, AttributeError, TypeError) as exc:
+        raise ReproError(f"malformed {kind} document: {exc}") from exc
     raise ReproError(f"unknown query document type {kind!r}")
 
 
@@ -232,7 +264,7 @@ def dumps_query(query, indent: int | None = 2) -> str:
 
 def loads_query(text: str):
     """Parse a query from a JSON string."""
-    return query_from_dict(json.loads(text))
+    return query_from_dict(parse_json(text))
 
 
 def write_query(query, path: str | Path) -> None:
@@ -242,4 +274,4 @@ def write_query(query, path: str | Path) -> None:
 
 def read_query(path: str | Path):
     """Read a query from a JSON file."""
-    return loads_query(Path(path).read_text())
+    return query_from_dict(parse_json(read_text(path), source=str(path)))

@@ -1,0 +1,203 @@
+"""Greedy shrinking of failing instances + the ``tests/corpus/`` format.
+
+When the differential runner finds a diff, the raw instance is rarely the
+story — a 5-step, 3-symbol random chain hides the one transition that
+tickles the bug. :func:`shrink` greedily minimizes the *sequence* while a
+caller-supplied ``fails`` predicate keeps returning True, trying (in
+order of how much they simplify):
+
+1. **prefix truncation** — replace the sequence by its marginal prefix,
+   shortest first (the marginal of a Markov chain onto a prefix is just
+   the same initial distribution and fewer steps);
+2. **row sparsification** — in one distribution row, fold the smallest
+   nonzero probability into the largest (keeping the row exactly
+   stochastic), shrinking the world support one branch at a time.
+
+The query is left untouched: it is the specification under test, and
+mutating it would change which engines apply.
+
+Minimized cases persist as single-file JSON documents (reusing the
+:mod:`repro.io.json_format` sequence/query encodings)::
+
+    {"type": "oracle_case", "class": "deterministic",
+     "note": "...", "seed": 7, "trial": 3,
+     "sequence": {...}, "query": {...}}
+
+``tests/corpus/`` holds the committed regression cases; ``repro verify``
+replays every corpus case before spending its budget on fresh ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.io.json_format import (
+    parse_json,
+    query_from_dict,
+    query_to_dict,
+    read_text,
+    sequence_from_dict,
+    sequence_to_dict,
+)
+from repro.markov.sequence import MarkovSequence
+from repro.oracle.generators import CLASS_LABELS, Instance, _classify
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _sparsified_row(row: dict) -> dict | None:
+    """Fold the smallest entry's mass into the largest; None if singleton."""
+    if len(row) < 2:
+        return None
+    smallest = min(row, key=lambda symbol: (row[symbol], repr(symbol)))
+    largest = max(row, key=lambda symbol: (row[symbol], repr(symbol)))
+    shrunk = {s: p for s, p in row.items() if s != smallest}
+    shrunk[largest] = shrunk[largest] + row[smallest]
+    return shrunk
+
+
+def shrink_candidates(instance: Instance) -> Iterator[Instance]:
+    """One-step simplifications of the instance's sequence, smallest first."""
+    sequence = instance.sequence
+    for length in range(1, sequence.length):
+        yield instance.with_sequence(sequence.prefix(length))
+    initial = dict(sequence.initial_support())
+    shrunk_initial = _sparsified_row(initial)
+    transitions = [dict(sequence.transition_rows(i)) for i in range(1, sequence.length)]
+    if shrunk_initial is not None:
+        yield instance.with_sequence(
+            MarkovSequence(sequence.symbols, shrunk_initial, transitions)
+        )
+    for step_index, step in enumerate(transitions):
+        for source, row in step.items():
+            shrunk_row = _sparsified_row(row)
+            if shrunk_row is None:
+                continue
+            patched = [dict(other) for other in transitions]
+            patched[step_index] = dict(step)
+            patched[step_index][source] = shrunk_row
+            yield instance.with_sequence(
+                MarkovSequence(sequence.symbols, initial, patched)
+            )
+
+
+def shrink(
+    instance: Instance,
+    fails: Callable[[Instance], bool],
+    max_rounds: int = 64,
+) -> Instance:
+    """Greedily minimize ``instance`` while ``fails`` keeps holding.
+
+    Returns a local minimum: no single :func:`shrink_candidates` step of
+    the result still fails. A candidate whose evaluation raises is
+    treated as not failing (shrinking must not trade a diff for a crash
+    in a different code path).
+    """
+    current = instance
+    for _round in range(max_rounds):
+        for candidate in shrink_candidates(current):
+            try:
+                still_failing = fails(candidate)
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence
+# ---------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    """Encode an instance as an ``oracle_case`` JSON document."""
+    document = {
+        "type": "oracle_case",
+        "class": instance.label,
+        "sequence": sequence_to_dict(instance.sequence),
+        "query": query_to_dict(instance.query),
+    }
+    if instance.seed is not None:
+        document["seed"] = instance.seed
+    if instance.trial is not None:
+        document["trial"] = instance.trial
+    if instance.note:
+        document["note"] = instance.note
+    return document
+
+
+def instance_from_dict(document: dict) -> Instance:
+    """Decode an ``oracle_case`` document (validates the class label)."""
+    if not isinstance(document, dict) or document.get("type") != "oracle_case":
+        kind = document.get("type") if isinstance(document, dict) else type(document).__name__
+        raise ReproError(f"not an oracle_case document: {kind!r}")
+    try:
+        sequence = sequence_from_dict(document["sequence"])
+        query = query_from_dict(document["query"])
+    except KeyError as exc:
+        raise ReproError(f"malformed oracle_case document: missing {exc}") from exc
+    label = document.get("class", _classify(query))
+    if label not in CLASS_LABELS:
+        raise ReproError(
+            f"oracle_case class {label!r} is not one of {', '.join(CLASS_LABELS)}"
+        )
+    actual = _classify(query)
+    if actual != label:
+        raise ReproError(
+            f"oracle_case declares class {label!r} but its query is {actual!r}"
+        )
+    return Instance(
+        label=label,
+        sequence=sequence,
+        query=query,
+        seed=document.get("seed"),
+        trial=document.get("trial"),
+        note=document.get("note", ""),
+    )
+
+
+def _case_name(document: dict) -> str:
+    digest = hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:12]
+    return f"{document['class']}-{digest}.json"
+
+
+def save_case(instance: Instance, directory: str | Path) -> Path:
+    """Persist one (usually shrunk) instance; returns the written path.
+
+    The filename is content-addressed, so re-finding the same minimized
+    counterexample overwrites rather than duplicates.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = instance_to_dict(instance)
+    path = directory / _case_name(document)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def load_corpus(directory: str | Path) -> list[tuple[Path, Instance]]:
+    """Load every ``*.json`` case under ``directory`` (sorted, recursive)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ReproError(f"corpus directory {directory} does not exist")
+    cases: list[tuple[Path, Instance]] = []
+    for path in sorted(directory.rglob("*.json")):
+        document = parse_json(read_text(path), source=str(path))
+        try:
+            cases.append((path, instance_from_dict(document)))
+        except ReproError as exc:
+            raise ReproError(f"{path}: {exc}") from exc
+    return cases

@@ -1,9 +1,10 @@
-"""Shared test fixtures and random-instance factories.
+"""Shared test fixtures.
 
-The factories build small random objects (DFAs, NFAs, transducers, Markov
-sequences) whose brute-force semantics stay cheap, so polynomial
-algorithms can be cross-checked against exhaustive oracles throughout the
-suite.
+The random-instance factories historically defined here now live in
+:mod:`repro.oracle.generators`, where the conformance harness (and the
+benchmarks) can import them without reaching into the test tree. This
+module re-exports them so ``from tests.conftest import make_...`` keeps
+working across the suite.
 """
 
 from __future__ import annotations
@@ -12,106 +13,30 @@ import random
 
 import pytest
 
-from repro.markov.builders import random_sequence
-from repro.markov.sequence import MarkovSequence
-from repro.automata.dfa import DFA
-from repro.automata.nfa import NFA
-from repro.transducers.transducer import Transducer
+from repro.oracle.generators import (  # noqa: F401 - re-exported for tests
+    make_fraction_row,
+    make_fraction_sequence,
+    make_fraction_timestep,
+    make_random_deterministic_transducer,
+    make_random_dfa,
+    make_random_nfa,
+    make_random_uniform_deterministic_transducer,
+    make_random_uniform_transducer,
+    make_sequence,
+)
 
-
-def make_random_dfa(alphabet, num_states: int, rng: random.Random, accept_prob: float = 0.4) -> DFA:
-    """A random total DFA over ``alphabet``."""
-    states = [f"q{i}" for i in range(num_states)]
-    delta = {
-        (state, symbol): rng.choice(states) for state in states for symbol in alphabet
-    }
-    accepting = {state for state in states if rng.random() < accept_prob}
-    if not accepting:
-        accepting = {rng.choice(states)}
-    return DFA(alphabet, states, states[0], accepting, delta)
-
-
-def make_random_nfa(
-    alphabet, num_states: int, rng: random.Random, density: float = 0.35
-) -> NFA:
-    """A random NFA: each (state, symbol, state) triple present w.p. density."""
-    states = [f"q{i}" for i in range(num_states)]
-    delta: dict = {}
-    for state in states:
-        for symbol in alphabet:
-            targets = {t for t in states if rng.random() < density}
-            if targets:
-                delta[(state, symbol)] = targets
-    accepting = {state for state in states if rng.random() < 0.4}
-    if not accepting:
-        accepting = {states[-1]}
-    return NFA(alphabet, states, states[0], accepting, delta)
-
-
-def make_random_deterministic_transducer(
-    alphabet, num_states: int, rng: random.Random, out_alphabet=("x", "y")
-) -> Transducer:
-    """A random deterministic transducer with emissions of length 0-2."""
-    dfa = make_random_dfa(alphabet, num_states, rng)
-    omega = {}
-    for state, symbol, target in dfa.transitions():
-        length = rng.choice((0, 1, 1, 2))
-        omega[(state, symbol, target)] = tuple(
-            rng.choice(out_alphabet) for _ in range(length)
-        )
-    # Randomly make it selective or not.
-    nfa = dfa.to_nfa()
-    if rng.random() < 0.5:
-        nfa = NFA(nfa.alphabet, nfa.states, nfa.initial, nfa.states, nfa.delta_dict())
-    return Transducer(nfa, omega)
-
-
-def make_random_uniform_transducer(
-    alphabet, num_states: int, rng: random.Random, k: int = 1, out_alphabet=("x", "y")
-) -> Transducer:
-    """A random (generally nondeterministic) k-uniform transducer."""
-    nfa = make_random_nfa(alphabet, num_states, rng)
-    omega = {}
-    for state, symbol, target in nfa.transitions():
-        omega[(state, symbol, target)] = tuple(
-            rng.choice(out_alphabet) for _ in range(k)
-        )
-    return Transducer(nfa, omega)
-
-
-def make_sequence(alphabet, length: int, rng: random.Random, branching: int = 2) -> MarkovSequence:
-    """A small random Markov sequence with sparse rows."""
-    return random_sequence(tuple(alphabet), length, rng, branching=branching)
-
-
-def make_fraction_row(alphabet, rng: random.Random) -> dict:
-    """A random exactly-stochastic distribution over ``alphabet``."""
-    from fractions import Fraction
-
-    weights = [rng.randint(0, 3) for _ in alphabet]
-    if not any(weights):
-        weights[rng.randrange(len(weights))] = 1
-    total = sum(weights)
-    return {
-        symbol: Fraction(weight, total)
-        for symbol, weight in zip(alphabet, weights)
-        if weight
-    }
-
-
-def make_fraction_timestep(alphabet, rng: random.Random) -> dict:
-    """A random transition function with exact ``Fraction`` rows."""
-    return {source: make_fraction_row(alphabet, rng) for source in alphabet}
-
-
-def make_fraction_sequence(alphabet, length: int, rng: random.Random) -> MarkovSequence:
-    """A random Markov sequence with exact ``Fraction`` probabilities."""
-    alphabet = tuple(alphabet)
-    return MarkovSequence(
-        alphabet,
-        make_fraction_row(alphabet, rng),
-        [make_fraction_timestep(alphabet, rng) for _ in range(length - 1)],
-    )
+__all__ = [
+    "make_fraction_row",
+    "make_fraction_sequence",
+    "make_fraction_timestep",
+    "make_random_deterministic_transducer",
+    "make_random_dfa",
+    "make_random_nfa",
+    "make_random_uniform_deterministic_transducer",
+    "make_random_uniform_transducer",
+    "make_sequence",
+    "rng",
+]
 
 
 @pytest.fixture

@@ -25,7 +25,7 @@ from repro.enumeration.sprojector_ranked import enumerate_sprojector_imax
 from repro.enumeration.unranked import enumerate_unranked
 from repro.transducers.sprojector import IndexedSProjector, SProjector
 
-from tests.conftest import (
+from repro.oracle.generators import (
     make_random_deterministic_transducer,
     make_random_dfa,
     make_random_uniform_transducer,

@@ -92,6 +92,63 @@ def test_samples_needed_monotonicity() -> None:
     )
 
 
+def test_interval_brackets_exact_value_at_stated_level() -> None:
+    """The Hoeffding interval holds at (well above) its stated 1 - delta.
+
+    40 independent seeded estimations of the same confidence; with
+    delta = 0.1 the interval may exclude the exact value in at most ~10%
+    of runs, so over 40 trials anything below 36 hits signals a broken
+    half-width formula rather than sampling noise (Hoeffding is loose:
+    empirical coverage is essentially 100%).
+    """
+    rng = random.Random(55)
+    sequence = make_sequence("ab", 4, rng)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    answer = query.transduce_deterministic(sequence.sample(rng))
+    exact = brute_force_confidence(sequence, query, answer)
+    trials = 40
+    hits = 0
+    for trial in range(trials):
+        estimate = estimate_confidence(
+            sequence,
+            query,
+            answer,
+            samples=400,
+            rng=random.Random(7000 + trial),
+            delta=0.1,
+        )
+        if abs(estimate.estimate - exact) <= estimate.half_width:
+            hits += 1
+    assert hits >= 36
+
+
+def test_degenerate_confidence_one() -> None:
+    # A single-symbol iid sequence has exactly one world, so the collapsed
+    # output is certain: the estimator must return exactly 1.
+    sequence = uniform_iid("a", 3)
+    query = collapse_transducer({"a": "X"})
+    estimate = estimate_confidence(
+        sequence, query, ("X", "X", "X"), samples=150, rng=random.Random(2)
+    )
+    assert estimate.estimate == 1.0
+    assert estimate.hits == estimate.samples
+    low, high = estimate.interval
+    assert high == 1.0  # clipped at the probability ceiling
+    assert 0.0 <= low <= 1.0
+
+
+def test_degenerate_confidence_zero_interval_clipped() -> None:
+    sequence = uniform_iid("ab", 3)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    estimate = estimate_confidence(
+        sequence, query, ("Z",), samples=150, rng=random.Random(2)
+    )
+    assert estimate.estimate == 0.0
+    low, high = estimate.interval
+    assert low == 0.0  # clipped at the probability floor
+    assert high <= 1.0
+
+
 def test_parameter_validation() -> None:
     sequence = uniform_iid("ab", 2)
     query = collapse_transducer({"a": "X", "b": "Y"})

@@ -1,0 +1,85 @@
+"""The oracle's seeded instance generators (repro.oracle.generators)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.oracle.generators import (
+    CLASS_LABELS,
+    LABEL_BY_KIND,
+    _classify,
+    generate_instance,
+)
+from repro.oracle.shrinker import instance_to_dict
+from repro.runtime.cache import plan_for
+from repro.transducers.sprojector import IndexedSProjector, SProjector
+from repro.transducers.transducer import Transducer
+
+
+@pytest.mark.parametrize("label", CLASS_LABELS)
+@pytest.mark.parametrize("trial", [0, 1, 2])
+def test_generated_instance_is_in_its_declared_class(label, trial) -> None:
+    instance = generate_instance(label, seed=11, trial=trial)
+    assert instance.label == label
+    assert _classify(instance.query) == label
+    # The runtime planner must file the query in the same Table-2 row.
+    plan = plan_for(instance.query)
+    assert LABEL_BY_KIND[plan.kind] == label
+
+
+@pytest.mark.parametrize("label", CLASS_LABELS)
+def test_generation_is_reproducible(label) -> None:
+    first = generate_instance(label, seed=3, trial=1)
+    second = generate_instance(label, seed=3, trial=1)
+    assert instance_to_dict(first) == instance_to_dict(second)
+
+
+def test_different_seeds_differ() -> None:
+    a = generate_instance("deterministic", seed=0, trial=0)
+    b = generate_instance("deterministic", seed=1, trial=0)
+    assert instance_to_dict(a) != instance_to_dict(b)
+
+
+def test_every_third_trial_is_exact() -> None:
+    instance = generate_instance("uniform", seed=5, trial=2)
+    assert all(
+        isinstance(prob, (int, Fraction))
+        for _symbol, prob in instance.sequence.initial_support()
+    )
+
+
+def test_deterministic_trials_alternate_uniformity() -> None:
+    k_uniform = generate_instance("deterministic", seed=9, trial=0)
+    varied = generate_instance("deterministic", seed=9, trial=1)
+    assert k_uniform.query.uniformity() is not None
+    assert varied.query.uniformity() is None
+
+
+def test_query_kinds_match_labels() -> None:
+    assert isinstance(generate_instance("indexed", 0).query, IndexedSProjector)
+    sproj = generate_instance("sprojector", 0).query
+    assert isinstance(sproj, SProjector) and not isinstance(sproj, IndexedSProjector)
+    assert isinstance(generate_instance("general", 0).query, Transducer)
+
+
+def test_unknown_class_is_rejected() -> None:
+    with pytest.raises(ReproError, match="unknown query class"):
+        generate_instance("bogus", seed=0)
+
+
+def test_describe_names_the_reproduction_coordinates() -> None:
+    instance = generate_instance("general", seed=42, trial=3)
+    description = instance.describe()
+    assert "class=general" in description
+    assert "seed=42" in description
+    assert "trial=3" in description
+
+
+def test_conftest_still_reexports_the_factories() -> None:
+    from tests import conftest
+
+    assert conftest.make_sequence is not None
+    assert conftest.make_random_deterministic_transducer is not None

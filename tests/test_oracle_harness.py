@@ -1,0 +1,127 @@
+"""The budgeted verify loop and its coverage gate (repro.oracle.harness)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.confidence.brute_force import brute_force_confidence
+from repro.errors import ReproError
+from repro.oracle.generators import CLASS_LABELS, generate_instance
+from repro.oracle.harness import MIN_ROUNDS, verify
+from repro.oracle.registry import ENGINES, Engine
+from repro.oracle.shrinker import load_corpus
+
+
+def test_seeded_run_passes_with_full_coverage() -> None:
+    report = verify(seed=7, max_rounds=MIN_ROUNDS, metamorphic=False)
+    assert report.ok, report.summary()
+    assert report.diffs == []
+    assert report.untested_cells() == []
+    assert report.rounds == MIN_ROUNDS
+    assert report.instances == MIN_ROUNDS * len(CLASS_LABELS)
+    assert report.probes > 0
+    matrix = report.matrix_report()
+    assert "MISS" not in matrix
+    assert matrix.splitlines()[0].startswith("class")
+    assert "PASS" in report.summary()
+
+
+def test_class_subset_restricts_the_gate() -> None:
+    report = verify(seed=7, max_rounds=MIN_ROUNDS, classes=("sprojector",),
+                    metamorphic=False)
+    assert report.ok
+    assert {label for label, _ in report.coverage} == {"sprojector"}
+    # Cells of unrequested classes are not "untested".
+    assert report.untested_cells() == []
+
+
+def test_unexercised_applicable_cell_fails_the_gate() -> None:
+    # An engine whose predicate never holds: statically applicable to the
+    # general row, never executed -> the coverage gate must trip.
+    phantom = Engine(
+        "phantom",
+        frozenset({"general"}),
+        lambda prepared, answer, context: 0,
+        applies=lambda prepared: False,
+    )
+    report = verify(
+        seed=7,
+        max_rounds=MIN_ROUNDS,
+        classes=("general",),
+        engines=ENGINES + (phantom,),
+        metamorphic=False,
+    )
+    assert not report.diffs
+    assert report.untested_cells() == [("general", "phantom")]
+    assert not report.ok
+    assert "FAIL" in report.summary()
+    assert "general×phantom" in report.summary()
+    assert "MISS" in report.matrix_report()
+
+
+def test_corpus_cases_are_replayed_before_fuzzing(tmp_path) -> None:
+    cases = [generate_instance("uniform", seed=2), generate_instance("indexed", seed=2)]
+    report = verify(seed=7, max_rounds=MIN_ROUNDS, corpus_cases=cases,
+                    metamorphic=False)
+    assert report.ok
+    assert report.corpus_cases == 2
+    assert report.instances == 2 + MIN_ROUNDS * len(CLASS_LABELS)
+
+
+def test_buggy_engine_yields_diffs_and_a_saved_shrunk_case(tmp_path) -> None:
+    def off_by_one(prepared, answer, context):
+        sequence = prepared.sequence
+        if sequence.length > 1:
+            sequence = sequence.prefix(sequence.length - 1)
+        return brute_force_confidence(sequence, prepared.instance.query, answer)
+
+    scratch = Engine("scratch", frozenset({"deterministic"}), off_by_one, exact=True)
+    failures = tmp_path / "failures"
+    report = None
+    for seed in range(16):
+        report = verify(
+            seed=seed,
+            max_rounds=MIN_ROUNDS,
+            classes=("deterministic",),
+            engines=ENGINES + (scratch,),
+            metamorphic=False,
+            save_failures=failures,
+        )
+        if report.diffs:
+            break
+    assert report is not None and report.diffs, "injected bug was never tripped"
+    assert not report.ok
+    assert any(diff.engine == "scratch" for diff in report.diffs)
+    assert report.shrunk
+    assert report.saved
+    # The persisted minimized case replays through the corpus loader.
+    loaded = load_corpus(failures)
+    assert loaded
+    assert all(instance.label == "deterministic" for _path, instance in loaded)
+
+
+def test_committed_corpus_replays_cleanly() -> None:
+    corpus = Path(__file__).parent / "corpus"
+    report = verify(seed=0, max_rounds=MIN_ROUNDS, corpus=corpus, metamorphic=False)
+    assert report.ok, report.summary()
+    # One committed regression case per Table-2 class, at minimum.
+    assert report.corpus_cases >= len(CLASS_LABELS)
+
+
+def test_budget_stops_after_min_rounds() -> None:
+    report = verify(seed=7, budget=1e-9, metamorphic=False)
+    assert report.rounds == MIN_ROUNDS
+    assert report.ok
+
+
+def test_parameter_validation() -> None:
+    with pytest.raises(ReproError, match="unknown query class"):
+        verify(classes=("bogus",))
+    with pytest.raises(ReproError, match="at least one query class"):
+        verify(classes=())
+    with pytest.raises(ReproError, match="--budget"):
+        verify(budget=0)
+    with pytest.raises(ReproError, match="--max-rounds"):
+        verify(max_rounds=1)

@@ -1,0 +1,85 @@
+"""The engine registry and its class × engine matrix (repro.oracle.registry)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.oracle.generators import CLASS_LABELS, generate_instance
+from repro.oracle.registry import ENGINES, Prepared, VerifyContext, engine_matrix
+
+ENGINE_NAMES = tuple(engine.name for engine in ENGINES)
+
+
+def test_registry_has_the_eight_engine_families() -> None:
+    assert ENGINE_NAMES == (
+        "brute-force",
+        "dense",
+        "log-space",
+        "fraction",
+        "specialized",
+        "runtime",
+        "pool",
+        "vectorized",
+    )
+
+
+def test_matrix_covers_every_cell() -> None:
+    matrix = engine_matrix()
+    assert set(matrix) == {
+        (label, name) for label in CLASS_LABELS for name in ENGINE_NAMES
+    }
+
+
+def test_dense_columns_serve_only_the_deterministic_row() -> None:
+    matrix = engine_matrix()
+    for name in ("dense", "log-space", "vectorized"):
+        applicable = {label for label in CLASS_LABELS if matrix[(label, name)]}
+        assert applicable == {"deterministic"}, name
+
+
+def test_exact_engines_serve_every_class() -> None:
+    matrix = engine_matrix()
+    for name in ("brute-force", "fraction", "specialized", "runtime", "pool"):
+        assert all(matrix[(label, name)] for label in CLASS_LABELS), name
+
+
+def test_dense_applicability_needs_uniform_emission() -> None:
+    # trial 0 generates the k-uniform deterministic variant, trial 1 the
+    # varied-emission one; the dense/vectorized predicate must split them.
+    uniform = Prepared(generate_instance("deterministic", seed=4, trial=0))
+    varied = Prepared(generate_instance("deterministic", seed=4, trial=1))
+    by_name = {engine.name: engine for engine in ENGINES}
+    assert by_name["dense"].applicable(uniform)
+    assert by_name["vectorized"].applicable(uniform)
+    assert not by_name["dense"].applicable(varied)
+    assert not by_name["vectorized"].applicable(varied)
+    # log-space needs determinism only, not uniformity.
+    assert by_name["log-space"].applicable(varied)
+
+
+def test_prepared_detects_exact_instances() -> None:
+    exact = Prepared(generate_instance("uniform", seed=5, trial=2))
+    floaty = Prepared(generate_instance("uniform", seed=5, trial=0))
+    assert exact.is_exact()
+    assert not floaty.is_exact()
+
+
+def test_exact_match_semantics() -> None:
+    by_name = {engine.name: engine for engine in ENGINES}
+    exact = by_name["fraction"]
+    # On exact instances, exact engines are held to equality...
+    assert exact.matches(Fraction(1, 3), Fraction(1, 3), instance_exact=True)
+    assert not exact.matches(Fraction(1, 3) + Fraction(1, 10**12), Fraction(1, 3), True)
+    # ...but fall back to isclose on float instances.
+    assert exact.matches(1 / 3, Fraction(1, 3), instance_exact=False)
+    approx = by_name["log-space"]
+    assert approx.matches(0.25 * (1 + 1e-8), 0.25, instance_exact=True)
+
+
+def test_context_reuses_its_pool_and_closes_it() -> None:
+    context = VerifyContext()
+    try:
+        assert context.pool() is context.pool()
+    finally:
+        context.close()
+    assert context._pool is None
