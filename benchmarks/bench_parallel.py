@@ -29,8 +29,6 @@ Run as a script to (re)record the ``BENCH_parallel.json`` baseline::
 from __future__ import annotations
 
 import argparse
-import json
-import pathlib
 import random
 
 from repro.confidence.dense import confidence_deterministic_dense
@@ -47,7 +45,9 @@ from repro.runtime.executor import batch_top_k
 from repro.runtime.plan import QueryPlan
 from repro.transducers.transducer import Transducer
 
-from benchmarks.shape import print_series, timed_best
+from repro import telemetry
+
+from benchmarks.shape import REPO_ROOT, bench_result, print_series, timed_best, write_result
 
 STREAMS = 64
 LENGTH = 32
@@ -179,6 +179,67 @@ def measure(streams: int = STREAMS, length: int = LENGTH, workers: int = POOL_WO
     }
 
 
+def measure_vectorized(streams: int = STREAMS, length: int = LENGTH) -> dict:
+    """Just the scalar-loop vs vectorized-batch comparison (regression
+    harness's quick scenario — no process pool, a few seconds)."""
+    corpus = fleet_corpus(streams, length)
+    uniform_query = place_tracking_transducer()
+    uniform_plan = QueryPlan.build(uniform_query)
+    ordered = list(corpus.values())
+    assert dense_batch_eligible(uniform_plan, ordered)
+    output = ("λ",) * length
+
+    def scalar_loop():
+        return [
+            confidence_deterministic_dense(sequence, uniform_query, output)
+            for sequence in ordered
+        ]
+
+    def vectorized_batch():
+        return confidence_dense_batch(ordered, uniform_query, output)
+
+    scalar_values = scalar_loop()
+    vector_values = vectorized_batch()
+    assert all(
+        abs(a - b) <= 1e-12 + 1e-9 * abs(a)
+        for a, b in zip(scalar_values, vector_values)
+    ), "vectorized confidences must match the scalar dense DP"
+    scalar_s = timed_best(scalar_loop, repeats=3)
+    vectorized_s = timed_best(vectorized_batch, repeats=3)
+    return {
+        "streams": streams,
+        "length": length,
+        "scalar_confidence_s": scalar_s,
+        "vectorized_confidence_s": vectorized_s,
+        "vectorized_speedup": scalar_s / vectorized_s,
+    }
+
+
+def common_result(
+    streams: int = STREAMS, length: int = LENGTH, workers: int = POOL_WORKERS
+) -> dict:
+    """One common-schema result, measured with telemetry enabled."""
+    with telemetry.session() as registry:
+        results = measure(streams=streams, length=length, workers=workers)
+        snapshot = registry.snapshot()
+    metrics = {
+        key: value
+        for key, value in results.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    params = {
+        "streams": streams,
+        "length": length,
+        "k": K,
+        "workers": workers,
+        "cores": results["cores"],
+        "pool_speedup_asserted": results["pool_speedup_asserted"],
+        "pool_stats": results["pool_stats"],
+        "note": results["note"],
+    }
+    return bench_result("parallel", params, metrics, telemetry_snapshot=snapshot)
+
+
 def report(results: dict) -> None:
     print_series(
         f"Parallel batch (streams={results['streams']}, n={results['length']}, "
@@ -225,11 +286,11 @@ def main() -> None:
         print("\nsmoke run OK (speedup floors not asserted)")
         return
 
-    results = measure(workers=args.workers)
-    report(results)
-    check(results)
-    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    result = common_result(workers=args.workers)
+    combined = {**result["params"], **result["metrics"]}
+    report(combined)
+    check(combined)
+    path = write_result(result, REPO_ROOT / "BENCH_parallel.json")
     print(f"\nwrote {path}")
 
 

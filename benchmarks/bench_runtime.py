@@ -19,28 +19,26 @@ orders of magnitude in practice). Run as a script to (re)record the
 
 from __future__ import annotations
 
-import json
-import pathlib
-
+from repro import telemetry
 from repro.automata.regex import regex_to_dfa
 from repro.markov.builders import homogeneous
 from repro.lahar.database import MarkovStreamDatabase
 from repro.runtime.cache import PlanCache
 from repro.runtime.executor import run_evaluate
 
-from benchmarks.shape import print_series, timed_best
+from benchmarks.shape import REPO_ROOT, bench_result, print_series, timed_best, write_result
 
 N = 240
 ALPHABET = "ab"
 MIN_SPEEDUP = 2.0
 
 
-def monitoring_stream():
-    """A homogeneous two-symbol chain of length ``N`` (float weights)."""
+def monitoring_stream(n: int = N):
+    """A homogeneous two-symbol chain of length ``n`` (float weights)."""
     return homogeneous(
         {"a": 0.6, "b": 0.4},
         {"a": {"a": 0.7, "b": 0.3}, "b": {"a": 0.4, "b": 0.6}},
-        N,
+        n,
     )
 
 
@@ -56,8 +54,8 @@ def occurrence_query():
     return accept_filter(regex_to_dfa("(a|b)*ab(a|b)*", ALPHABET))
 
 
-def measure() -> dict:
-    sequence = monitoring_stream()
+def measure(n: int = N) -> dict:
+    sequence = monitoring_stream(n)
     query = occurrence_query()
 
     def cold_read():
@@ -106,7 +104,7 @@ def measure() -> dict:
     append_s = timed_best(incremental_append, repeats=5)
 
     return {
-        "n": N,
+        "n": n,
         "query": "accept_filter((a|b)*ab(a|b)*)",
         "cold_read_s": cold_s,
         "warm_read_s": warm_s,
@@ -143,13 +141,27 @@ def bench_runtime_speedups(benchmark) -> None:
     benchmark(lambda: list(db.query("tag", query)))
 
 
+def common_result(n: int = N) -> dict:
+    """One common-schema result, measured with telemetry enabled."""
+    with telemetry.session() as registry:
+        results = measure(n)
+        snapshot = registry.snapshot()
+    metrics = {key: value for key, value in results.items() if key != "query"}
+    return bench_result(
+        "runtime",
+        {"n": n, "query": results["query"]},
+        metrics,
+        telemetry_snapshot=snapshot,
+    )
+
+
 def main() -> None:
-    results = measure()
-    report(results)
-    assert results["warm_speedup"] >= MIN_SPEEDUP, results
-    assert results["append_speedup"] >= MIN_SPEEDUP, results
-    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    result = common_result()
+    metrics = result["metrics"]
+    report({**result["params"], **metrics})
+    assert metrics["warm_speedup"] >= MIN_SPEEDUP, metrics
+    assert metrics["append_speedup"] >= MIN_SPEEDUP, metrics
+    path = write_result(result, REPO_ROOT / "BENCH_runtime.json")
     print(f"\nwrote {path}")
 
 

@@ -9,12 +9,96 @@ regression check on the reproduction claims in EXPERIMENTS.md.
 
 Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
 printed series).
+
+Baseline-emitting benches (``bench_runtime``, ``bench_parallel``,
+``bench_telemetry``) additionally write a ``BENCH_*.json`` file at the
+repo root in the **common result schema** (:data:`RESULT_SCHEMA`)::
+
+    {"schema": "repro-bench/1", "name": ..., "params": {...},
+     "metrics": {...}, "telemetry": {...} | null, "git_rev": ...}
+
+``benchmarks/regress.py`` re-runs those scenarios and gates fresh
+metrics against the committed baselines with per-metric tolerance
+floors.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import subprocess
 import time
 from collections.abc import Callable, Sequence
+
+#: Schema marker for common-format benchmark results.
+RESULT_SCHEMA = "repro-bench/1"
+
+#: The repo root (where ``BENCH_*.json`` baselines live).
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def git_rev() -> str | None:
+    """The short git revision of the working tree, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def bench_result(
+    name: str,
+    params: dict,
+    metrics: dict,
+    telemetry_snapshot: dict | None = None,
+) -> dict:
+    """Assemble one common-schema benchmark result."""
+    return {
+        "schema": RESULT_SCHEMA,
+        "name": name,
+        "params": dict(params),
+        "metrics": dict(metrics),
+        "telemetry": telemetry_snapshot,
+        "git_rev": git_rev(),
+    }
+
+
+def write_result(result: dict, path) -> pathlib.Path:
+    """Write a common-schema result as pretty JSON."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(result, indent=2) + "\n")
+    return target
+
+
+def load_result(path) -> dict:
+    """Load a baseline, upgrading legacy flat-dict files to the schema.
+
+    Pre-schema baselines were one flat dict of metrics; they come back
+    wrapped as ``{"schema": ..., "metrics": <the dict>}`` so the
+    regression harness can compare either generation.
+    """
+    source = pathlib.Path(path)
+    data = json.loads(source.read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"benchmark baseline {source} is not an object")
+    if data.get("schema") == RESULT_SCHEMA:
+        return data
+    metrics = {k: v for k, v in data.items() if isinstance(v, (int, float))}
+    return {
+        "schema": RESULT_SCHEMA,
+        "name": source.stem.replace("BENCH_", ""),
+        "params": {},
+        "metrics": metrics,
+        "telemetry": None,
+        "git_rev": None,
+    }
 
 
 def timed(fn: Callable[[], object]) -> float:

@@ -14,9 +14,14 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
                     [--corpus DIR] [-k K] [--workers N] [--answer 1,2]
     repro verify    [--budget SECONDS] [--seed N] [--classes a,b]
                     [--corpus DIR] [--save-failures DIR] [--no-metamorphic]
+    repro stats     snapshot.json
     repro dot       --sequence seq.json | --query query.json
 
-The JSON formats are documented in :mod:`repro.io.json_format`.
+``plan``, ``batch``, and ``verify`` accept ``--telemetry PATH``: the
+command runs with the tracing layer enabled and exports the metric
+snapshot to ``PATH`` on exit (``.ndjson`` suffix selects ndjson);
+``repro stats PATH`` pretty-prints a snapshot either way. The JSON
+formats are documented in :mod:`repro.io.json_format`.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import random
 import sys
 import time
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.core.engine import compute_confidence, evaluate, top_k
 from repro.io.json_format import read_query, read_sequence
@@ -315,6 +321,12 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(args) -> int:
+    snapshot = telemetry.load_snapshot(args.snapshot)
+    print(telemetry.render_snapshot(snapshot))
+    return 0
+
+
 def _cmd_dot(args) -> int:
     if args.sequence:
         print(sequence_to_dot(read_sequence(args.sequence)))
@@ -326,6 +338,16 @@ def _cmd_dot(args) -> int:
     else:
         raise ReproError("dot needs --sequence or --query")
     return 0
+
+
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="run with tracing enabled and export the metric snapshot "
+        "here (.ndjson suffix selects ndjson; see `repro stats`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["unranked", "emax", "imax", "confidence"],
     )
     plan.add_argument("--allow-exponential", action="store_true")
+    _add_telemetry_flag(plan)
     plan.set_defaults(handler=_cmd_plan)
 
     batch = sub.add_parser(
@@ -434,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dense same-plan batching for --answer (default: auto)",
     )
     batch.add_argument("--allow-exponential", action="store_true")
+    _add_telemetry_flag(batch)
     batch.set_defaults(handler=_cmd_batch)
 
     check = sub.add_parser(
@@ -474,7 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the metamorphic transforms (differential checks only)",
     )
+    _add_telemetry_flag(check)
     check.set_defaults(handler=_cmd_verify)
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print an exported telemetry snapshot"
+    )
+    stats.add_argument("snapshot", help="snapshot file written by --telemetry")
+    stats.set_defaults(handler=_cmd_stats)
 
     dot = sub.add_parser("dot", help="emit a graphviz rendering")
     dot.add_argument("--sequence")
@@ -489,6 +520,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        telemetry_path = getattr(args, "telemetry", None)
+        if telemetry_path is not None:
+            # The snapshot is exported even when the handler fails — a
+            # diffing `verify` run's telemetry is exactly what you want.
+            with telemetry.session(telemetry_path):
+                return args.handler(args)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -15,10 +15,12 @@ Float-only (numpy); for exact rationals use the sparse DP.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Hashable, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import InvalidTransducerError
 from repro.markov.sequence import MarkovSequence
 from repro.transducers.transducer import Transducer
@@ -75,8 +77,11 @@ def confidence_deterministic_dense(
         if entry is not None and entry[1] == first:
             vector[pair_index(symbol, entry[0])] += float(prob)
 
-    # One dense matrix per step.
+    # One dense matrix per step. The per-timestep timer only runs when
+    # telemetry is enabled — one recorder() fetch covers the whole loop.
+    recorder = telemetry.recorder()
     for i in range(1, n):
+        step_start = time.perf_counter() if recorder is not None else 0.0
         expected = target[k * i : k * (i + 1)]
         matrix = np.zeros((size, size))
         for symbol in symbols:
@@ -89,10 +94,19 @@ def confidence_deterministic_dense(
                             pair_index(target_symbol, entry[0]),
                         ] += float(prob)
         vector = vector @ matrix
+        if recorder is not None:
+            recorder.observe(
+                "confidence.dense.step_seconds", time.perf_counter() - step_start
+            )
 
     accepting = transducer.nfa.accepting
     mask = np.zeros(size)
     for symbol in symbols:
         for state in accepting:
             mask[pair_index(symbol, state)] = 1.0
+    if recorder is not None:
+        recorder.count("confidence.dense.runs")
+        recorder.observe(
+            "confidence.dense.matrix_size", float(size), bounds=telemetry.SIZE_BOUNDS
+        )
     return float(vector @ mask)

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.oracle.differential import Diff, check_instance
 from repro.oracle.generators import CLASS_LABELS, Instance, generate_instance
@@ -179,14 +180,18 @@ def verify(
     def fails(candidate: Instance) -> bool:
         return bool(check_instance(candidate, context, tuple(engines), probe_limit).diffs)
 
-    with VerifyContext(workers=workers) as context:
+    with VerifyContext(workers=workers) as context, telemetry.span("verify"):
         for instance in replay:
-            result = check_instance(instance, context, tuple(engines), probe_limit)
+            with telemetry.span("corpus_case"):
+                result = check_instance(instance, context, tuple(engines), probe_limit)
             report.instances += 1
             report.corpus_cases += 1
             report.probes += result.probes
             report.coverage |= result.coverage
             report.diffs.extend(result.diffs)
+            telemetry.count("oracle.instances")
+            telemetry.count("oracle.corpus_cases")
+            telemetry.count("oracle.probes", result.probes)
 
         round_index = 0
         while True:
@@ -200,25 +205,37 @@ def verify(
                 break
             for label in classes:
                 instance = generate_instance(label, seed, trial=round_index)
-                result = check_instance(instance, context, tuple(engines), probe_limit)
+                with telemetry.span("instance"):
+                    result = check_instance(
+                        instance, context, tuple(engines), probe_limit
+                    )
                 report.instances += 1
                 report.probes += result.probes
                 report.coverage |= result.coverage
+                telemetry.count("oracle.instances")
+                telemetry.count("oracle.probes", result.probes)
                 diffs = list(result.diffs)
                 if metamorphic:
-                    diffs.extend(_check_metamorphic(instance, context, rng))
+                    with telemetry.span("metamorphic"):
+                        diffs.extend(_check_metamorphic(instance, context, rng))
                 if result.diffs:
                     # Only differential diffs shrink: the predicate re-runs
                     # the differential check, not the metamorphic layer.
-                    minimal = shrink(instance, fails)
+                    with telemetry.span("shrink"):
+                        minimal = shrink(instance, fails)
                     report.shrunk.append(minimal)
                     if save_failures is not None:
                         report.saved.append(save_case(minimal, save_failures))
+                if diffs:
+                    telemetry.count("oracle.diffs", len(diffs))
                 report.diffs.extend(diffs)
             round_index += 1
             report.rounds = round_index
+            telemetry.count("oracle.rounds")
             if budget is None and max_rounds is None and round_index >= MIN_ROUNDS:
                 break
 
     report.elapsed = time.monotonic() - start
+    if report.elapsed > 0:
+        telemetry.gauge("oracle.cases_per_second", report.instances / report.elapsed)
     return report

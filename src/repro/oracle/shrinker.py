@@ -34,6 +34,7 @@ import json
 from collections.abc import Callable, Iterator
 from pathlib import Path
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.io.json_format import (
     parse_json,
@@ -103,11 +104,13 @@ def shrink(
     current = instance
     for _round in range(max_rounds):
         for candidate in shrink_candidates(current):
+            telemetry.count("oracle.shrink.steps")
             try:
                 still_failing = fails(candidate)
             except Exception:
                 still_failing = False
             if still_failing:
+                telemetry.count("oracle.shrink.accepted")
                 current = candidate
                 break
         else:

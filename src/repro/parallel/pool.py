@@ -37,6 +37,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import multiprocessing
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
@@ -178,7 +179,7 @@ class WorkerPool:
         payloads = self._run_batch(MODE_TOP_K, plan, sequences, options)
         candidates = [pair for payload in payloads for pair in payload]
         candidates.sort(key=_merge_rank)
-        self.stats.record_batch(time.perf_counter() - start)
+        self._record_batch(time.perf_counter() - start)
         return candidates[:k]
 
     def evaluate_many(
@@ -205,7 +206,7 @@ class WorkerPool:
         collected = {
             name: list(answers) for payload in payloads for name, answers in payload
         }
-        self.stats.record_batch(time.perf_counter() - start)
+        self._record_batch(time.perf_counter() - start)
         return {name: collected[name] for name in sequences}
 
     def batch_confidence(
@@ -233,17 +234,39 @@ class WorkerPool:
             values = confidence_dense_batch(ordered, plan.compiled, output)
             self.stats.vectorized_batches += 1
             self.stats.streams += len(ordered)
-            self.stats.record_batch(time.perf_counter() - start)
+            telemetry.count("parallel.vectorized_batches")
+            telemetry.count("parallel.streams", len(ordered))
+            self._record_batch(time.perf_counter() - start)
             return dict(zip(sequences, values))
         options = {"output": tuple(output), "allow_exponential": allow_exponential}
         payloads = self._run_batch(MODE_CONFIDENCE, plan, sequences, options)
         collected = {name: value for payload in payloads for name, value in payload}
-        self.stats.record_batch(time.perf_counter() - start)
+        self._record_batch(time.perf_counter() - start)
         return {name: collected[name] for name in sequences}
 
     # ------------------------------------------------------------------
     # Fan-out machinery
     # ------------------------------------------------------------------
+
+    def _record_batch(self, wall_seconds: float) -> None:
+        self.stats.record_batch(wall_seconds)
+        telemetry.count("parallel.batches")
+        telemetry.observe("parallel.batch.seconds", wall_seconds)
+
+    def _record_chunk(self, task: ChunkTask, result: ChunkResult) -> None:
+        """Fold one executed chunk into PoolStats and telemetry."""
+        self.stats.record_chunk(result.seconds, len(task.items))
+        recorder = telemetry.recorder()
+        if recorder is not None:
+            recorder.observe("parallel.chunk.seconds", result.seconds)
+            recorder.observe(
+                "parallel.chunk.streams",
+                float(len(task.items)),
+                bounds=telemetry.SIZE_BOUNDS,
+            )
+            recorder.count("parallel.streams", len(task.items))
+            recorder.count("parallel.worker_cache.hits", result.cache_hits)
+            recorder.count("parallel.worker_cache.misses", result.cache_misses)
 
     def _run_batch(self, mode, plan, sequences, options) -> list[tuple]:
         """Chunk, ship, retry, fall back; returns per-chunk payloads."""
@@ -251,7 +274,8 @@ class WorkerPool:
             task = make_task(mode, plan, sequences.items(), **options)
             result = execute_chunk(task)
             self.stats.serial_batches += 1
-            self.stats.record_chunk(result.seconds, len(task.items))
+            telemetry.count("parallel.serial_batches")
+            self._record_chunk(task, result)
             return [result.payload]
         chunks = chunk_corpus(sequences, self.chunk_size, self.workers)
         tasks = [
@@ -275,6 +299,7 @@ class WorkerPool:
                 for index in pending
             ]
             self.stats.tasks += len(submitted)
+            telemetry.count("parallel.tasks", len(submitted))
             retry: list[int] = []
             pool_broke = False
             for index, future in submitted:
@@ -282,6 +307,7 @@ class WorkerPool:
                     chunk: ChunkResult = future.result(timeout=self.task_timeout)
                 except concurrent.futures.TimeoutError:
                     self.stats.timeouts += 1
+                    telemetry.count("parallel.timeouts")
                     future.cancel()
                     # A worker stuck past its budget poisons the queue;
                     # retire the executor and answer from the parent.
@@ -291,6 +317,7 @@ class WorkerPool:
                     if not pool_broke:
                         pool_broke = True
                         self.stats.broken_pools += 1
+                        telemetry.count("parallel.broken_pools")
                     self._retire_executor()
                     self._schedule_retry(tasks, results, attempts, retry, index)
                 except concurrent.futures.CancelledError:
@@ -298,10 +325,12 @@ class WorkerPool:
                     self._schedule_retry(tasks, results, attempts, retry, index)
                 except Exception:
                     self.stats.worker_errors += 1
+                    telemetry.count("parallel.worker_errors")
                     self._schedule_retry(tasks, results, attempts, retry, index)
                 else:
                     self.stats.completed += 1
-                    self.stats.record_chunk(chunk.seconds, len(tasks[index].items))
+                    telemetry.count("parallel.completed")
+                    self._record_chunk(tasks[index], chunk)
                     results[index] = chunk.payload
             if retry:
                 round_number = max(attempts[index] for index in retry)
@@ -315,6 +344,7 @@ class WorkerPool:
         attempts[index] += 1
         if attempts[index] <= self.max_retries:
             self.stats.retries += 1
+            telemetry.count("parallel.retries")
             retry.append(index)
         else:
             self._serial_fallback(tasks, results, index)
@@ -322,5 +352,6 @@ class WorkerPool:
     def _serial_fallback(self, tasks, results, index) -> None:
         result = execute_chunk(tasks[index])
         self.stats.serial_fallbacks += 1
-        self.stats.record_chunk(result.seconds, len(tasks[index].items))
+        telemetry.count("parallel.serial_fallbacks")
+        self._record_chunk(tasks[index], result)
         results[index] = result.payload

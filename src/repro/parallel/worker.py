@@ -75,10 +75,19 @@ class ChunkTask:
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """What a worker sends back: the payload plus its compute time."""
+    """What a worker sends back: the payload plus its compute time.
+
+    ``cache_hits`` / ``cache_misses`` are the worker-local plan-cache
+    deltas this chunk caused — shipped explicitly because a worker
+    process's own telemetry registry (if any) is invisible to the
+    parent; the parent folds them into its telemetry as
+    ``parallel.worker_cache.*``.
+    """
 
     payload: tuple
     seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def make_task(mode: str, plan, items, **options) -> ChunkTask:
@@ -95,6 +104,8 @@ def make_task(mode: str, plan, items, **options) -> ChunkTask:
 def execute_chunk(task: ChunkTask) -> ChunkResult:
     """Run one chunk in this process; the pool's worker entry point."""
     start = time.perf_counter()
+    hits_before = _WORKER_CACHE.hits
+    misses_before = _WORKER_CACHE.misses
     plan = _WORKER_CACHE.get(task.query, fingerprint_hint=task.fingerprint)
     options = task.option_dict()
     if task.mode == MODE_TOP_K:
@@ -141,4 +152,9 @@ def execute_chunk(task: ChunkTask) -> ChunkResult:
         )
     else:
         raise ReproError(f"unknown chunk mode {task.mode!r}")
-    return ChunkResult(payload=payload, seconds=time.perf_counter() - start)
+    return ChunkResult(
+        payload=payload,
+        seconds=time.perf_counter() - start,
+        cache_hits=_WORKER_CACHE.hits - hits_before,
+        cache_misses=_WORKER_CACHE.misses - misses_before,
+    )

@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.runtime.plan import QueryPlan, fingerprint
 
@@ -58,14 +59,17 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self.hits += 1
+                telemetry.count("runtime.plan_cache.hits")
                 self._plans.move_to_end(key)
                 return plan
             self.misses += 1
+            telemetry.count("runtime.plan_cache.misses")
             plan = QueryPlan.build(query, fingerprint_hint=key)
             self._plans[key] = plan
             if len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                telemetry.count("runtime.plan_cache.evictions")
             return plan
 
     def __len__(self) -> int:

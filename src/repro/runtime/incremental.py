@@ -37,8 +37,10 @@ which is how sliding windows re-anchor without replaying the stream.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Hashable, Iterator, Mapping
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
@@ -103,6 +105,10 @@ class StreamingEvaluator:
 
     def _advance(self, i: int) -> None:
         """Push the frontier across transition ``i`` (paper indexing)."""
+        # The per-layer timer only runs when telemetry is enabled: one
+        # recorder() call and a None check is the whole disabled cost.
+        recorder = telemetry.recorder()
+        start = time.perf_counter() if recorder is not None else 0.0
         compiled = self.plan.compiled
         sequence = self._sequence
         nxt: dict = {}
@@ -128,6 +134,14 @@ class StreamingEvaluator:
                         nxt[key] = nxt.get(key, 0) + mass * prob
         self._frontier = nxt
         self.plan.stats.record_append(cells)
+        if recorder is not None:
+            recorder.observe("runtime.append.seconds", time.perf_counter() - start)
+            recorder.observe(
+                "runtime.append.cells", float(cells), bounds=telemetry.SIZE_BOUNDS
+            )
+            recorder.observe(
+                "runtime.append.frontier", float(len(nxt)), bounds=telemetry.SIZE_BOUNDS
+            )
 
     # ------------------------------------------------------------------
     # Streaming API

@@ -1,0 +1,156 @@
+"""Zero-overhead-when-off tracing and metrics for the whole stack.
+
+One process-local :class:`~repro.telemetry.metrics.Registry` (or none),
+toggled by :func:`enable` / :func:`disable`. Instrumented code calls the
+module-level helpers unconditionally:
+
+* :func:`count` / :func:`gauge` / :func:`observe` — record a counter
+  bump, a gauge write, or a histogram observation. Disabled, each is a
+  single ``None`` check and returns — no object is ever constructed.
+* :func:`span` — ``with span("verify"):`` times a block under its
+  nesting path. Disabled, it returns the shared
+  :data:`~repro.telemetry.spans.NOOP_SPAN` singleton.
+* :func:`recorder` — the live registry or ``None``; hot loops that want
+  to time *inside* themselves fetch it once and branch on it, paying one
+  comparison per iteration when telemetry is off.
+
+The zero-overhead claim is testable: recorder-object construction is
+counted (:func:`recorder_allocations`), so the suite asserts a disabled
+instrumented run allocates nothing and returns bit-identical results.
+
+Metric names, span taxonomy, and the export schema are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.telemetry.export import (
+    load_snapshot,
+    render_snapshot,
+    snapshot_from_ndjson,
+    snapshot_to_ndjson,
+    write_snapshot,
+)
+from repro.telemetry.metrics import (
+    DURATION_BOUNDS,
+    SIZE_BOUNDS,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    recorder_allocations,
+)
+from repro.telemetry.spans import NOOP_SPAN, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "NOOP_SPAN",
+    "DURATION_BOUNDS",
+    "SIZE_BOUNDS",
+    "SNAPSHOT_SCHEMA",
+    "enable",
+    "disable",
+    "enabled",
+    "recorder",
+    "count",
+    "gauge",
+    "observe",
+    "span",
+    "snapshot",
+    "session",
+    "recorder_allocations",
+    "load_snapshot",
+    "render_snapshot",
+    "snapshot_to_ndjson",
+    "snapshot_from_ndjson",
+    "write_snapshot",
+]
+
+_registry: Registry | None = None
+
+
+def enable(registry: Registry | None = None) -> Registry:
+    """Turn telemetry on (installing ``registry`` or a fresh one)."""
+    global _registry
+    _registry = registry if registry is not None else Registry()
+    return _registry
+
+
+def disable() -> None:
+    """Turn telemetry off; helpers become no-ops again."""
+    global _registry
+    _registry = None
+
+
+def enabled() -> bool:
+    return _registry is not None
+
+
+def recorder() -> Registry | None:
+    """The live registry, or ``None`` while telemetry is disabled."""
+    return _registry
+
+
+def count(name: str, amount: int = 1) -> None:
+    if _registry is None:
+        return
+    _registry.count(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    if _registry is None:
+        return
+    _registry.gauge(name, value)
+
+
+def observe(name: str, value: float, bounds: tuple[float, ...] | None = None) -> None:
+    if _registry is None:
+        return
+    _registry.observe(name, value, bounds)
+
+
+def span(name: str):
+    """A timing context manager (the no-op singleton while disabled)."""
+    if _registry is None:
+        return NOOP_SPAN
+    return Span(_registry, name)
+
+
+def snapshot() -> dict:
+    """The current registry's snapshot (empty-shaped when disabled)."""
+    if _registry is None:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {},
+        }
+    return _registry.snapshot()
+
+
+@contextlib.contextmanager
+def session(path=None, registry: Registry | None = None):
+    """Enable telemetry for a block, exporting on the way out.
+
+    Used by the CLI's ``--telemetry PATH`` flag: the handler runs with a
+    fresh registry, and the snapshot is written to ``path`` (``.ndjson``
+    suffix selects ndjson) even when the handler raises. The previous
+    enabled/disabled state is restored afterwards.
+    """
+    global _registry
+    previous = _registry
+    active = enable(registry)
+    try:
+        yield active
+    finally:
+        if path is not None:
+            write_snapshot(active.snapshot(), path)
+        _registry = previous

@@ -1,0 +1,155 @@
+"""Snapshot export (JSON / ndjson), loading, and pretty rendering.
+
+Two wire formats for one logical snapshot:
+
+* **JSON** — the snapshot dict verbatim, one object per file. The
+  default, chosen for any path not ending in ``.ndjson``.
+* **ndjson** — one metric per line (``{"kind": "counter", ...}``), led
+  by a ``meta`` line carrying the schema marker. Friendlier to log
+  pipelines and CI artifact diffing; this is what the bench-regression
+  harness uploads.
+
+:func:`load_snapshot` sniffs the format, so ``repro stats`` renders
+either. :func:`render_snapshot` is that command's pretty-printer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ReproError
+from repro.telemetry.metrics import SNAPSHOT_SCHEMA
+
+
+def snapshot_to_ndjson(snapshot: dict) -> str:
+    """One line per metric, meta line first."""
+    lines = [json.dumps({"kind": "meta", "schema": snapshot.get("schema", SNAPSHOT_SCHEMA)})]
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(json.dumps({"kind": "counter", "name": name, "value": value}))
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(json.dumps({"kind": "gauge", "name": name, "value": value}))
+    for kind in ("histogram", "span"):
+        for name, data in snapshot.get(kind + "s", {}).items():
+            lines.append(json.dumps({"kind": kind, "name": name, **data}))
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_from_ndjson(text: str) -> dict:
+    """Rebuild the snapshot dict from its ndjson serialization."""
+    snapshot: dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": {},
+    }
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"bad ndjson on line {line_number}: {error}") from error
+        kind = record.get("kind")
+        if kind == "meta":
+            snapshot["schema"] = record.get("schema", SNAPSHOT_SCHEMA)
+        elif kind == "counter":
+            snapshot["counters"][record["name"]] = record["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][record["name"]] = record["value"]
+        elif kind in ("histogram", "span"):
+            data = {k: v for k, v in record.items() if k not in ("kind", "name")}
+            snapshot[kind + "s"][record["name"]] = data
+        else:
+            raise ReproError(f"unknown telemetry record kind {kind!r} on line {line_number}")
+    return snapshot
+
+
+def write_snapshot(snapshot: dict, path) -> pathlib.Path:
+    """Write ``snapshot`` to ``path``; ``.ndjson`` suffix picks ndjson."""
+    target = pathlib.Path(path)
+    if target.suffix == ".ndjson":
+        text = snapshot_to_ndjson(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2) + "\n"
+    target.write_text(text)
+    return target
+
+
+def load_snapshot(path) -> dict:
+    """Load a snapshot written by :func:`write_snapshot` (either format)."""
+    source = pathlib.Path(path)
+    try:
+        text = source.read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read telemetry snapshot {source}: {error}") from error
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return snapshot_from_ndjson(text)
+    if not isinstance(data, dict):
+        raise ReproError(f"telemetry snapshot {source} is not an object")
+    if "counters" not in data and "kind" in data:
+        # A one-line ndjson file parses as plain JSON; rebuild properly.
+        return snapshot_from_ndjson(text)
+    for key in ("counters", "gauges", "histograms", "spans"):
+        data.setdefault(key, {})
+    return data
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """The human-facing table behind ``repro stats``."""
+    lines: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name.ljust(width)}  {value}")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name.ljust(width)}  {value:.6g}")
+
+    for section, fmt in (("histograms", _fmt_value), ("spans", _fmt_seconds)):
+        table = snapshot.get(section, {})
+        if not table:
+            continue
+        lines.append(f"{section}:")
+        width = max(len(name) for name in table)
+        for name, data in sorted(table.items()):
+            count = data.get("count", 0)
+            mean = data["total"] / count if count else None
+            stats = (
+                f"count={count} total={fmt(data.get('total'))} "
+                f"mean={fmt(mean)} min={fmt(data.get('min'))} "
+                f"max={fmt(data.get('max'))}"
+            )
+            lines.append(f"  {name.ljust(width)}  {stats}")
+
+    if not lines:
+        return "(empty telemetry snapshot)"
+    return "\n".join(lines)
+
+
+def _fmt_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"

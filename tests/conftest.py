@@ -43,3 +43,12 @@ __all__ = [
 def rng() -> random.Random:
     """A deterministically seeded RNG per test."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_between_tests():
+    """Telemetry is module-global state; never let it leak across tests."""
+    from repro import telemetry
+
+    yield
+    telemetry.disable()

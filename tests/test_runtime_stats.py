@@ -1,0 +1,132 @@
+"""Direct tests for the runtime's execution counters (repro.runtime.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.stats import PlanStats, PoolStats, instrument
+
+
+# ---------------------------------------------------------------------------
+# PlanStats
+# ---------------------------------------------------------------------------
+
+
+def test_plan_stats_defaults_are_zero() -> None:
+    stats = PlanStats()
+    assert stats.as_dict() == {
+        "evaluations": 0,
+        "answers": 0,
+        "seconds": 0.0,
+        "dp_cells": 0,
+        "appends": 0,
+    }
+
+
+def test_plan_stats_record_run_accumulates() -> None:
+    stats = PlanStats()
+    stats.record_run(0.5, 3)
+    stats.record_run(0.25, 0)
+    assert stats.evaluations == 2
+    assert stats.answers == 3
+    assert stats.seconds == pytest.approx(0.75)
+
+
+def test_plan_stats_record_append_accumulates_cells() -> None:
+    stats = PlanStats()
+    stats.record_append(10)
+    stats.record_append(7)
+    assert stats.appends == 2
+    assert stats.dp_cells == 17
+
+
+# ---------------------------------------------------------------------------
+# PoolStats
+# ---------------------------------------------------------------------------
+
+
+def test_pool_stats_record_chunk_feeds_serial_estimate() -> None:
+    stats = PoolStats()
+    stats.record_chunk(0.2, 5)
+    stats.record_chunk(0.3, 7)
+    assert stats.chunk_seconds == [0.2, 0.3]
+    assert stats.serial_estimate_seconds == pytest.approx(0.5)
+    assert stats.streams == 12
+    assert stats.as_dict()["chunks"] == 2
+
+
+def test_pool_stats_speedup_estimate_needs_both_sides() -> None:
+    stats = PoolStats()
+    assert stats.speedup_estimate() is None  # no data at all
+    stats.record_batch(0.1)
+    assert stats.speedup_estimate() is None  # wall time but no chunk time
+    stats.record_chunk(0.4, 1)
+    assert stats.speedup_estimate() == pytest.approx(4.0)
+    assert stats.as_dict()["speedup_estimate"] == pytest.approx(4.0)
+
+
+def test_pool_stats_record_batch() -> None:
+    stats = PoolStats()
+    stats.record_batch(1.0)
+    stats.record_batch(0.5)
+    assert stats.batches == 2
+    assert stats.wall_seconds == pytest.approx(1.5)
+
+
+def test_pool_stats_as_dict_lists_every_counter() -> None:
+    stats = PoolStats()
+    expected = {
+        "batches", "tasks", "completed", "streams", "retries", "timeouts",
+        "broken_pools", "worker_errors", "serial_fallbacks", "serial_batches",
+        "vectorized_batches", "chunks", "wall_seconds",
+        "serial_estimate_seconds", "speedup_estimate",
+    }
+    assert set(stats.as_dict()) == expected
+
+
+# ---------------------------------------------------------------------------
+# instrument()
+# ---------------------------------------------------------------------------
+
+
+def test_instrument_records_on_exhaustion() -> None:
+    stats = PlanStats()
+    items = list(instrument(iter([1, 2, 3]), stats))
+    assert items == [1, 2, 3]
+    assert stats.evaluations == 1
+    assert stats.answers == 3
+    assert stats.seconds >= 0.0
+
+
+def test_instrument_records_on_early_close() -> None:
+    stats = PlanStats()
+    wrapped = instrument(iter(range(100)), stats)
+    for item in wrapped:
+        if item == 4:
+            break
+    wrapped.close()
+    assert stats.evaluations == 1
+    assert stats.answers == 5  # consumed 0..4 before the break
+
+
+def test_instrument_excludes_consumer_time() -> None:
+    """Only time inside next() is charged, so a slow consumer of a fast
+    iterator must leave the recorded seconds tiny."""
+    import time
+
+    stats = PlanStats()
+    for _item in instrument(iter(range(3)), stats):
+        time.sleep(0.02)
+    assert stats.seconds < 0.02
+
+
+def test_instrument_records_even_when_consumer_raises() -> None:
+    stats = PlanStats()
+    wrapped = instrument(iter([1, 2, 3]), stats)
+    with pytest.raises(RuntimeError):
+        for item in wrapped:
+            if item == 2:
+                raise RuntimeError("consumer blew up")
+    wrapped.close()
+    assert stats.evaluations == 1
+    assert stats.answers == 2

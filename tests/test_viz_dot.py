@@ -1,0 +1,106 @@
+"""Direct tests for the graphviz renderings (repro.viz.dot)."""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.regex import regex_to_dfa
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.markov.sequence import MarkovSequence
+from repro.transducers.transducer import Transducer
+from repro.viz.dot import _quote, automaton_to_dot, sequence_to_dot, transducer_to_dot
+
+
+def test_quote_escapes_embedded_quotes() -> None:
+    assert _quote("plain") == '"plain"'
+    assert _quote('say "hi"') == '"say \\"hi\\""'
+
+
+# ---------------------------------------------------------------------------
+# sequence_to_dot
+# ---------------------------------------------------------------------------
+
+
+def test_sequence_dot_draws_reachable_nodes_only() -> None:
+    # b is unreachable at position 1 (zero initial mass) and, since only
+    # a->a has mass, at every later position too.
+    sequence = MarkovSequence(
+        ("a", "b"),
+        {"a": 1.0, "b": 0.0},
+        [{"a": {"a": 1.0}, "b": {"b": 1.0}}],
+    )
+    dot = sequence_to_dot(sequence)
+    assert dot.startswith("digraph markov_sequence {")
+    assert dot.rstrip().endswith("}")
+    assert '"a@1"' in dot and '"a@2"' in dot
+    assert "b@" not in dot
+
+
+def test_sequence_dot_labels_probabilities() -> None:
+    dot = sequence_to_dot(hospital_sequence(exact=False))
+    assert "rankdir=LR" in dot
+    assert 'start -> "r1a@1"' in dot
+    # Figure 1's initial split is 0.7 / 0.3
+    assert '[label="0.7"]' in dot
+    assert '[label="0.3"]' in dot
+
+
+def test_sequence_dot_name_parameter() -> None:
+    dot = sequence_to_dot(hospital_sequence(), name="fig1")
+    assert dot.startswith("digraph fig1 {")
+
+
+# ---------------------------------------------------------------------------
+# automaton_to_dot
+# ---------------------------------------------------------------------------
+
+
+def test_automaton_dot_marks_accepting_states() -> None:
+    dfa = regex_to_dfa("ab*", "ab")
+    dot = automaton_to_dot(dfa)
+    assert "doublecircle" in dot  # some state accepts "a"
+    assert "shape=circle" in dot  # and some state does not
+    assert f"start -> {_quote(dfa.initial)};" in dot
+
+
+def test_automaton_dot_groups_parallel_edges() -> None:
+    # Both symbols go q0 -> q1: one edge, comma-joined label.
+    nfa = NFA(
+        ("a", "b"),
+        {"q0", "q1"},
+        "q0",
+        {"q1"},
+        {("q0", "a"): {"q1"}, ("q0", "b"): {"q1"}},
+    )
+    dot = automaton_to_dot(nfa, name="grouped")
+    assert dot.startswith("digraph grouped {")
+    assert '"q0" -> "q1" [label="a,b"];' in dot
+    assert dot.count('"q0" -> "q1"') == 1
+
+
+# ---------------------------------------------------------------------------
+# transducer_to_dot
+# ---------------------------------------------------------------------------
+
+
+def test_transducer_dot_uses_sigma_colon_output_labels() -> None:
+    dot = transducer_to_dot(room_change_transducer())
+    # Figure 2 style: moves between rooms emit the room's place digit...
+    assert " : 1" in dot or " : 2" in dot
+    # ...and non-changes emit nothing, rendered as epsilon.
+    assert " : ε" in dot
+
+
+def test_transducer_dot_renders_all_states() -> None:
+    query = room_change_transducer()
+    dot = transducer_to_dot(query, name="fig2")
+    assert dot.startswith("digraph fig2 {")
+    for state in query.nfa.states:
+        assert _quote(state) in dot
+    assert "doublecircle" in dot
+
+
+def test_transducer_dot_multicharacter_emission() -> None:
+    nfa = NFA(("x",), {"s"}, "s", {"s"}, {("s", "x"): {"s"}})
+    transducer = Transducer(nfa, {("s", "x", "s"): ("o", "u", "t")})
+    dot = transducer_to_dot(transducer)
+    assert '[label="x : out"]' in dot
