@@ -1,7 +1,7 @@
 """Benchmark regression gate: fresh runs vs the committed baselines.
 
-``BENCH_runtime.json``, ``BENCH_parallel.json`` and
-``BENCH_telemetry.json`` at the repo root are common-schema
+``BENCH_runtime.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``
+and ``BENCH_telemetry.json`` at the repo root are common-schema
 (:data:`benchmarks.shape.RESULT_SCHEMA`) records of what the key
 numbers looked like when they were committed. This module re-runs each
 scenario and gates the fresh metrics against the baseline with
@@ -170,6 +170,18 @@ def _run_parallel_quick() -> dict:
     )
 
 
+def _run_serve() -> dict:
+    from benchmarks.bench_serve import common_result
+
+    return common_result()
+
+
+def _run_serve_quick() -> dict:
+    from benchmarks.bench_serve import common_result
+
+    return common_result(appends=60)
+
+
 def _run_telemetry() -> dict:
     from benchmarks.bench_telemetry import common_result
 
@@ -202,6 +214,21 @@ SCENARIOS: dict[str, Scenario] = {
             quick_run=_run_parallel_quick,
             specs=(
                 MetricSpec("vectorized_speedup", "higher", 4.0, quick_tolerance=8.0),
+            ),
+        ),
+        Scenario(
+            name="serve",
+            baseline_file="BENCH_serve.json",
+            run=_run_serve,
+            quick_run=_run_serve_quick,
+            specs=(
+                # appends_per_second and the absolute seconds are
+                # informational only: wall-clock round-trips through a
+                # socket do not transfer across machines. The gated
+                # ratio is pure algorithm: full re-run / one DP layer.
+                MetricSpec(
+                    "incremental_speedup", "higher", 4.0, quick_tolerance=8.0
+                ),
             ),
         ),
         Scenario(

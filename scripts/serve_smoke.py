@@ -1,0 +1,134 @@
+"""CI smoke test: a real ``repro serve`` process, end to end.
+
+Starts the service as a subprocess on a unix socket (the way an
+operator would), drives one full standing-query session through the
+blocking client — register a stream, attach a threshold watch,
+subscribe, append until the alert fires — then asks the server to shut
+down and checks the drain is clean. Exits non-zero on any step failing;
+the calling CI step wraps the whole thing in a hard ``timeout`` so a
+hung event loop cannot wedge the pipeline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--max-appends N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.automata.regex import regex_to_dfa  # noqa: E402
+from repro.io.json_format import query_to_dict, sequence_to_dict  # noqa: E402
+from repro.markov.builders import homogeneous  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+from repro.transducers.library import accept_filter  # noqa: E402
+
+ROWS = {"a": {"a": 0.7, "b": 0.3}, "b": {"a": 0.4, "b": 0.6}}
+
+
+def wait_for_socket(path: pathlib.Path, process, deadline_s: float = 20.0) -> None:
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if process.poll() is not None:
+            raise SystemExit(f"server exited early with code {process.returncode}")
+        if path.exists():
+            try:
+                ServeClient.connect_unix(str(path), timeout=2.0).close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise SystemExit(f"server socket {path} did not come up in {deadline_s}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-appends", type=int, default=50)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = pathlib.Path(tmp) / "smoke.sock"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--socket",
+                str(socket_path),
+                "--shards",
+                "2",
+                "--max-seconds",
+                "120",  # belt to the CI step's timeout braces
+            ],
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            wait_for_socket(socket_path, process)
+            with ServeClient.connect_unix(str(socket_path)) as client:
+                ping = client.call("ping")
+                assert ping["protocol"] == "repro-serve/1", ping
+                print(f"smoke: connected ({ping})")
+
+                sequence = homogeneous({"a": 0.6, "b": 0.4}, ROWS, 2)
+                client.call(
+                    "register_stream", name="tag", sequence=sequence_to_dict(sequence)
+                )
+                query = accept_filter(regex_to_dfa("(a|b)*ab(a|b)*", "ab"))
+                client.call(
+                    "register_standing_query",
+                    name="saw-ab",
+                    stream="tag",
+                    query=query_to_dict(query),
+                    kind="answer",
+                    output=[],
+                    threshold=0.9,
+                )
+                client.call("subscribe", standing="saw-ab")
+
+                fired_at = None
+                for i in range(1, args.max_appends + 1):
+                    result = client.call("append", stream="tag", transition=ROWS)
+                    if result["alerts"]:
+                        fired_at = i
+                        break
+                assert fired_at is not None, (
+                    f"no alert within {args.max_appends} appends"
+                )
+                event = client.next_event(timeout=10)
+                assert event and event["event"] == "alert", event
+                assert event["data"]["standing"] == "saw-ab", event
+                print(
+                    f"smoke: alert fired on append #{fired_at} "
+                    f"(value={event['data']['value']})"
+                )
+
+                stats = client.call("stats")
+                assert stats["database"]["plan_cache"]["misses"] == 1, stats
+                assert stats["alerts_fired"] == 1, stats
+
+                client.call("shutdown")
+                farewell = client.next_event(timeout=10)
+                assert farewell and farewell["event"] == "shutdown", farewell
+                print("smoke: graceful drain observed")
+
+            code = process.wait(timeout=30)
+            assert code == 0, f"server exited with {code}"
+            print("smoke: PASS")
+            return 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

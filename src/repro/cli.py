@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
                     [--corpus DIR] [-k K] [--workers N] [--answer 1,2]
     repro verify    [--budget SECONDS] [--seed N] [--classes a,b]
                     [--corpus DIR] [--save-failures DIR] [--no-metamorphic]
+    repro serve     --socket /tmp/repro.sock | --host 127.0.0.1 --port 7341
+                    [--shards N] [--queue-size N] [--workers N]
+                    [--max-seconds S]
     repro stats     snapshot.json
     repro dot       --sequence seq.json | --query query.json
 
@@ -29,6 +32,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import random
+import signal
 import sys
 import time
 
@@ -340,6 +344,59 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ReproServer
+
+    if args.socket is None and args.host is None:
+        raise ReproError("serve needs --socket PATH or --host/--port")
+
+    async def _run() -> None:
+        server = ReproServer(
+            shards=args.shards,
+            queue_size=args.queue_size,
+            pool_workers=args.workers or 0,
+        )
+        address = await server.start(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+        if address["family"] == "unix":
+            print(f"repro serve: listening on unix socket {address['path']}")
+        else:
+            print(
+                f"repro serve: listening on {address['host']}:{address['port']}"
+            )
+        print(
+            f"repro serve: {args.shards} shard(s), "
+            f"queue size {args.queue_size}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame),
+                    lambda: asyncio.ensure_future(server.shutdown()),
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if args.max_seconds is not None:
+            loop.call_later(
+                args.max_seconds,
+                lambda: asyncio.ensure_future(server.shutdown()),
+            )
+        await server.wait_closed()
+        print(
+            f"repro serve: drained — {server.appends} appends, "
+            f"{server.alerts_fired} alerts, {server.connections} connections",
+            flush=True,
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
 def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -500,6 +557,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flag(check)
     check.set_defaults(handler=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming query service (standing queries, alerts)",
+    )
+    serve.add_argument("--socket", help="unix socket path to listen on")
+    serve.add_argument("--host", help="TCP host to listen on (with --port)")
+    serve.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="stream shards; appends on different shards never contend",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="outbound frames buffered per connection before alerts drop",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool workers for cross-stream batch reads (default: in-process)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="gracefully shut down after this long (CI smoke guard)",
+    )
+    _add_telemetry_flag(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     stats = sub.add_parser(
         "stats", help="pretty-print an exported telemetry snapshot"

@@ -132,12 +132,40 @@ class MarkovStreamDatabase:
         Every streaming evaluator attached to the stream absorbs the
         timestep incrementally (one DP layer each), so the next read is
         warm.
+
+        The append is atomic with respect to the attached evaluators:
+        the timestep is validated *before* the stream mutates, and if
+        advancing any evaluator fails, every evaluator is rolled back to
+        its pre-append frontier and the stream is left unchanged — a
+        rejected append can never leave an evaluator out of sync with
+        its stream.
         """
-        grown = self.stream(name).extended(transition)
-        self._streams[name] = grown
-        for (stream_name, _fingerprint), evaluator in self._evaluators.items():
-            if stream_name == name:
+        grown = self.stream(name).extended(transition)  # validates first
+        attached = [
+            evaluator
+            for (stream_name, _fingerprint), evaluator in self._evaluators.items()
+            if stream_name == name
+        ]
+        for evaluator in attached:
+            evaluator.checkpoint()
+        advanced = 0
+        try:
+            for evaluator in attached:
                 evaluator.append(transition)
+                advanced += 1
+        except BaseException:
+            # Evaluator appends are themselves atomic, so the failing
+            # one is already at its checkpoint state; restore the ones
+            # that advanced and drop the unused snapshots.
+            for i, evaluator in enumerate(attached):
+                if i < advanced:
+                    evaluator.rollback()
+                else:
+                    evaluator.discard_checkpoint()
+            raise
+        for evaluator in attached:
+            evaluator.discard_checkpoint()
+        self._streams[name] = grown
         return grown
 
     def streaming_evaluator(self, name: str, query) -> StreamingEvaluator:

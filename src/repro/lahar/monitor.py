@@ -11,11 +11,15 @@ per-timestep probability profiles and the paper's transducer answers:
 * :func:`occurrence_profile` — ``Pr(some window ending at i matches A)``,
   the standard "event fires at time i" semantics, via a product with the
   unanchored-match automaton.
+* :class:`StreamingMonitor` — the *incremental* form of the above: it
+  keeps the forward layer of the product DP so a growing stream pays one
+  DP layer per appended timestep instead of a from-scratch profile
+  re-run. This is what the service's standing occurrence queries run on.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Hashable, Mapping
 
 from repro.markov.sequence import MarkovSequence, Number
 from repro.automata.determinize import determinize
@@ -93,3 +97,82 @@ def occurrence_profile(sequence: MarkovSequence, pattern: NFA | DFA) -> list[Num
     """
     _check(sequence, pattern)
     return prefix_acceptance_profile(sequence, unanchored_match_dfa(pattern))
+
+
+class StreamingMonitor:
+    """An incrementally maintained per-timestep acceptance probability.
+
+    Maintains the forward layer of the (stream x DFA) product DP that
+    :func:`prefix_acceptance_profile` sweeps, so ``Pr(S[1..i] in L(dfa))``
+    is available at every timestep of a *growing* stream for one DP
+    layer per append — exactly equal (bit-for-bit over ``Fraction``
+    inputs) to re-running the profile from scratch.
+
+    ``StreamingMonitor.occurrence(sequence, pattern)`` builds the monitor
+    over the unanchored-match DFA, giving the Lahar "event fires at time
+    i" value that the service's standing occurrence queries watch.
+    """
+
+    def __init__(self, sequence: MarkovSequence, dfa: DFA) -> None:
+        _check(sequence, dfa)
+        self._dfa = dfa
+        self._length = sequence.length
+        layer: dict[tuple[Symbol, object], Number] = {}
+        for symbol, prob in sequence.initial_support():
+            key = (symbol, dfa.step(dfa.initial, symbol))
+            layer[key] = layer.get(key, 0) + prob
+        for i in range(1, sequence.length):
+            layer = self._push(layer, dict(sequence.transition_rows(i)))
+        self._layer = layer
+
+    @classmethod
+    def occurrence(
+        cls, sequence: MarkovSequence, pattern: NFA | DFA
+    ) -> "StreamingMonitor":
+        """A monitor of ``Pr(some substring ending at i matches pattern)``."""
+        _check(sequence, pattern)
+        return cls(sequence, unanchored_match_dfa(pattern))
+
+    def _push(
+        self,
+        layer: Mapping[tuple[Symbol, object], Number],
+        rows: Mapping[Symbol, Mapping[Symbol, Number]],
+    ) -> dict[tuple[Symbol, object], Number]:
+        dfa = self._dfa
+        nxt: dict[tuple[Symbol, object], Number] = {}
+        for (symbol, state), mass in layer.items():
+            for target, prob in rows.get(symbol, {}).items():
+                if prob == 0:
+                    continue
+                key = (target, dfa.step(state, target))
+                nxt[key] = nxt.get(key, 0) + mass * prob
+        return nxt
+
+    def append(self, transition: Mapping[Symbol, Mapping[Symbol, Number]]) -> Number:
+        """Absorb one timestep; returns the new acceptance probability.
+
+        ``transition`` has the same shape as the database append payload
+        (source symbol -> successor distribution). Callers are expected
+        to have validated it (the database append does); the monitor
+        only reads the rows it needs, so the push itself cannot fail
+        half-way.
+        """
+        self._layer = self._push(self._layer, transition)
+        self._length += 1
+        return self.value
+
+    @property
+    def value(self) -> Number:
+        """``Pr(S[1..n] in L(dfa))`` for the stream absorbed so far."""
+        accepting = self._dfa.accepting
+        return sum(
+            mass for (_s, state), mass in self._layer.items() if state in accepting
+        )
+
+    @property
+    def length(self) -> int:
+        """Timesteps absorbed so far."""
+        return self._length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingMonitor(n={self._length}, layer={len(self._layer)})"

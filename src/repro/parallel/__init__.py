@@ -34,7 +34,7 @@ from collections.abc import Mapping
 
 from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
-from repro.parallel.chunking import auto_chunk_size, chunk_corpus
+from repro.parallel.chunking import auto_chunk_size, chunk_by_shard, chunk_corpus
 from repro.parallel.pool import WorkerPool, default_worker_count
 from repro.parallel.vectorized import (
     confidence_dense_batch,
@@ -49,6 +49,7 @@ __all__ = [
     "PoolStats",
     "WorkerPool",
     "auto_chunk_size",
+    "chunk_by_shard",
     "chunk_corpus",
     "confidence_dense_batch",
     "confidence_dense_batch_named",

@@ -52,3 +52,30 @@ def chunk_corpus(
         tuple(items[start : start + chunk_size])
         for start in range(0, len(items), chunk_size)
     ]
+
+
+def chunk_by_shard(
+    sequences: Mapping[str, MarkovSequence],
+    shard_of,
+    shards: int,
+) -> list[tuple[tuple[str, MarkovSequence], ...]]:
+    """Group a named corpus into one chunk per (non-empty) shard.
+
+    ``shard_of(name) -> index`` assigns each stream its shard (the
+    service uses a stable content hash of the stream id). Streams of one
+    shard always travel together, so a long-lived pool sees a stable
+    name -> chunk assignment and per-shard state (worker-local caches,
+    OS page cache) stays hot. Within a chunk, corpus mapping order is
+    preserved — the parent merge remains bit-identical to serial.
+    """
+    if shards < 1:
+        raise ReproError("sharded chunking requires at least one shard")
+    groups: list[list[tuple[str, MarkovSequence]]] = [[] for _ in range(shards)]
+    for name, sequence in sequences.items():
+        index = shard_of(name)
+        if not 0 <= index < shards:
+            raise ReproError(
+                f"shard_of({name!r}) returned {index}, outside [0, {shards})"
+            )
+        groups[index].append((name, sequence))
+    return [tuple(group) for group in groups if group]

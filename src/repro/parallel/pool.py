@@ -166,17 +166,21 @@ class WorkerPool:
         k: int,
         order: Order | str | None = None,
         allow_exponential: bool = False,
+        chunks: list[tuple] | None = None,
     ) -> list[tuple[str, Answer]]:
         """Globally best ``k`` answers across the corpus, one shared plan.
 
         Result is identical — answers, scores, confidences, and
         (name, output) ordering — to serial
-        :func:`repro.runtime.executor.batch_top_k`.
+        :func:`repro.runtime.executor.batch_top_k`. ``chunks`` optionally
+        pre-partitions the corpus (e.g. one chunk per service shard via
+        :func:`repro.parallel.chunking.chunk_by_shard`) instead of the
+        size-based auto-chunking.
         """
         plan = plan_for(query, self._cache)
         start = time.perf_counter()
         options = {"k": k, "order": order, "allow_exponential": allow_exponential}
-        payloads = self._run_batch(MODE_TOP_K, plan, sequences, options)
+        payloads = self._run_batch(MODE_TOP_K, plan, sequences, options, chunks=chunks)
         candidates = [pair for payload in payloads for pair in payload]
         candidates.sort(key=_merge_rank)
         self._record_batch(time.perf_counter() - start)
@@ -191,6 +195,7 @@ class WorkerPool:
         limit: int | None = None,
         allow_exponential: bool = False,
         min_confidence: Number | None = None,
+        chunks: list[tuple] | None = None,
     ) -> dict[str, list[Answer]]:
         """Full per-stream answer lists, keyed by name in corpus order."""
         plan = plan_for(query, self._cache)
@@ -202,7 +207,7 @@ class WorkerPool:
             "allow_exponential": allow_exponential,
             "min_confidence": min_confidence,
         }
-        payloads = self._run_batch(MODE_EVALUATE, plan, sequences, options)
+        payloads = self._run_batch(MODE_EVALUATE, plan, sequences, options, chunks=chunks)
         collected = {
             name: list(answers) for payload in payloads for name, answers in payload
         }
@@ -216,6 +221,7 @@ class WorkerPool:
         output,
         allow_exponential: bool = True,
         vectorized: bool | str = "auto",
+        chunks: list[tuple] | None = None,
     ) -> dict[str, Number]:
         """One output's confidence on every stream of the corpus.
 
@@ -239,7 +245,7 @@ class WorkerPool:
             self._record_batch(time.perf_counter() - start)
             return dict(zip(sequences, values))
         options = {"output": tuple(output), "allow_exponential": allow_exponential}
-        payloads = self._run_batch(MODE_CONFIDENCE, plan, sequences, options)
+        payloads = self._run_batch(MODE_CONFIDENCE, plan, sequences, options, chunks=chunks)
         collected = {name: value for payload in payloads for name, value in payload}
         self._record_batch(time.perf_counter() - start)
         return {name: collected[name] for name in sequences}
@@ -268,8 +274,13 @@ class WorkerPool:
             recorder.count("parallel.worker_cache.hits", result.cache_hits)
             recorder.count("parallel.worker_cache.misses", result.cache_misses)
 
-    def _run_batch(self, mode, plan, sequences, options) -> list[tuple]:
-        """Chunk, ship, retry, fall back; returns per-chunk payloads."""
+    def _run_batch(self, mode, plan, sequences, options, chunks=None) -> list[tuple]:
+        """Chunk, ship, retry, fall back; returns per-chunk payloads.
+
+        ``chunks`` optionally supplies the partition (a list of
+        ``(name, sequence)`` tuples covering the corpus, e.g. one chunk
+        per service shard); ``None`` auto-chunks by size.
+        """
         if self.workers <= 1 or len(sequences) <= 1:
             task = make_task(mode, plan, sequences.items(), **options)
             result = execute_chunk(task)
@@ -277,7 +288,8 @@ class WorkerPool:
             telemetry.count("parallel.serial_batches")
             self._record_chunk(task, result)
             return [result.payload]
-        chunks = chunk_corpus(sequences, self.chunk_size, self.workers)
+        if chunks is None:
+            chunks = chunk_corpus(sequences, self.chunk_size, self.workers)
         tasks = [
             make_task(mode, plan, chunk, **options) for chunk in chunks
         ]

@@ -155,12 +155,24 @@ class StreamingEvaluator:
         ``transition`` maps each source node to its successor
         distribution (one element of the :class:`MarkovSequence`
         ``transitions`` argument); it is validated before anything
-        mutates. The return value equals
+        mutates, and the append is atomic: a rejected timestep (or a
+        failure while pushing the DP layer) leaves both the absorbed
+        sequence and the frontier exactly as they were. The return value
+        equals
         ``{a.output: a.confidence for a in evaluate(grown_sequence, query)}``
         exactly — ``Fraction`` inputs give bit-identical rationals.
         """
-        self._sequence = self._sequence.extended(transition)
-        self._advance(self._sequence.length - 1)
+        previous = self._sequence
+        # ``extended`` validates the timestep before anything mutates;
+        # ``_advance`` only installs the new frontier as its final step,
+        # so restoring the sequence on *any* failure restores the whole
+        # (sequence, frontier) pair.
+        self._sequence = previous.extended(transition)
+        try:
+            self._advance(self._sequence.length - 1)
+        except BaseException:
+            self._sequence = previous
+            raise
         return self.confidences()
 
     def confidences(self) -> dict:
@@ -218,6 +230,18 @@ class StreamingEvaluator:
         if not self._checkpoints:
             raise ReproError("no checkpoint to roll back to")
         self._sequence, self._frontier = self._checkpoints.pop()
+
+    def discard_checkpoint(self) -> None:
+        """Drop the most recent checkpoint without restoring it.
+
+        The commit-side twin of :meth:`rollback`: transactional callers
+        (``MarkovStreamDatabase.append``) checkpoint every attached
+        evaluator, advance them all, and then either roll back on the
+        first failure or discard the snapshots on success.
+        """
+        if not self._checkpoints:
+            raise ReproError("no checkpoint to discard")
+        self._checkpoints.pop()
 
     # ------------------------------------------------------------------
     # Introspection

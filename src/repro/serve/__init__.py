@@ -1,0 +1,55 @@
+"""``repro.serve``: the async streaming query service.
+
+A long-lived asyncio service over sharded
+:class:`~repro.lahar.database.MarkovStreamDatabase` instances, speaking
+a newline-delimited JSON protocol over TCP or unix sockets. Clients
+register Markov streams, append timesteps, and attach *standing
+queries*: each append advances the query's incremental engine exactly
+one DP layer, and subscribers are pushed an ``alert`` event whenever the
+watched confidence crosses its threshold (with fire-once hysteresis).
+
+Layers
+------
+:mod:`~repro.serve.protocol`
+    Wire frames (requests, responses, events) and exact number encoding.
+:mod:`~repro.serve.alerts`
+    :class:`ThresholdWatch` hysteresis, :class:`StandingQuery`,
+    :class:`AlertEngine`.
+:mod:`~repro.serve.sharding`
+    Stable stream-id hashing over per-shard databases sharing one plan
+    cache.
+:mod:`~repro.serve.session`
+    Per-connection bounded outbound queue (backpressure) and writer
+    task.
+:mod:`~repro.serve.server`
+    :class:`ReproServer` (the command vocabulary and lifecycle) and
+    :class:`ServerThread` (a synchronous harness for tests/benchmarks).
+:mod:`~repro.serve.client`
+    :class:`ServeClient`, a blocking NDJSON client.
+
+Start a service from the command line with ``repro serve``; see
+``docs/USAGE.md`` for the wire protocol and a worked session.
+"""
+
+from repro.serve.alerts import Alert, AlertEngine, StandingQuery, ThresholdWatch
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL, ProtocolError
+from repro.serve.server import ReproServer, ServerThread
+from repro.serve.session import Session
+from repro.serve.sharding import ShardedDatabase, shard_of
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "PROTOCOL",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "Session",
+    "ShardedDatabase",
+    "StandingQuery",
+    "ThresholdWatch",
+    "shard_of",
+]

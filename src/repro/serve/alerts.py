@@ -1,0 +1,213 @@
+"""Standing queries and threshold-crossing alerts.
+
+A *standing query* attaches a query to a stream once and is advanced on
+every append instead of being re-planned and re-run:
+
+* kind ``"answer"`` — watches the confidence of one output of a
+  transducer/s-projector query, maintained by the stream's attached
+  :class:`~repro.runtime.incremental.StreamingEvaluator` (the database
+  advances it one DP layer per append);
+* kind ``"monitor"`` — watches the Lahar "event fires at time i"
+  occurrence probability of a regular pattern, maintained by a
+  :class:`~repro.lahar.monitor.StreamingMonitor` (one product-DP layer
+  per append).
+
+Either way the watched value feeds a :class:`ThresholdWatch`, which
+fires **exactly once per upward crossing** with hysteresis: after
+firing, the watch is disarmed until the value falls below the re-arm
+level (default: the threshold itself), so a value that jitters around
+the threshold cannot ring the alert on every append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.markov.sequence import Number
+
+
+class ThresholdWatch:
+    """Fire-once-per-upward-crossing threshold detection with hysteresis.
+
+    Parameters
+    ----------
+    threshold:
+        The watched value firing level (``value >= threshold`` fires
+        while armed).
+    rearm:
+        The re-arm level: after firing, the watch stays disarmed until
+        ``value < rearm``. Defaults to ``threshold``; a lower value adds
+        a hysteresis band. Must not exceed ``threshold``.
+    initial:
+        The value at registration time. A watch born at or above the
+        threshold starts disarmed — registration alone never fires; only
+        crossings *observed after* registration do.
+    """
+
+    __slots__ = ("threshold", "rearm", "armed", "value")
+
+    def __init__(
+        self,
+        threshold: Number,
+        rearm: Number | None = None,
+        initial: Number | None = None,
+    ) -> None:
+        if rearm is not None and rearm > threshold:
+            raise ReproError("re-arm level cannot exceed the threshold")
+        self.threshold = threshold
+        self.rearm = rearm if rearm is not None else threshold
+        self.value: Number | None = None
+        self.armed = True
+        if initial is not None:
+            self.value = initial
+            if initial >= threshold:
+                self.armed = False
+
+    def observe(self, value: Number) -> bool:
+        """Feed one value; returns True when this observation fires."""
+        self.value = value
+        if self.armed:
+            if value >= self.threshold:
+                self.armed = False
+                return True
+        elif value < self.rearm:
+            self.armed = True
+        return False
+
+
+@dataclass
+class StandingQuery:
+    """One registered standing query: source, watcher, and live state.
+
+    ``evaluator``/``monitor`` is the incremental engine (exactly one is
+    set, by ``kind``); ``alerts_fired`` counts upward crossings so far.
+    """
+
+    name: str
+    stream: str
+    kind: str  # "answer" | "monitor"
+    query_label: str
+    watch: ThresholdWatch
+    output: tuple = ()
+    evaluator: object | None = None
+    monitor: object | None = None
+    alerts_fired: int = 0
+
+    def current_value(self) -> Number:
+        """The watched value for the stream absorbed so far."""
+        if self.kind == "monitor":
+            return self.monitor.value
+        return self.evaluator.confidences().get(self.output, 0)
+
+    def advance_monitor(self, transition) -> None:
+        """Absorb one timestep into the monitor (evaluators are advanced
+        by the database append itself)."""
+        if self.monitor is not None:
+            self.monitor.append(transition)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "stream": self.stream,
+            "kind": self.kind,
+            "query": self.query_label,
+            "threshold": self.watch.threshold,
+            "rearm": self.watch.rearm,
+            "value": self.watch.value,
+            "armed": self.watch.armed,
+            "alerts_fired": self.alerts_fired,
+        }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired threshold crossing, ready to fan out to subscribers."""
+
+    standing: str
+    stream: str
+    timestep: int
+    value: Number
+    threshold: Number
+
+
+@dataclass
+class AlertEngine:
+    """The registry of standing queries, indexed by name and by stream."""
+
+    _standing: dict[str, StandingQuery] = field(default_factory=dict)
+    _by_stream: dict[str, set[str]] = field(default_factory=dict)
+
+    def register(self, standing: StandingQuery) -> None:
+        if not standing.name:
+            raise ReproError("standing query name must be non-empty")
+        if standing.name in self._standing:
+            raise ReproError(f"standing query {standing.name!r} already exists")
+        self._standing[standing.name] = standing
+        self._by_stream.setdefault(standing.stream, set()).add(standing.name)
+
+    def drop(self, name: str) -> StandingQuery:
+        standing = self._standing.pop(name, None)
+        if standing is None:
+            raise ReproError(f"unknown standing query {name!r}")
+        names = self._by_stream.get(standing.stream)
+        if names is not None:
+            names.discard(name)
+            if not names:
+                del self._by_stream[standing.stream]
+        return standing
+
+    def drop_stream(self, stream: str) -> list[StandingQuery]:
+        """Tear down every standing query watching ``stream``.
+
+        The service-level counterpart of the database's
+        ``_drop_evaluators``: dropping a stream must not leave alert
+        state (or subscriptions) dangling on it.
+        """
+        dropped = [
+            self._standing.pop(name)
+            for name in sorted(self._by_stream.pop(stream, ()))
+        ]
+        return dropped
+
+    def get(self, name: str) -> StandingQuery:
+        try:
+            return self._standing[name]
+        except KeyError:
+            raise ReproError(f"unknown standing query {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._standing)
+
+    def on_stream(self, stream: str) -> list[StandingQuery]:
+        """Standing queries watching ``stream``, in name order."""
+        return [
+            self._standing[name] for name in sorted(self._by_stream.get(stream, ()))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._standing)
+
+    def observe_append(self, stream: str, transition, timestep: int) -> list[Alert]:
+        """Advance every standing query on ``stream`` one timestep.
+
+        The database has already advanced the attached evaluators;
+        monitors absorb the transition here. Returns the alerts fired by
+        this append, in standing-query name order.
+        """
+        alerts: list[Alert] = []
+        for standing in self.on_stream(stream):
+            standing.advance_monitor(transition)
+            value = standing.current_value()
+            if standing.watch.observe(value):
+                standing.alerts_fired += 1
+                alerts.append(
+                    Alert(
+                        standing=standing.name,
+                        stream=stream,
+                        timestep=timestep,
+                        value=value,
+                        threshold=standing.watch.threshold,
+                    )
+                )
+        return alerts

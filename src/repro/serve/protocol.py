@@ -1,0 +1,135 @@
+"""The service wire protocol: newline-delimited JSON frames.
+
+One TCP or unix-socket connection carries a bidirectional stream of
+single-line JSON objects (NDJSON), in three frame shapes:
+
+Request (client -> server)::
+
+    {"id": 7, "cmd": "append", "params": {"stream": "tag", ...}}
+
+Response (server -> client, exactly one per request, same ``id``)::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "unknown stream 'tag'"}
+
+Event (server -> client, unsolicited pushes to subscribers)::
+
+    {"event": "alert", "data": {"standing": "door-open", ...}}
+
+Probabilities and confidences follow the repo's JSON interchange
+convention (:mod:`repro.io.json_format`): JSON numbers are floats,
+``"p/q"`` strings are exact rationals, and both round-trip losslessly —
+so a standing query registered over a ``Fraction`` stream pushes alert
+values that are bit-identical to offline evaluation.
+
+The command vocabulary itself lives in
+:mod:`repro.serve.server`; this module only knows frames.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.errors import ReproError
+from repro.io.json_format import _decode_number, _encode_number
+from repro.markov.sequence import Number
+
+#: Protocol identifier reported by the ``ping`` command.
+PROTOCOL = "repro-serve/1"
+
+
+class ProtocolError(ReproError):
+    """A malformed frame (bad JSON, missing fields, wrong types)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed client request."""
+
+    id: object
+    cmd: str
+    params: Mapping = field(default_factory=dict)
+
+
+def encode_frame(frame: Mapping) -> bytes:
+    """Serialize one frame to its wire form (one line, newline-terminated)."""
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one wire line into a frame dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be an object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def parse_request(frame: Mapping) -> Request:
+    """Validate a decoded frame as a request."""
+    cmd = frame.get("cmd")
+    if not isinstance(cmd, str) or not cmd:
+        raise ProtocolError("request needs a non-empty string 'cmd'")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request 'params' must be an object")
+    return Request(id=frame.get("id"), cmd=cmd, params=params)
+
+
+def response_ok(request_id, result: Mapping) -> dict:
+    """A success response frame."""
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def response_error(request_id, message: str) -> dict:
+    """An error response frame."""
+    return {"id": request_id, "ok": False, "error": str(message)}
+
+
+def event_frame(event: str, data: Mapping) -> dict:
+    """An unsolicited server push frame."""
+    return {"event": event, "data": dict(data)}
+
+
+# ---------------------------------------------------------------------------
+# Payload encoding (numbers and transitions)
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Number):
+    """Encode a probability/confidence (Fraction -> ``"p/q"`` string)."""
+    return _encode_number(value)
+
+
+def decode_value(value) -> Number:
+    """Decode a probability/confidence from its wire form."""
+    return _decode_number(value)
+
+
+def encode_transition(transition: Mapping) -> dict:
+    """Encode an append payload (source -> successor distribution)."""
+    return {
+        str(source): {str(target): _encode_number(p) for target, p in row.items()}
+        for source, row in transition.items()
+    }
+
+
+def decode_transition(document) -> dict:
+    """Decode an append payload, wrapping malformed shapes as errors."""
+    if not isinstance(document, dict):
+        raise ProtocolError("transition must be an object of source rows")
+    try:
+        return {
+            source: {target: _decode_number(p) for target, p in row.items()}
+            for source, row in document.items()
+        }
+    except (AttributeError, TypeError) as exc:
+        raise ProtocolError(f"malformed transition: {exc}") from exc

@@ -1,0 +1,645 @@
+"""The asyncio streaming query service.
+
+:class:`ReproServer` is a long-lived service over a
+:class:`~repro.serve.sharding.ShardedDatabase`: clients connect over a
+TCP or unix socket, speak the NDJSON protocol of
+:mod:`repro.serve.protocol`, and the server maintains *standing
+queries* — each ``append`` advances the stream's attached incremental
+engines one DP layer (never a from-scratch re-plan) and pushes an alert
+event to subscribers whenever a standing query's watched confidence
+crosses its registered threshold (:mod:`repro.serve.alerts`).
+
+Concurrency model
+-----------------
+One event loop; one :class:`~repro.serve.session.Session` (reader loop +
+bounded outbound queue + writer task) per connection. Writes to a stream
+serialize on its *shard lock*, so appends to streams on different shards
+interleave freely while a stream's evaluator state stays
+single-writer. Cross-stream batch reads snapshot the (immutable)
+sequences and run in a worker thread — heavy reads never stall appends —
+optionally fanning out across a :class:`~repro.parallel.WorkerPool` with
+the corpus pre-chunked one chunk per shard.
+
+Shutdown is graceful: the listener closes first, then every session's
+outbound queue is drained (subscribers receive everything already
+queued, ending with a ``shutdown`` event) before transports close.
+
+Command vocabulary
+------------------
+``ping``, ``register_stream``, ``drop_stream``, ``append``,
+``register_query``, ``register_standing_query``,
+``drop_standing_query``, ``subscribe``, ``unsubscribe``, ``query``,
+``top_k_across``, ``stats``, ``shutdown`` — documented with wire-level
+examples in ``docs/USAGE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.io.json_format import query_from_dict, sequence_from_dict
+from repro.lahar.monitor import StreamingMonitor
+from repro.serve.alerts import AlertEngine, StandingQuery, ThresholdWatch
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_frame,
+    decode_transition,
+    decode_value,
+    encode_frame,
+    encode_value,
+    event_frame,
+    parse_request,
+    response_error,
+    response_ok,
+)
+from repro.serve.session import DEFAULT_QUEUE_SIZE, Session
+from repro.serve.sharding import ShardedDatabase
+from repro.transducers.sprojector import SProjector
+from repro.transducers.transducer import Transducer
+
+#: Seconds allowed for per-session queue drain during graceful shutdown.
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
+
+def _pattern_of(query):
+    """The regular pattern watched by a ``monitor`` standing query."""
+    if isinstance(query, SProjector):
+        return query.pattern.to_nfa()
+    if isinstance(query, Transducer):
+        return query.nfa
+    raise ReproError("monitor standing queries need a transducer or s-projector")
+
+
+class ReproServer:
+    """The standing-query service over a sharded Markov-stream database.
+
+    Parameters
+    ----------
+    shards:
+        Worker shards; streams are routed by a stable hash of their id.
+    queue_size:
+        Outbound frame bound per connection (backpressure knob).
+    pool_workers:
+        When ``> 1``, cross-stream batch reads fan out across a
+        :class:`~repro.parallel.WorkerPool` of this many processes.
+    drain_timeout:
+        Seconds granted to each session's queue drain during shutdown.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        pool_workers: int = 0,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        plan_cache=None,
+    ) -> None:
+        self.db = ShardedDatabase(shards, plan_cache=plan_cache)
+        self.alerts = AlertEngine()
+        self.queue_size = queue_size
+        self.pool_workers = pool_workers
+        self.drain_timeout = drain_timeout
+        self.sessions: set[Session] = set()
+        self.appends = 0
+        self.alerts_fired = 0
+        self.connections = 0
+        self._locks = [asyncio.Lock() for _ in range(shards)]
+        self._servers: list[asyncio.base_events.Server] = []
+        self._closed = asyncio.Event()
+        self._shutting_down = False
+        self._pool = None
+        self.address: dict | None = None
+        self._commands = {
+            "ping": self._cmd_ping,
+            "register_stream": self._cmd_register_stream,
+            "drop_stream": self._cmd_drop_stream,
+            "append": self._cmd_append,
+            "register_query": self._cmd_register_query,
+            "register_standing_query": self._cmd_register_standing_query,
+            "drop_standing_query": self._cmd_drop_standing_query,
+            "subscribe": self._cmd_subscribe,
+            "unsubscribe": self._cmd_unsubscribe,
+            "query": self._cmd_query,
+            "top_k_across": self._cmd_top_k_across,
+            "stats": self._cmd_stats,
+            "shutdown": self._cmd_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+    ) -> dict:
+        """Bind the listener; returns the bound address description."""
+        if socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=socket_path
+            )
+            self.address = {"family": "unix", "path": socket_path}
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host or "127.0.0.1", port
+            )
+            bound = server.sockets[0].getsockname()
+            self.address = {"family": "tcp", "host": bound[0], "port": bound[1]}
+        self._servers.append(server)
+        return self.address
+
+    async def wait_closed(self) -> None:
+        """Block until a graceful shutdown completes."""
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain every session, release the pool."""
+        if self._shutting_down:
+            await self._closed.wait()
+            return
+        self._shutting_down = True
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        farewell = encode_frame(event_frame("shutdown", {"draining": True}))
+        for session in list(self.sessions):
+            session.push_event(farewell)
+        drain_start = time.perf_counter()
+        for session in list(self.sessions):
+            try:
+                await asyncio.wait_for(session.close(), timeout=self.drain_timeout)
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                pass
+        telemetry.observe("serve.drain.seconds", time.perf_counter() - drain_start)
+        self.sessions.clear()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._closed.set()
+
+    def _ensure_pool(self):
+        if self.pool_workers > 1 and self._pool is None:
+            from repro.parallel import WorkerPool
+
+            self._pool = WorkerPool(self.pool_workers, cache=self.db.plan_cache)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session(reader, writer, queue_size=self.queue_size)
+        session.start()
+        self.sessions.add(session)
+        self.connections += 1
+        telemetry.count("serve.connections.opened")
+        try:
+            while not self._shutting_down:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(session, line)
+                await session.send(encode_frame(response))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.sessions.discard(session)
+            telemetry.count("serve.connections.closed")
+            try:
+                await session.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, session: Session, line: bytes) -> dict:
+        request_id = None
+        try:
+            request = parse_request(decode_frame(line))
+            request_id = request.id
+            handler = self._commands.get(request.cmd)
+            if handler is None:
+                raise ProtocolError(f"unknown command {request.cmd!r}")
+            telemetry.count("serve.commands")
+            result = await handler(session, request.params)
+            return response_ok(request_id, result)
+        except ReproError as error:  # includes ProtocolError
+            telemetry.count("serve.errors")
+            return response_error(request_id, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            telemetry.count("serve.errors")
+            return response_error(request_id, f"internal error: {error!r}")
+
+    def _fan_out(self, standing_names, frame: dict) -> int:
+        """Push one event frame to every subscriber; returns deliveries."""
+        payload = encode_frame(frame)
+        delivered = 0
+        for session in self.sessions:
+            if any(session.wants(name) for name in standing_names):
+                if session.push_event(payload):
+                    delivered += 1
+        return delivered
+
+    @staticmethod
+    def _str_param(params, key: str) -> str:
+        value = params.get(key)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"param {key!r} must be a non-empty string")
+        return value
+
+    def _query_param(self, params, key: str = "query"):
+        """Resolve a query param: a registered name or an inline document."""
+        value = params.get(key)
+        if isinstance(value, str):
+            return self.db.resolve_query(value), value
+        if isinstance(value, dict):
+            query = query_from_dict(value)
+            return query, value.get("type", "inline")
+        raise ProtocolError(
+            f"param {key!r} must be a registered query name or a query document"
+        )
+
+    # ------------------------------------------------------------------
+    # Commands: catalog
+    # ------------------------------------------------------------------
+
+    async def _cmd_ping(self, session: Session, params) -> dict:
+        return {
+            "protocol": PROTOCOL,
+            "shards": self.db.shards,
+            "streams": len(self.db.streams()),
+            "standing_queries": len(self.alerts),
+        }
+
+    async def _cmd_register_stream(self, session: Session, params) -> dict:
+        name = self._str_param(params, "name")
+        sequence = sequence_from_dict(params.get("sequence"))
+        index = self.db.shard_index(name)
+        async with self._locks[index]:
+            replaced = self.db.has_stream(name)
+            dropped = self._teardown_standing(name) if replaced else []
+            self.db.register_stream(name, sequence)
+        telemetry.gauge("serve.streams", float(len(self.db.streams())))
+        result = {
+            "stream": name,
+            "shard": index,
+            "length": sequence.length,
+            "replaced": replaced,
+        }
+        if dropped:
+            result["standing_dropped"] = dropped
+        return result
+
+    async def _cmd_drop_stream(self, session: Session, params) -> dict:
+        name = self._str_param(params, "name")
+        index = self.db.shard_index(name)
+        async with self._locks[index]:
+            self.db.drop_stream(name)
+            dropped = self._teardown_standing(name)
+        telemetry.gauge("serve.streams", float(len(self.db.streams())))
+        return {"stream": name, "standing_dropped": dropped}
+
+    def _teardown_standing(self, stream: str) -> list[str]:
+        """Drop every standing query on ``stream``; notify + unsubscribe.
+
+        The service-level counterpart of the database's
+        ``_drop_evaluators``: no alert state, subscription, or pending
+        threshold watch may outlive its stream.
+        """
+        dropped = self.alerts.drop_stream(stream)
+        names = [standing.name for standing in dropped]
+        if names:
+            self._fan_out(
+                names,
+                event_frame("stream_dropped", {"stream": stream, "standing": names}),
+            )
+            for session in self.sessions:
+                session.subscriptions.difference_update(names)
+            telemetry.gauge("serve.standing_queries", float(len(self.alerts)))
+        return names
+
+    async def _cmd_register_query(self, session: Session, params) -> dict:
+        name = self._str_param(params, "name")
+        document = params.get("query")
+        if not isinstance(document, dict):
+            raise ProtocolError("param 'query' must be a query document")
+        self.db.register_query(name, query_from_dict(document))
+        return {"query": name}
+
+    # ------------------------------------------------------------------
+    # Commands: streaming writes
+    # ------------------------------------------------------------------
+
+    async def _cmd_append(self, session: Session, params) -> dict:
+        stream = self._str_param(params, "stream")
+        transition = decode_transition(params.get("transition"))
+        index = self.db.shard_index(stream)
+        async with self._locks[index]:
+            start = time.perf_counter()
+            grown = self.db.append(stream, transition)
+            fired = self.alerts.observe_append(stream, transition, grown.length)
+            elapsed = time.perf_counter() - start
+        self.appends += 1
+        self.alerts_fired += len(fired)
+        telemetry.count("serve.appends")
+        telemetry.observe("serve.append.seconds", elapsed)
+        for alert in fired:
+            telemetry.count("serve.alerts.fired")
+            self._fan_out(
+                (alert.standing,),
+                event_frame(
+                    "alert",
+                    {
+                        "standing": alert.standing,
+                        "stream": alert.stream,
+                        "timestep": alert.timestep,
+                        "value": encode_value(alert.value),
+                        "threshold": encode_value(alert.threshold),
+                    },
+                ),
+            )
+        return {
+            "stream": stream,
+            "shard": index,
+            "length": grown.length,
+            "alerts": [alert.standing for alert in fired],
+        }
+
+    # ------------------------------------------------------------------
+    # Commands: standing queries and subscriptions
+    # ------------------------------------------------------------------
+
+    async def _cmd_register_standing_query(self, session: Session, params) -> dict:
+        name = self._str_param(params, "name")
+        stream = self._str_param(params, "stream")
+        query, label = self._query_param(params)
+        threshold = decode_value(params.get("threshold"))
+        rearm = params.get("rearm")
+        rearm = decode_value(rearm) if rearm is not None else None
+        output = params.get("output")
+        kind = params.get("kind", "monitor" if output is None else "answer")
+        if kind not in ("answer", "monitor"):
+            raise ProtocolError("standing query kind must be 'answer' or 'monitor'")
+        index = self.db.shard_index(stream)
+        async with self._locks[index]:
+            evaluator = monitor = None
+            if kind == "answer":
+                evaluator = self.db.streaming_evaluator(stream, query)
+                watched = tuple(output) if output is not None else ()
+                initial = evaluator.confidences().get(watched, 0)
+            else:
+                watched = ()
+                monitor = StreamingMonitor.occurrence(
+                    self.db.stream(stream), _pattern_of(query)
+                )
+                initial = monitor.value
+            watch = ThresholdWatch(threshold, rearm, initial=initial)
+            self.alerts.register(
+                StandingQuery(
+                    name=name,
+                    stream=stream,
+                    kind=kind,
+                    query_label=str(label),
+                    watch=watch,
+                    output=watched,
+                    evaluator=evaluator,
+                    monitor=monitor,
+                )
+            )
+        telemetry.gauge("serve.standing_queries", float(len(self.alerts)))
+        return {
+            "standing": name,
+            "stream": stream,
+            "kind": kind,
+            "value": encode_value(initial),
+            "armed": watch.armed,
+        }
+
+    async def _cmd_drop_standing_query(self, session: Session, params) -> dict:
+        name = self._str_param(params, "name")
+        self.alerts.drop(name)
+        for other in self.sessions:
+            other.subscriptions.discard(name)
+        telemetry.gauge("serve.standing_queries", float(len(self.alerts)))
+        return {"standing": name}
+
+    async def _cmd_subscribe(self, session: Session, params) -> dict:
+        if params.get("all"):
+            session.subscribe_all = True
+        else:
+            name = self._str_param(params, "standing")
+            self.alerts.get(name)  # must exist
+            session.subscriptions.add(name)
+        return {
+            "subscriptions": sorted(session.subscriptions),
+            "all": session.subscribe_all,
+        }
+
+    async def _cmd_unsubscribe(self, session: Session, params) -> dict:
+        if params.get("all"):
+            session.subscribe_all = False
+            session.subscriptions.clear()
+        else:
+            session.subscriptions.discard(self._str_param(params, "standing"))
+        return {
+            "subscriptions": sorted(session.subscriptions),
+            "all": session.subscribe_all,
+        }
+
+    # ------------------------------------------------------------------
+    # Commands: reads
+    # ------------------------------------------------------------------
+
+    async def _cmd_query(self, session: Session, params) -> dict:
+        stream = self._str_param(params, "stream")
+        query, _label = self._query_param(params)
+        order = params.get("order", "unranked")
+        limit = params.get("limit")
+        index = self.db.shard_index(stream)
+        async with self._locks[index]:
+            answers = list(
+                self.db.query(
+                    stream,
+                    query,
+                    order=order,
+                    limit=limit,
+                    with_confidence=params.get("with_confidence", True),
+                    allow_exponential=params.get("allow_exponential", False),
+                )
+            )
+        return {
+            "stream": stream,
+            "answers": [
+                {
+                    "output": answer.rendered(),
+                    "confidence": (
+                        encode_value(answer.confidence)
+                        if answer.confidence is not None
+                        else None
+                    ),
+                }
+                for answer in answers
+            ],
+        }
+
+    async def _cmd_top_k_across(self, session: Session, params) -> dict:
+        query, _label = self._query_param(params)
+        k = params.get("k", 5)
+        if not isinstance(k, int) or k < 1:
+            raise ProtocolError("param 'k' must be a positive integer")
+        streams = params.get("streams")
+        order = params.get("order")
+        allow_exponential = bool(params.get("allow_exponential", False))
+        pool = self._ensure_pool()
+        # The corpus snapshot is immutable, so the merge can run off the
+        # event loop: heavy cross-stream reads never stall appends.
+        merged = await asyncio.to_thread(
+            self.db.top_k_across,
+            query,
+            k,
+            streams=streams,
+            order=order,
+            allow_exponential=allow_exponential,
+            pool=pool,
+        )
+        return {
+            "answers": [
+                {
+                    "stream": stream_answer.stream,
+                    "output": stream_answer.answer.rendered(),
+                    "score": (
+                        encode_value(stream_answer.answer.score)
+                        if stream_answer.answer.score is not None
+                        else None
+                    ),
+                    "confidence": (
+                        encode_value(stream_answer.answer.confidence)
+                        if stream_answer.answer.confidence is not None
+                        else None
+                    ),
+                }
+                for stream_answer in merged
+            ]
+        }
+
+    async def _cmd_stats(self, session: Session, params) -> dict:
+        return {
+            "database": self.db.stats(),
+            "standing_queries": len(self.alerts),
+            "standing": [
+                {
+                    key: (
+                        encode_value(value)
+                        if key in ("threshold", "rearm", "value") and value is not None
+                        else value
+                    )
+                    for key, value in self.alerts.get(name).describe().items()
+                }
+                for name in self.alerts.names()
+            ],
+            "sessions": len(self.sessions),
+            "appends": self.appends,
+            "alerts_fired": self.alerts_fired,
+            "events_dropped": sum(s.dropped_events for s in self.sessions),
+            "connections": self.connections,
+        }
+
+    async def _cmd_shutdown(self, session: Session, params) -> dict:
+        asyncio.get_running_loop().call_soon(
+            lambda: asyncio.ensure_future(self.shutdown())
+        )
+        return {"shutting_down": True}
+
+
+class ServerThread:
+    """A :class:`ReproServer` running on its own event loop in a thread.
+
+    The synchronous harness used by tests, benchmarks, and anything else
+    that wants to drive the service with a blocking
+    :class:`~repro.serve.client.ServeClient` from ordinary code::
+
+        with ServerThread(socket_path=path, shards=4) as harness:
+            client = ServeClient.connect_unix(path)
+            ...
+
+    ``address`` is available once :meth:`start` returns. :meth:`stop`
+    performs the server's graceful drain.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+        **server_kwargs,
+    ) -> None:
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._server_kwargs = server_kwargs
+        self.server: ReproServer | None = None
+        self.address: dict | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ReproError("service thread did not start within 30s")
+        if self._startup_error is not None:
+            raise ReproError(f"service failed to start: {self._startup_error}")
+        return self
+
+    async def _main(self) -> None:
+        self.server = ReproServer(**self._server_kwargs)
+        self._loop = asyncio.get_running_loop()
+        try:
+            self.address = await self.server.start(
+                socket_path=self._socket_path, host=self._host, port=self._port
+            )
+        except Exception as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.wait_closed()
+
+    def stop(self) -> None:
+        """Trigger a graceful shutdown and join the thread."""
+        if (
+            self._loop is not None
+            and self.server is not None
+            and self._thread is not None
+            and self._thread.is_alive()
+        ):
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout=30)
+            except (TimeoutError, RuntimeError):  # pragma: no cover - defensive
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)

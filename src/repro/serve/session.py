@@ -1,0 +1,128 @@
+"""Per-connection session state: subscriptions and backpressured writes.
+
+Each connection owns one :class:`Session`. All outbound frames travel
+through the session's bounded :class:`asyncio.Queue`, drained by a
+single writer task, so responses and events interleave in a consistent
+order and a slow reader never blocks the server's event loop:
+
+* **responses** are enqueued with an awaited ``put`` — a full queue
+  backpressures the *command* pipeline of that one connection (the
+  server stops reading further commands from it until space frees up);
+* **events** (alerts) are enqueued with ``put_nowait`` — when a
+  subscriber cannot keep up and its queue is full, the *new* event is
+  dropped (responses already queued are never sacrificed), counted in
+  ``dropped_events`` and the ``serve.alerts.dropped`` telemetry counter.
+
+On graceful shutdown the server stops accepting commands and calls
+:meth:`drain`, which lets the writer flush everything still queued
+before the transport closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro import telemetry
+
+#: Default bound on queued outbound frames per connection.
+DEFAULT_QUEUE_SIZE = 256
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One client connection's outbound queue, writer task, and state."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        self.id = next(_session_ids)
+        self.reader = reader
+        self.writer = writer
+        self.subscriptions: set[str] = set()
+        self.subscribe_all = False
+        self.dropped_events = 0
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self._writer_task: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the writer task (call once, from the event loop)."""
+        self._writer_task = asyncio.create_task(self._writer_loop())
+
+    async def _writer_loop(self) -> None:
+        try:
+            while True:
+                payload = await self._queue.get()
+                try:
+                    if payload is None:
+                        break
+                    self.writer.write(payload)
+                    await self.writer.drain()
+                finally:
+                    self._queue.task_done()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def drain(self) -> None:
+        """Flush every queued frame, then stop the writer task."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._queue.put(None)  # writer exits after the backlog
+        if self._writer_task is not None:
+            await self._writer_task
+
+    async def close(self) -> None:
+        """Drain, then close the transport."""
+        await self.drain()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Outbound frames
+    # ------------------------------------------------------------------
+
+    async def send(self, payload: bytes) -> None:
+        """Enqueue a response frame (awaits space: reliable, ordered)."""
+        if self._closed:
+            return
+        await self._queue.put(payload)
+
+    def push_event(self, payload: bytes) -> bool:
+        """Enqueue an event frame; a full queue drops the event.
+
+        Dropping the *incoming* event (rather than evicting queued
+        frames) keeps already-enqueued responses reliable. Returns False
+        when the event was dropped.
+        """
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            self.dropped_events += 1
+            telemetry.count("serve.alerts.dropped")
+            return False
+        telemetry.gauge("serve.subscriber.backlog", float(self._queue.qsize()))
+        return True
+
+    @property
+    def backlog(self) -> int:
+        """Frames currently queued for this connection."""
+        return self._queue.qsize()
+
+    def wants(self, standing_name: str) -> bool:
+        """Is this session subscribed to alerts of ``standing_name``?"""
+        return self.subscribe_all or standing_name in self.subscriptions

@@ -10,6 +10,7 @@ an injected 10x slowdown (gate fires). The pure pieces (``MetricSpec``,
 from __future__ import annotations
 
 import copy
+import dataclasses
 import json
 
 import pytest
@@ -134,7 +135,24 @@ def test_run_gate_against_fresh_baselines(tmp_path, runtime_fresh, parallel_fres
     assert "[runtime] ok" in out and "[parallel] ok" in out
 
 
-def test_run_gate_detects_committed_regression(tmp_path, runtime_fresh, capsys) -> None:
+@pytest.fixture
+def pinned_runtime_scenario(runtime_fresh, monkeypatch):
+    """Make run_gate's re-measurement deterministic: it returns the very
+    result the fixture measured. Without this, a machine-load swing
+    larger than 10x/quick_tolerance between the fixture run and the
+    gate's re-run can silently absorb the injected regression."""
+    monkeypatch.setitem(
+        SCENARIOS,
+        "runtime",
+        dataclasses.replace(
+            SCENARIOS["runtime"], quick_run=lambda: copy.deepcopy(runtime_fresh)
+        ),
+    )
+
+
+def test_run_gate_detects_committed_regression(
+    tmp_path, runtime_fresh, pinned_runtime_scenario, capsys
+) -> None:
     """A baseline 10x faster than reality == a 10x regression: fires."""
     inflated = copy.deepcopy(runtime_fresh)
     for name in ("warm_speedup", "append_speedup"):
@@ -155,7 +173,7 @@ def test_run_gate_skips_missing_baseline(tmp_path, capsys) -> None:
 
 
 def test_main_writes_ndjson_report_and_exits_nonzero_on_fail(
-    tmp_path, runtime_fresh, capsys
+    tmp_path, runtime_fresh, pinned_runtime_scenario, capsys
 ) -> None:
     inflated = copy.deepcopy(runtime_fresh)
     inflated["metrics"]["warm_speedup"] *= 10.0

@@ -109,6 +109,57 @@ def test_drop_stream_detaches_evaluators(rng) -> None:
         db.append("tag", make_fraction_timestep(ALPHABET, rng))
 
 
+def test_append_rejects_invalid_timestep_atomically(rng) -> None:
+    """A malformed timestep must not mutate the stream OR the attached
+    evaluators — validation happens before anything moves."""
+    db = make_db(rng)
+    query = collapse()
+    before_answers = answers_of(db.query("tag", query))  # attaches evaluator
+    before_length = db.stream("tag").length
+    bad = make_fraction_timestep(ALPHABET, rng)
+    bad["a"] = {symbol: p / 2 for symbol, p in bad["a"].items()}  # sums to 1/2
+    with pytest.raises(ReproError):
+        db.append("tag", bad)
+    assert db.stream("tag").length == before_length
+    assert answers_of(db.query("tag", query)) == before_answers
+    # and the database is not wedged: a good append still lands warm
+    db.append("tag", make_fraction_timestep(ALPHABET, rng))
+    assert answers_of(db.query("tag", query)) == answers_of(
+        evaluate(db.stream("tag"), query)
+    )
+
+
+def test_append_rolls_back_all_evaluators_when_one_fails(rng) -> None:
+    """If advancing evaluator N fails, evaluators 1..N-1 are rolled back:
+    no evaluator can end up one layer ahead of its stream."""
+    db = make_db(rng)
+    healthy = db.streaming_evaluator("tag", collapse())
+    poisoned = db.streaming_evaluator("tag", general_transducer())
+    db.query("tag", collapse())
+    before = healthy.confidences()
+    before_length = db.stream("tag").length
+
+    boom = RuntimeError("evaluator meltdown")
+    original = poisoned.append
+    poisoned.append = lambda transition: (_ for _ in ()).throw(boom)
+    with pytest.raises(RuntimeError, match="meltdown"):
+        db.append("tag", make_fraction_timestep(ALPHABET, rng))
+    poisoned.append = original
+
+    # nothing moved: stream, healthy evaluator, poisoned evaluator
+    assert db.stream("tag").length == before_length
+    assert healthy.length == before_length
+    assert poisoned.length == before_length
+    assert healthy.confidences() == before
+    # and the next good append advances everyone in lockstep
+    db.append("tag", make_fraction_timestep(ALPHABET, rng))
+    assert healthy.length == db.stream("tag").length
+    assert poisoned.length == db.stream("tag").length
+    assert healthy.confidences() == {
+        a.output: a.confidence for a in evaluate(db.stream("tag"), collapse())
+    }
+
+
 def test_query_min_confidence_passes_through(rng) -> None:
     db = make_db(rng)
     query = collapse()

@@ -12,12 +12,14 @@ from repro.errors import AlphabetMismatchError
 from repro.markov.builders import uniform_iid
 from repro.automata.regex import regex_to_dfa, regex_to_nfa
 from repro.lahar.monitor import (
+    StreamingMonitor,
     occurrence_profile,
     prefix_acceptance_profile,
     unanchored_match_dfa,
 )
+from repro.serve.alerts import ThresholdWatch
 
-from tests.conftest import make_sequence
+from tests.conftest import make_fraction_timestep, make_sequence
 
 
 def brute_prefix_profile(sequence, predicate):
@@ -95,3 +97,88 @@ def test_alphabet_mismatch() -> None:
     sequence = uniform_iid("ab", 2)
     with pytest.raises(AlphabetMismatchError):
         prefix_acceptance_profile(sequence, regex_to_dfa("a", "abc"))
+
+
+# ---------------------------------------------------------------------------
+# StreamingMonitor: one product-DP layer per append
+# ---------------------------------------------------------------------------
+
+
+def test_streaming_monitor_tracks_occurrence_profile_exactly(rng) -> None:
+    """Each appended timestep lands bit-identically on the from-scratch
+    profile of the grown sequence (exact Fraction arithmetic)."""
+    from tests.conftest import make_fraction_sequence
+
+    sequence = make_fraction_sequence("ab", 3, rng)
+    pattern = regex_to_nfa("ab", "ab")
+    monitor = StreamingMonitor.occurrence(sequence, pattern)
+    assert monitor.value == occurrence_profile(sequence, pattern)[-1]
+    for _ in range(4):
+        transition = make_fraction_timestep("ab", rng)
+        sequence = sequence.extended(transition)
+        value = monitor.append(transition)
+        assert monitor.length == sequence.length
+        assert value == occurrence_profile(sequence, pattern)[-1]
+
+
+def test_streaming_monitor_prefix_acceptance(rng) -> None:
+    sequence = uniform_iid("ab", 2, exact=True)
+    dfa = regex_to_dfa("a.*", "ab")  # starts with a
+    monitor = StreamingMonitor(sequence, dfa)
+    assert monitor.value == Fraction(1, 2)
+    grown = sequence
+    for _ in range(3):
+        transition = make_fraction_timestep("ab", random.Random(7))
+        grown = grown.extended(transition)
+        monitor.append(transition)
+    assert monitor.value == prefix_acceptance_profile(grown, dfa)[-1]
+
+
+def test_streaming_monitor_checks_alphabet() -> None:
+    with pytest.raises(AlphabetMismatchError):
+        StreamingMonitor(uniform_iid("ab", 2), regex_to_dfa("a", "abc"))
+
+
+# ---------------------------------------------------------------------------
+# ThresholdWatch: fire once per upward crossing, hysteresis on re-arm
+# ---------------------------------------------------------------------------
+
+
+def test_threshold_fires_exactly_once_per_upward_crossing() -> None:
+    watch = ThresholdWatch(Fraction(1, 2))
+    fired = [watch.observe(v) for v in (
+        Fraction(1, 4),   # below: armed, no fire
+        Fraction(1, 2),   # crossing: fires
+        Fraction(3, 4),   # still above: no second fire
+        Fraction(1, 4),   # drops below: re-arms silently
+        Fraction(2, 3),   # second crossing: fires again
+    )]
+    assert fired == [False, True, False, False, True]
+
+
+def test_threshold_hysteresis_band_suppresses_jitter() -> None:
+    watch = ThresholdWatch(Fraction(1, 2), rearm=Fraction(1, 4))
+    assert watch.observe(Fraction(1, 2)) is True
+    # jitter between rearm and threshold: disarmed the whole time
+    assert watch.observe(Fraction(2, 5)) is False
+    assert watch.observe(Fraction(3, 5)) is False
+    assert watch.observe(Fraction(2, 5)) is False
+    # only a dip below the re-arm level re-arms...
+    assert watch.observe(Fraction(1, 5)) is False
+    # ...so the next crossing fires again
+    assert watch.observe(Fraction(1, 2)) is True
+
+
+def test_threshold_registration_at_or_above_starts_disarmed() -> None:
+    watch = ThresholdWatch(Fraction(1, 2), initial=Fraction(3, 4))
+    assert not watch.armed  # registration alone never fires
+    assert watch.observe(Fraction(3, 4)) is False
+    assert watch.observe(Fraction(1, 4)) is False  # re-arms
+    assert watch.observe(Fraction(1, 2)) is True
+
+
+def test_threshold_rearm_above_threshold_rejected() -> None:
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError, match="re-arm"):
+        ThresholdWatch(Fraction(1, 2), rearm=Fraction(3, 4))

@@ -77,6 +77,40 @@ def test_chunk_corpus_rejects_bad_size() -> None:
         chunk_corpus(corpus_of(2), 0, workers=2)
 
 
+def test_chunk_by_shard_groups_and_validates() -> None:
+    from repro.parallel import chunk_by_shard
+
+    corpus = corpus_of(6)
+    shard = lambda name: int(name[1:]) % 3  # noqa: E731 - tiny test router
+    chunks = chunk_by_shard(corpus, shard, 3)
+    assert len(chunks) == 3
+    for chunk in chunks:
+        owners = {shard(name) for name, _sequence in chunk}
+        assert len(owners) == 1  # one chunk never mixes shards
+    flattened = sorted(name for chunk in chunks for name, _sequence in chunk)
+    assert flattened == sorted(corpus)
+    # empty shards produce no chunk at all
+    assert len(chunk_by_shard(corpus, shard, 100)) == 3
+    with pytest.raises(ReproError):
+        chunk_by_shard(corpus, lambda name: 7, 3)
+
+
+def test_pool_routes_caller_chunks(monkeypatch) -> None:
+    """The chunks= override feeds the pool verbatim — shard-grouped
+    batches reach workers exactly as the router grouped them."""
+    from repro.parallel import chunk_by_shard
+
+    corpus = corpus_of(5)
+    query = collapse()
+    shard = lambda name: int(name[1:]) % 2  # noqa: E731 - tiny test router
+    chunks = chunk_by_shard(corpus, shard, 2)
+    serial = batch_top_k(QueryPlan.build(query), corpus, 4, order="emax")
+    with WorkerPool(2) as pool:
+        merged = pool.batch_top_k(query, corpus, 4, order="emax", chunks=chunks)
+        assert pool.stats.tasks == len(chunks)
+    assert as_tuples(merged) == as_tuples(serial)
+
+
 # ---------------------------------------------------------------------------
 # Pool results == serial results
 # ---------------------------------------------------------------------------

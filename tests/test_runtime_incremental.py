@@ -165,6 +165,37 @@ def test_rollback_without_checkpoint_raises(rng) -> None:
         evaluator.rollback()
 
 
+def test_discard_checkpoint_pops_without_restoring(rng) -> None:
+    query = QUERY_FAMILIES["deterministic-transducer"]()
+    evaluator = StreamingEvaluator(query, make_fraction_sequence(ALPHABET, 3, rng))
+    evaluator.checkpoint()
+    evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    after = evaluator.confidences()
+    evaluator.discard_checkpoint()  # commit: the snapshot is gone...
+    assert evaluator.length == 4
+    assert evaluator.confidences() == after
+    with pytest.raises(ReproError):  # ...so there is nothing to roll back
+        evaluator.rollback()
+    with pytest.raises(ReproError):
+        evaluator.discard_checkpoint()
+
+
+def test_append_of_invalid_timestep_is_atomic(rng) -> None:
+    """A rejected timestep leaves the evaluator exactly as it was — the
+    sequence is not half-grown, the frontier not half-pushed."""
+    query = QUERY_FAMILIES["deterministic-transducer"]()
+    evaluator = StreamingEvaluator(query, make_fraction_sequence(ALPHABET, 3, rng))
+    before = evaluator.confidences()
+    bad = make_fraction_timestep(ALPHABET, rng)
+    bad["a"] = {symbol: p / 3 for symbol, p in bad["a"].items()}
+    with pytest.raises(ReproError):
+        evaluator.append(bad)
+    assert evaluator.length == 3
+    assert evaluator.confidences() == before
+    evaluator.append(make_fraction_timestep(ALPHABET, rng))
+    assert evaluator.confidences() == scratch_confidences(evaluator.sequence, query)
+
+
 def test_accepts_prebuilt_plan(rng) -> None:
     plan = QueryPlan.build(QUERY_FAMILIES["deterministic-transducer"]())
     sequence = make_fraction_sequence(ALPHABET, 3, rng)

@@ -1,0 +1,86 @@
+"""The serve wire protocol: frames, requests, and exact number encoding."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_frame,
+    decode_transition,
+    decode_value,
+    encode_frame,
+    encode_transition,
+    encode_value,
+    event_frame,
+    parse_request,
+    response_error,
+    response_ok,
+)
+
+
+def test_frame_roundtrip_is_one_line() -> None:
+    frame = {"id": 3, "cmd": "ping", "params": {"x": [1, "a"]}}
+    wire = encode_frame(frame)
+    assert wire.endswith(b"\n")
+    assert wire.count(b"\n") == 1
+    assert decode_frame(wire) == frame
+    assert decode_frame(wire.decode("utf-8")) == frame
+
+
+def test_decode_frame_rejects_garbage() -> None:
+    with pytest.raises(ProtocolError, match="invalid JSON"):
+        decode_frame(b"{nope\n")
+    with pytest.raises(ProtocolError, match="must be an object"):
+        decode_frame(b"[1,2]\n")
+
+
+def test_parse_request_validates_shape() -> None:
+    request = parse_request({"id": 9, "cmd": "append", "params": {"stream": "s"}})
+    assert (request.id, request.cmd) == (9, "append")
+    assert request.params == {"stream": "s"}
+    assert parse_request({"cmd": "ping"}).params == {}
+    with pytest.raises(ProtocolError, match="cmd"):
+        parse_request({"id": 1, "params": {}})
+    with pytest.raises(ProtocolError, match="params"):
+        parse_request({"cmd": "ping", "params": [1]})
+
+
+def test_response_and_event_frames() -> None:
+    assert response_ok(4, {"a": 1}) == {"id": 4, "ok": True, "result": {"a": 1}}
+    error = response_error(None, "boom")
+    assert error == {"id": None, "ok": False, "error": "boom"}
+    assert event_frame("alert", {"standing": "w"}) == {
+        "event": "alert",
+        "data": {"standing": "w"},
+    }
+    assert PROTOCOL == "repro-serve/1"
+
+
+def test_values_roundtrip_exactly() -> None:
+    third = Fraction(1, 3)
+    assert decode_value(encode_value(third)) == third
+    assert encode_value(third) == "1/3"
+    assert decode_value(encode_value(0.25)) == 0.25
+
+
+def test_transition_roundtrip_preserves_fractions() -> None:
+    transition = {
+        "a": {"a": Fraction(1, 3), "b": Fraction(2, 3)},
+        "b": {"a": Fraction(1, 2), "b": Fraction(1, 2)},
+    }
+    decoded = decode_transition(encode_transition(transition))
+    assert decoded == transition
+    assert all(
+        isinstance(p, Fraction) for row in decoded.values() for p in row.values()
+    )
+
+
+def test_decode_transition_rejects_malformed() -> None:
+    with pytest.raises(ProtocolError, match="transition"):
+        decode_transition([1, 2])
+    with pytest.raises(ProtocolError, match="malformed"):
+        decode_transition({"a": [0.5, 0.5]})
