@@ -1,0 +1,202 @@
+"""Experiment D1: durability economics — journal overhead and recovery.
+
+The store's core claim: crash recovery is **snapshot + short suffix**,
+not a full-log replay. A durable database journals a standing-query
+monitoring session (the ``repro serve --data-dir`` workload shape:
+one stream, one standing query, many appends), then recovery is timed
+two ways over the same directory:
+
+* ``cold_recovery_s`` — replay the *entire* log from LSN 1 with
+  snapshots ignored (``use_snapshot=False``): every append re-advances
+  the standing evaluator one DP layer, so cost grows linearly with
+  history;
+* ``warm_recovery_s`` — recover from the latest snapshot plus the
+  10-record suffix written after compaction: cost is bounded by the
+  compaction interval, independent of history.
+
+``recovery_speedup`` (cold / warm) is the gated metric — pure
+algorithm, no sockets, and it must clear :data:`MIN_SPEEDUP` at full
+scale. ``durable_append_overhead`` (journaled append wall-clock over
+in-memory append wall-clock, fsync off as on tmpfs CI) is recorded for
+humans but never gated: absolute I/O numbers do not transfer across
+machines.
+
+Run as a script to (re)record the ``BENCH_store.json`` baseline::
+
+    PYTHONPATH=src:. python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro import telemetry
+from repro.automata.regex import regex_to_dfa
+from repro.lahar.database import MarkovStreamDatabase
+from repro.markov.builders import homogeneous
+from repro.store import Store, replay, verify_recovery
+from repro.transducers.library import accept_filter
+
+from benchmarks.shape import REPO_ROOT, bench_result, print_series, timed_best, write_result
+
+APPENDS = 800
+SUFFIX = 10
+ALPHABET = "ab"
+MIN_SPEEDUP = 5.0
+
+INITIAL = {"a": Fraction(3, 5), "b": Fraction(2, 5)}
+ROWS = {
+    "a": {"a": Fraction(7, 10), "b": Fraction(3, 10)},
+    "b": {"a": Fraction(2, 5), "b": Fraction(3, 5)},
+}
+
+
+def occurrence_query():
+    """Deterministic 0-uniform membership test: does ``ab`` ever occur?
+
+    The constant-size streaming frontier keeps the journaled workload
+    honest — replay cost comes from the *number* of records, not from a
+    growing per-record cost.
+    """
+    return accept_filter(regex_to_dfa("(a|b)*ab(a|b)*", ALPHABET))
+
+
+def measure(appends: int = APPENDS, suffix: int = SUFFIX) -> dict:
+    """One durability session; returns raw numbers.
+
+    Phases: journal ``appends`` records (timing them against in-memory
+    appends of the same transitions), time a cold full-log replay,
+    compact, journal ``suffix`` more records, time the warm recovery.
+    """
+    query = occurrence_query()
+    seed = homogeneous(INITIAL, ROWS, 2)
+
+    plain = MarkovStreamDatabase()
+    plain.register_stream("tag", seed)
+    start = time.perf_counter()
+    for _ in range(appends):
+        plain.append("tag", ROWS)
+    plain_append_s = (time.perf_counter() - start) / appends
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = Path(tmp) / "data"
+        store = Store(data_dir, fsync=False)
+        database = MarkovStreamDatabase(store=store)
+        database.register_stream("tag", seed)
+        database.register_query("saw-ab", query)
+        # a standing query makes replay do real work: every journaled
+        # append re-advances its evaluator by one DP layer
+        store.log_standing_registered(
+            "watch",
+            "tag",
+            "answer",
+            "saw-ab",
+            database._resolve_query("saw-ab"),
+            (),
+            Fraction(9, 10),
+            Fraction(1, 2),
+        )
+        start = time.perf_counter()
+        for _ in range(appends):
+            database.append("tag", ROWS)
+        durable_append_s = (time.perf_counter() - start) / appends
+        store.close()
+
+        cold_s = timed_best(
+            lambda: replay(data_dir, use_snapshot=False), repeats=3
+        )
+
+        from repro.store import capture_recovered
+
+        recovered = replay(data_dir)
+        store = Store(data_dir, fsync=False)
+        store.compact(capture_recovered(recovered))
+        database = recovered.database
+        database.attach_store(store)
+        for _ in range(suffix):
+            database.append("tag", ROWS)
+        store.close()
+
+        warm = replay(data_dir)
+        assert warm.records_replayed == suffix, warm.records_replayed
+        warm_s = timed_best(lambda: replay(data_dir), repeats=3)
+        report = verify_recovery(data_dir)
+        assert report["ok"], report["mismatches"]
+
+    return {
+        "appends": appends,
+        "suffix": suffix,
+        "plain_append_s": plain_append_s,
+        "durable_append_s": durable_append_s,
+        "durable_append_overhead": durable_append_s / plain_append_s,
+        "cold_recovery_s": cold_s,
+        "warm_recovery_s": warm_s,
+        "recovery_speedup": cold_s / warm_s,
+    }
+
+
+def common_result(appends: int = APPENDS, suffix: int = SUFFIX) -> dict:
+    """One common-schema result, measured with telemetry enabled."""
+    with telemetry.session() as registry:
+        metrics = measure(appends, suffix)
+        snapshot = registry.snapshot()
+    assert "store.replay.seconds" in snapshot["histograms"]
+    return bench_result(
+        "store",
+        {
+            "appends": appends,
+            "suffix": suffix,
+            "query": "accept_filter((a|b)*ab(a|b)*)",
+            "fsync": False,
+        },
+        metrics,
+        telemetry_snapshot=snapshot,
+    )
+
+
+def report(metrics: dict) -> None:
+    print_series(
+        f"Durability economics ({metrics['appends']} journaled appends, "
+        f"{metrics['suffix']}-record suffix)",
+        ["path", "seconds", "speedup"],
+        [
+            ("cold recovery (full-log replay)", metrics["cold_recovery_s"], 1.0),
+            (
+                "warm recovery (snapshot + suffix)",
+                metrics["warm_recovery_s"],
+                metrics["recovery_speedup"],
+            ),
+            ("journaled append", metrics["durable_append_s"], None),
+            ("in-memory append", metrics["plain_append_s"], None),
+        ],
+    )
+    print(
+        f"  journal overhead: {metrics['durable_append_overhead']:.2f}x "
+        "per append (informational, fsync off)"
+    )
+
+
+def bench_store_recovery(benchmark) -> None:
+    """pytest-benchmark shape check at smoke scale."""
+    result = common_result(appends=100)
+    report(result["metrics"])
+    assert result["metrics"]["recovery_speedup"] >= 2.0, result["metrics"]
+    benchmark(lambda: None)
+
+
+def main() -> None:
+    result = common_result()
+    report(result["metrics"])
+    assert result["metrics"]["recovery_speedup"] >= MIN_SPEEDUP, (
+        f"recovery_speedup {result['metrics']['recovery_speedup']:.2f} "
+        f"below the {MIN_SPEEDUP}x acceptance gate"
+    )
+    path = write_result(result, REPO_ROOT / "BENCH_store.json")
+    print(f"  baseline written to {path}")
+
+
+if __name__ == "__main__":
+    main()

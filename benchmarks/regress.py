@@ -1,7 +1,8 @@
 """Benchmark regression gate: fresh runs vs the committed baselines.
 
-``BENCH_runtime.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``
-and ``BENCH_telemetry.json`` at the repo root are common-schema
+``BENCH_runtime.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``,
+``BENCH_telemetry.json`` and ``BENCH_store.json`` at the repo root are
+common-schema
 (:data:`benchmarks.shape.RESULT_SCHEMA`) records of what the key
 numbers looked like when they were committed. This module re-runs each
 scenario and gates the fresh metrics against the baseline with
@@ -182,6 +183,18 @@ def _run_serve_quick() -> dict:
     return common_result(appends=60)
 
 
+def _run_store() -> dict:
+    from benchmarks.bench_store import common_result
+
+    return common_result()
+
+
+def _run_store_quick() -> dict:
+    from benchmarks.bench_store import common_result
+
+    return common_result(appends=200)
+
+
 def _run_telemetry() -> dict:
     from benchmarks.bench_telemetry import common_result
 
@@ -228,6 +241,22 @@ SCENARIOS: dict[str, Scenario] = {
                 # ratio is pure algorithm: full re-run / one DP layer.
                 MetricSpec(
                     "incremental_speedup", "higher", 4.0, quick_tolerance=8.0
+                ),
+            ),
+        ),
+        Scenario(
+            name="store",
+            baseline_file="BENCH_store.json",
+            run=_run_store,
+            quick_run=_run_store_quick,
+            specs=(
+                # The journal overhead and absolute recovery seconds are
+                # informational. The gated ratio is pure algorithm:
+                # full-log replay / (snapshot + bounded suffix) — quick
+                # runs journal a 4x shorter log, so the cold side (the
+                # numerator) is legitimately ~4x cheaper.
+                MetricSpec(
+                    "recovery_speedup", "higher", 4.0, quick_tolerance=8.0
                 ),
             ),
         ),

@@ -16,7 +16,9 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
                     [--corpus DIR] [--save-failures DIR] [--no-metamorphic]
     repro serve     --socket /tmp/repro.sock | --host 127.0.0.1 --port 7341
                     [--shards N] [--queue-size N] [--workers N]
-                    [--max-seconds S]
+                    [--max-seconds S] [--data-dir DIR] [--no-fsync]
+                    [--compact-every N]
+    repro store     inspect DIR | compact DIR | recover DIR [--verify]
     repro stats     snapshot.json
     repro dot       --sequence seq.json | --query query.json
 
@@ -357,6 +359,9 @@ def _cmd_serve(args) -> int:
             shards=args.shards,
             queue_size=args.queue_size,
             pool_workers=args.workers or 0,
+            data_dir=args.data_dir,
+            fsync=not args.no_fsync,
+            compact_records=args.compact_every,
         )
         address = await server.start(
             socket_path=args.socket, host=args.host, port=args.port
@@ -366,6 +371,16 @@ def _cmd_serve(args) -> int:
         else:
             print(
                 f"repro serve: listening on {address['host']}:{address['port']}"
+            )
+        if server.recovered is not None:
+            recovered = server.recovered
+            print(
+                f"repro serve: durable in {args.data_dir} — recovered "
+                f"{recovered['streams']} stream(s), "
+                f"{recovered['standing_queries']} standing, "
+                f"LSN {recovered['last_lsn']} "
+                f"({recovered['records_replayed']} replayed, "
+                f"{recovered['truncated_bytes']} torn bytes truncated)"
             )
         print(
             f"repro serve: {args.shards} shard(s), "
@@ -395,6 +410,97 @@ def _cmd_serve(args) -> int:
 
     asyncio.run(_run())
     return 0
+
+
+def _cmd_store_inspect(args) -> int:
+    from repro.store import inspect_data_dir
+
+    report = inspect_data_dir(args.data_dir)
+    print(f"store: {report['data_dir']}")
+    print(
+        f"log:   last LSN {report['last_lsn']}, "
+        f"snapshot LSN {report['snapshot_lsn']} "
+        f"({report['replay_records']} record(s) to replay), "
+        f"{report['snapshots']} snapshot(s)"
+    )
+    for segment in report["segments"]:
+        span = (
+            f"LSN {segment['first_lsn']}..{segment['last_lsn']}"
+            if segment["first_lsn"] is not None
+            else "empty"
+        )
+        line = (
+            f"  {segment['file']}  {segment['records']} record(s), "
+            f"{segment['bytes']} bytes, {span}"
+        )
+        if segment["torn_bytes"]:
+            line += f", torn tail of {segment['torn_bytes']} bytes"
+        print(line)
+    for record_type in sorted(report["records"]):
+        print(f"  {record_type}: {report['records'][record_type]}")
+    if report["torn_bytes"]:
+        print(
+            f"torn tail: {report['torn_bytes']} bytes "
+            "(recovery will truncate and continue)"
+        )
+    return 0
+
+
+def _cmd_store_compact(args) -> int:
+    from repro.store import Store, capture_recovered, replay
+
+    recovered = replay(args.data_dir)
+    store = Store(args.data_dir, fsync=not args.no_fsync)
+    before = store.stats()
+    store.compact(capture_recovered(recovered))
+    store.close()
+    after = store.stats()
+    print(
+        f"compacted {args.data_dir}: snapshot at LSN {after['snapshot_lsn']}, "
+        f"{before['segments']} -> {after['segments']} segment(s), "
+        f"{before['wal_bytes']} -> {after['wal_bytes']} log bytes"
+    )
+    return 0
+
+
+def _cmd_store_recover(args) -> int:
+    from repro.store import replay, verify_recovery
+
+    recovered = replay(args.data_dir)
+    print(
+        f"recovered {args.data_dir}: "
+        f"{len(recovered.database.streams())} stream(s), "
+        f"{len(recovered.queries)} named query(ies), "
+        f"{len(recovered.alerts)} standing"
+    )
+    print(
+        f"log:       LSN {recovered.last_lsn} "
+        f"(snapshot at {recovered.snapshot_lsn}, "
+        f"{recovered.records_replayed} record(s) replayed, "
+        f"{recovered.truncated_bytes} torn bytes truncated)"
+    )
+    for name in recovered.database.streams():
+        sequence = recovered.database.stream(name)
+        print(f"  stream {name}: length {sequence.length}")
+    for name in recovered.alerts.names():
+        standing = recovered.alerts.get(name)
+        print(
+            f"  standing {name}: {standing.kind} on {standing.stream}, "
+            f"value {float(standing.current_value()):.6g}, "
+            f"{'armed' if standing.watch.armed else 'disarmed'}, "
+            f"{standing.alerts_fired} alert(s) fired"
+        )
+    if not args.verify:
+        return 0
+    report = verify_recovery(args.data_dir)
+    referees = "DP + replay" if report["log_complete"] else "DP (log compacted)"
+    if report["ok"]:
+        print(f"verify:    OK — {referees} referee(s) agree bit-for-bit")
+        return 0
+    print(f"verify:    FAILED ({referees})", file=sys.stderr)
+    for mismatch in report["mismatches"]:
+        print(f"  MISMATCH {mismatch}", file=sys.stderr)
+    return 1
 
 
 def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
@@ -589,8 +695,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gracefully shut down after this long (CI smoke guard)",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable mode: journal every mutation here and recover "
+        "previous state on startup (see `repro store`)",
+    )
+    serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip the per-record fsync (faster, loses the crash guarantee)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fold the log into a snapshot every N records (default: 1024)",
+    )
     _add_telemetry_flag(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect, compact, or recover a `serve --data-dir` store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_inspect = store_sub.add_parser(
+        "inspect", help="read-only structural summary of the log and snapshots"
+    )
+    store_inspect.add_argument("data_dir", help="the serve --data-dir directory")
+    store_inspect.set_defaults(handler=_cmd_store_inspect)
+
+    store_compact = store_sub.add_parser(
+        "compact", help="fold the log into a fresh snapshot offline"
+    )
+    store_compact.add_argument("data_dir", help="the serve --data-dir directory")
+    store_compact.add_argument(
+        "--no-fsync", action="store_true", help="skip fsyncs during the fold"
+    )
+    store_compact.set_defaults(handler=_cmd_store_compact)
+
+    store_recover = store_sub.add_parser(
+        "recover", help="rebuild state from the store and report what it holds"
+    )
+    store_recover.add_argument("data_dir", help="the serve --data-dir directory")
+    store_recover.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check the recovery against from-scratch evaluation",
+    )
+    store_recover.set_defaults(handler=_cmd_store_recover)
 
     stats = sub.add_parser(
         "stats", help="pretty-print an exported telemetry snapshot"

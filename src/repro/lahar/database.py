@@ -56,22 +56,50 @@ class MarkovStreamDatabase:
         The :class:`PlanCache` all reads go through; a private cache is
         created when None (pass a shared one to pool plans across
         databases).
+    store:
+        An optional :class:`repro.store.Store` journal. When attached,
+        every catalog mutation and append writes one WAL record *before*
+        the in-memory commit, so anything this database acknowledged is
+        recoverable from disk.
     """
 
-    def __init__(self, plan_cache: PlanCache | None = None) -> None:
+    def __init__(
+        self, plan_cache: PlanCache | None = None, store=None
+    ) -> None:
         self._streams: dict[str, MarkovSequence] = {}
         self._queries: dict[str, object] = {}
         self._plans = plan_cache if plan_cache is not None else PlanCache()
         self._evaluators: dict[tuple[str, str], StreamingEvaluator] = {}
+        self._store = store
+
+    def attach_store(self, store) -> None:
+        """Journal all future mutations through ``store`` (None detaches).
+
+        Recovery seeds a database with the store detached (replayed
+        records must not be re-journaled), then attaches it before the
+        first live write.
+        """
+        self._store = store
+
+    @property
+    def store(self):
+        """The attached journal, or None."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Catalog
     # ------------------------------------------------------------------
 
     def register_stream(self, name: str, sequence: MarkovSequence) -> None:
-        """Add (or replace) a stream under ``name``."""
+        """Add (or replace) a stream under ``name``.
+
+        With a store attached the creation is journaled first: a
+        registration the caller saw succeed is on disk.
+        """
         if not name:
             raise ReproError("stream name must be non-empty")
+        if self._store is not None:
+            self._store.log_stream_created(name, sequence)
         self._streams[name] = sequence
         self._drop_evaluators(name)
 
@@ -79,6 +107,8 @@ class MarkovStreamDatabase:
         """Remove a stream; missing names raise."""
         if name not in self._streams:
             raise ReproError(f"unknown stream {name!r}")
+        if self._store is not None:
+            self._store.log_stream_dropped(name)
         del self._streams[name]
         self._drop_evaluators(name)
 
@@ -86,6 +116,9 @@ class MarkovStreamDatabase:
         """Store a reusable named query (transducer or s-projector)."""
         if not name:
             raise ReproError("query name must be non-empty")
+        query = self._canonical_query(query)
+        if self._store is not None:
+            self._store.log_query_registered(name, query)
         self._queries[name] = query
 
     def streams(self) -> list[str]:
@@ -109,7 +142,24 @@ class MarkovStreamDatabase:
                 return self._queries[query]
             except KeyError:
                 raise ReproError(f"unknown query {query!r}") from None
-        return query
+        return self._canonical_query(query)
+
+    def _canonical_query(self, query):
+        """Round-trip a query through the interchange format when durable.
+
+        Persisted frontier keys embed compiled automaton *state objects*,
+        and recovery recompiles plans from the snapshot's query document
+        — whose state names are the serialized form. A durable database
+        therefore plans the serialized form from the start, so a live
+        frontier and its recovered twin use identical keys. (Queries that
+        arrive as JSON, e.g. over the serve wire, are already canonical
+        and round-trip to themselves.)
+        """
+        if self._store is None:
+            return query
+        from repro.io.json_format import query_from_dict, query_to_dict
+
+        return query_from_dict(query_to_dict(query))
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -139,6 +189,13 @@ class MarkovStreamDatabase:
         its pre-append frontier and the stream is left unchanged — a
         rejected append can never leave an evaluator out of sync with
         its stream.
+
+        With a store attached, the journal record is the commit point:
+        it is written (and fsync'd) after every evaluator advanced but
+        before anything becomes visible, and a journal failure rolls the
+        evaluators back. An append the caller saw succeed is therefore
+        always on disk, and a journaled append is always one that would
+        have succeeded in memory.
         """
         grown = self.stream(name).extended(transition)  # validates first
         attached = [
@@ -153,10 +210,12 @@ class MarkovStreamDatabase:
             for evaluator in attached:
                 evaluator.append(transition)
                 advanced += 1
+            if self._store is not None:
+                self._store.log_append(name, transition)
         except BaseException:
-            # Evaluator appends are themselves atomic, so the failing
-            # one is already at its checkpoint state; restore the ones
-            # that advanced and drop the unused snapshots.
+            # Evaluator appends are themselves atomic, so a failing
+            # advance is already at its checkpoint state; restore the
+            # ones that advanced and drop the unused snapshots.
             for i, evaluator in enumerate(attached):
                 if i < advanced:
                     evaluator.rollback()
@@ -177,6 +236,31 @@ class MarkovStreamDatabase:
         """
         plan = self._plans.get(self._resolve_query(query))
         return self._attach_evaluator(name, plan)
+
+    def install_evaluator(self, name: str, evaluator: StreamingEvaluator) -> None:
+        """Adopt an externally built evaluator for stream ``name``.
+
+        The store's recovery path restores evaluators from persisted
+        frontiers (no DP re-run) and installs them here, so the first
+        post-restart read or append is already warm. The evaluator must
+        be in sync with the stream it claims to cover.
+        """
+        stream = self.stream(name)
+        if evaluator.length != stream.length:
+            raise ReproError(
+                f"evaluator for stream {name!r} covers {evaluator.length} "
+                f"timesteps but the stream has {stream.length}"
+            )
+        self._evaluators[(name, evaluator.plan.fingerprint)] = evaluator
+
+    def attached_evaluators(self) -> list[tuple[str, StreamingEvaluator]]:
+        """Every live (stream, evaluator) pair — what snapshots capture."""
+        return [
+            (stream_name, evaluator)
+            for (stream_name, _fingerprint), evaluator in sorted(
+                self._evaluators.items()
+            )
+        ]
 
     def _attach_evaluator(self, name: str, plan: QueryPlan) -> StreamingEvaluator:
         key = (name, plan.fingerprint)

@@ -25,9 +25,27 @@ from repro.markov.sequence import MarkovSequence, Number
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
-from repro.errors import AlphabetMismatchError
+from repro.errors import AlphabetMismatchError, ReproError
 
 Symbol = Hashable
+
+
+def query_pattern(query) -> NFA:
+    """The regular pattern a monitor standing query watches.
+
+    S-projectors watch their pattern component; transducers watch their
+    underlying automaton. Shared by the service's standing-query
+    registration and the store's recovery replay, which must build the
+    exact same unanchored-match DFA.
+    """
+    from repro.transducers.sprojector import SProjector
+    from repro.transducers.transducer import Transducer
+
+    if isinstance(query, SProjector):
+        return query.pattern.to_nfa()
+    if isinstance(query, Transducer):
+        return query.nfa
+    raise ReproError("monitor standing queries need a transducer or s-projector")
 
 
 def _check(sequence: MarkovSequence, automaton: DFA | NFA) -> None:
@@ -133,6 +151,22 @@ class StreamingMonitor:
         _check(sequence, pattern)
         return cls(sequence, unanchored_match_dfa(pattern))
 
+    @classmethod
+    def restore(
+        cls, dfa: DFA, layer: Mapping[tuple[Symbol, object], Number], length: int
+    ) -> "StreamingMonitor":
+        """Rebuild a monitor from a persisted product-DP layer.
+
+        The restart path of :mod:`repro.store`: ``layer`` must be the
+        :attr:`layer` of a monitor over the same DFA at timestep
+        ``length``; no DP is re-run.
+        """
+        self = object.__new__(cls)
+        self._dfa = dfa
+        self._layer = dict(layer)
+        self._length = length
+        return self
+
     def _push(
         self,
         layer: Mapping[tuple[Symbol, object], Number],
@@ -173,6 +207,16 @@ class StreamingMonitor:
     def length(self) -> int:
         """Timesteps absorbed so far."""
         return self._length
+
+    @property
+    def layer(self) -> dict[tuple[Symbol, object], Number]:
+        """A copy of the live product-DP layer (what snapshots persist)."""
+        return dict(self._layer)
+
+    @property
+    def dfa(self) -> DFA:
+        """The monitored DFA."""
+        return self._dfa
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StreamingMonitor(n={self._length}, layer={len(self._layer)})"

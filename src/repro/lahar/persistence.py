@@ -9,11 +9,19 @@ Layout::
 
 Names are sanitized to filesystem-safe slugs; the catalog preserves the
 original names.
+
+Saving is crash-safe: every document lands via a temp file and an
+atomic ``os.replace`` (a reader never observes a torn JSON file), and
+``catalog.json`` — the commit point :func:`load_database` trusts — is
+replaced *last*, after every document it references is durably in
+place. A crash mid-save leaves the previous catalog intact plus at
+worst some ``*.tmp`` litter, which the next save sweeps up.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 from pathlib import Path
 
@@ -29,13 +37,36 @@ def _slugify(name: str) -> str:
     return slug or "item"
 
 
+def _publish(tmp: Path, final: Path) -> None:
+    """Atomically promote a fully-written temp file to its final name."""
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, final)
+
+
+def _sweep_tmp(directory: Path) -> None:
+    for leftover in directory.glob("*.tmp"):
+        leftover.unlink()
+
+
 def save_database(database: MarkovStreamDatabase, root: str | Path) -> None:
-    """Write the whole database under ``root`` (created if missing)."""
+    """Write the whole database under ``root`` (created if missing).
+
+    Documents go through temp-file + ``os.replace``; the catalog is
+    committed last, so an interrupted save never corrupts a previously
+    loadable directory.
+    """
     root = Path(root)
     streams_dir = root / "streams"
     queries_dir = root / "queries"
     streams_dir.mkdir(parents=True, exist_ok=True)
     queries_dir.mkdir(parents=True, exist_ok=True)
+    _sweep_tmp(root)
+    _sweep_tmp(streams_dir)
+    _sweep_tmp(queries_dir)
 
     catalog = {"streams": [], "queries": []}
     used: set[str] = set()
@@ -50,16 +81,25 @@ def save_database(database: MarkovStreamDatabase, root: str | Path) -> None:
         used.add(slug)
         return slug
 
+    def write_document(writer, item, directory: Path, slug: str) -> None:
+        tmp = directory / f"{slug}.json.tmp"
+        writer(item, tmp)
+        _publish(tmp, directory / f"{slug}.json")
+
     for name in database.streams():
         slug = unique_slug(name)
-        write_sequence(database.stream(name), streams_dir / f"{slug}.json")
+        write_document(write_sequence, database.stream(name), streams_dir, slug)
         catalog["streams"].append({"name": name, "file": f"streams/{slug}.json"})
     for name in database.queries():
         slug = unique_slug(name)
-        write_query(database._resolve_query(name), queries_dir / f"{slug}.json")
+        write_document(
+            write_query, database._resolve_query(name), queries_dir, slug
+        )
         catalog["queries"].append({"name": name, "file": f"queries/{slug}.json"})
 
-    (root / "catalog.json").write_text(json.dumps(catalog, indent=2))
+    catalog_tmp = root / "catalog.json.tmp"
+    catalog_tmp.write_text(json.dumps(catalog, indent=2))
+    _publish(catalog_tmp, root / "catalog.json")
 
 
 def load_database(root: str | Path) -> MarkovStreamDatabase:

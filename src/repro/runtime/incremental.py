@@ -82,6 +82,33 @@ class StreamingEvaluator:
             self._advance(i)
         self._checkpoints: list[tuple[MarkovSequence, dict]] = []
 
+    @classmethod
+    def restore(
+        cls,
+        query,
+        sequence: MarkovSequence,
+        frontier: Mapping,
+        cache: PlanCache | None = None,
+    ) -> "StreamingEvaluator":
+        """Rebuild an evaluator from a persisted frontier — no DP re-run.
+
+        ``frontier`` must be the :attr:`frontier` of an evaluator for the
+        same (query, sequence) pair; plan compilation is deterministic
+        per fingerprint, so the recompiled plan's state objects are
+        value-equal to the ones inside the persisted keys. This is the
+        restart path of :mod:`repro.store`: recovery costs one snapshot
+        load plus the log suffix instead of ``sequence.length`` DP
+        layers.
+        """
+        self = object.__new__(cls)
+        self.plan = plan_for(query, cache)
+        self.plan.compiled.check_alphabet(sequence.alphabet)
+        self._deterministic = self.plan.deterministic
+        self._sequence = sequence
+        self._frontier = dict(frontier)
+        self._checkpoints = []
+        return self
+
     # ------------------------------------------------------------------
     # Frontier maintenance
     # ------------------------------------------------------------------
@@ -260,6 +287,11 @@ class StreamingEvaluator:
     def frontier_size(self) -> int:
         """Live DP cells — the per-append cost driver."""
         return len(self._frontier)
+
+    @property
+    def frontier(self) -> dict:
+        """A copy of the live frontier (what :mod:`repro.store` snapshots)."""
+        return dict(self._frontier)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

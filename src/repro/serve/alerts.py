@@ -75,6 +75,27 @@ class ThresholdWatch:
             self.armed = True
         return False
 
+    @classmethod
+    def restore(
+        cls,
+        threshold: Number,
+        rearm: Number | None,
+        value: Number | None,
+        armed: bool,
+    ) -> "ThresholdWatch":
+        """Rebuild a watch in an exact persisted state (store recovery).
+
+        Unlike ``initial=``, this sets the armed flag verbatim — a watch
+        inside its hysteresis band (fired, value back under the
+        threshold but not yet under the re-arm level) is reproduced
+        bit-identically, so a restart never re-fires or swallows a
+        crossing.
+        """
+        watch = cls(threshold, rearm)
+        watch.value = value
+        watch.armed = armed
+        return watch
+
 
 @dataclass
 class StandingQuery:
@@ -82,6 +103,8 @@ class StandingQuery:
 
     ``evaluator``/``monitor`` is the incremental engine (exactly one is
     set, by ``kind``); ``alerts_fired`` counts upward crossings so far.
+    ``query`` retains the query object itself so the store can journal
+    and snapshot the standing query for crash recovery.
     """
 
     name: str
@@ -93,6 +116,7 @@ class StandingQuery:
     evaluator: object | None = None
     monitor: object | None = None
     alerts_fired: int = 0
+    query: object | None = None
 
     def current_value(self) -> Number:
         """The watched value for the stream absorbed so far."""

@@ -42,7 +42,7 @@ import time
 from repro import telemetry
 from repro.errors import ReproError
 from repro.io.json_format import query_from_dict, sequence_from_dict
-from repro.lahar.monitor import StreamingMonitor
+from repro.lahar.monitor import StreamingMonitor, query_pattern
 from repro.serve.alerts import AlertEngine, StandingQuery, ThresholdWatch
 from repro.serve.protocol import (
     PROTOCOL,
@@ -59,20 +59,14 @@ from repro.serve.protocol import (
 )
 from repro.serve.session import DEFAULT_QUEUE_SIZE, Session
 from repro.serve.sharding import ShardedDatabase
-from repro.transducers.sprojector import SProjector
-from repro.transducers.transducer import Transducer
 
 #: Seconds allowed for per-session queue drain during graceful shutdown.
 DEFAULT_DRAIN_TIMEOUT = 5.0
 
 
-def _pattern_of(query):
-    """The regular pattern watched by a ``monitor`` standing query."""
-    if isinstance(query, SProjector):
-        return query.pattern.to_nfa()
-    if isinstance(query, Transducer):
-        return query.nfa
-    raise ReproError("monitor standing queries need a transducer or s-projector")
+#: The regular pattern watched by a ``monitor`` standing query (shared
+#: with the store's recovery replay, which must build the same DFA).
+_pattern_of = query_pattern
 
 
 class ReproServer:
@@ -89,6 +83,17 @@ class ReproServer:
         :class:`~repro.parallel.WorkerPool` of this many processes.
     drain_timeout:
         Seconds granted to each session's queue drain during shutdown.
+    data_dir:
+        When set, the service is durable: a :class:`repro.store.Store`
+        under this directory journals every accepted mutation (fsync'd
+        before the client sees success), previous state is recovered on
+        construction — streams, evaluator frontiers, standing queries
+        with exact hysteresis state — and the log is compacted into
+        frontier snapshots in the background.
+    fsync:
+        Sync each journal record to disk on commit (durable mode only).
+    compact_records:
+        Override the compaction policy's records-since-snapshot bound.
     """
 
     def __init__(
@@ -98,9 +103,16 @@ class ReproServer:
         pool_workers: int = 0,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         plan_cache=None,
+        data_dir: str | None = None,
+        fsync: bool = True,
+        compact_records: int | None = None,
     ) -> None:
         self.db = ShardedDatabase(shards, plan_cache=plan_cache)
         self.alerts = AlertEngine()
+        self.store = None
+        self.recovered: dict | None = None
+        if data_dir is not None:
+            self._open_store(data_dir, fsync, compact_records)
         self.queue_size = queue_size
         self.pool_workers = pool_workers
         self.drain_timeout = drain_timeout
@@ -129,6 +141,84 @@ class ReproServer:
             "stats": self._cmd_stats,
             "shutdown": self._cmd_shutdown,
         }
+
+    # ------------------------------------------------------------------
+    # Durability (repro.store)
+    # ------------------------------------------------------------------
+
+    def _open_store(
+        self, data_dir: str, fsync: bool, compact_records: int | None
+    ) -> None:
+        """Open (and repair) the journal, then recover previous state.
+
+        Recovery runs before the listener can bind: the first client to
+        connect sees every stream, evaluator frontier, and standing
+        query exactly as an uninterrupted server would hold them. The
+        store attaches to the shards only *after* replay so recovered
+        records are not re-journaled.
+        """
+        # Imported here: repro.store.recovery uses this package's alert
+        # types, so a top-level import would be circular.
+        from repro.store import CompactionPolicy, Store
+        from repro.store import replay as store_replay
+
+        policy = (
+            CompactionPolicy(max_records=compact_records)
+            if compact_records is not None
+            else None
+        )
+        self.store = Store(data_dir, fsync=fsync, policy=policy)
+        recovered = store_replay(data_dir, plan_cache=self.db.plan_cache)
+        for name in recovered.database.streams():
+            self.db.register_stream(name, recovered.database.stream(name))
+        for name, query in recovered.queries.items():
+            self.db.register_query(name, query)
+        for stream, evaluator in recovered.database.attached_evaluators():
+            self.db.install_evaluator(stream, evaluator)
+        self.alerts = recovered.alerts
+        self.db.attach_store(self.store)
+        self.recovered = {
+            "streams": len(recovered.database.streams()),
+            "standing_queries": len(recovered.alerts),
+            "last_lsn": recovered.last_lsn,
+            "snapshot_lsn": recovered.snapshot_lsn,
+            "records_replayed": recovered.records_replayed,
+            "truncated_bytes": recovered.truncated_bytes,
+        }
+
+    def _capture_state(self):
+        """A snapshot-ready image of everything the service holds.
+
+        Callers must hold *every* shard lock: the image has to be
+        consistent with the journal position it will be stamped with.
+        """
+        from repro.store import capture_state
+
+        return capture_state(
+            self.db.corpus(),
+            self.db.query_objects(),
+            self.db.attached_evaluators(),
+            self.alerts,
+        )
+
+    async def _maybe_compact(self) -> None:
+        """Fold the log into a fresh snapshot when the policy asks.
+
+        Runs after an append has released its shard lock; all shard
+        locks are taken (in index order) so the captured state is
+        consistent across shards, then the atomic snapshot + segment
+        cleanup happens inside :meth:`repro.store.Store.compact`.
+        """
+        if self.store is None or not self.store.should_compact():
+            return
+        for lock in self._locks:
+            await lock.acquire()
+        try:
+            if self.store.should_compact():  # re-check under the locks
+                self.store.compact(self._capture_state())
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,6 +272,18 @@ class ReproServer:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self.store is not None:
+            # Tail-loss guard: every append path runs under a shard
+            # lock, so holding all of them here means the last in-flight
+            # append has committed (and journaled) before the final
+            # segment is flushed and fsync'd.
+            for lock in self._locks:
+                await lock.acquire()
+            try:
+                self.store.close()
+            finally:
+                for lock in reversed(self._locks):
+                    lock.release()
         self._closed.set()
 
     def _ensure_pool(self):
@@ -279,6 +381,7 @@ class ReproServer:
             "shards": self.db.shards,
             "streams": len(self.db.streams()),
             "standing_queries": len(self.alerts),
+            "durable": self.store is not None,
         }
 
     async def _cmd_register_stream(self, session: Session, params) -> dict:
@@ -333,7 +436,10 @@ class ReproServer:
         document = params.get("query")
         if not isinstance(document, dict):
             raise ProtocolError("param 'query' must be a query document")
-        self.db.register_query(name, query_from_dict(document))
+        query = query_from_dict(document)
+        if self.store is not None:
+            self.store.log_query_registered(name, query)
+        self.db.register_query(name, query)
         return {"query": name}
 
     # ------------------------------------------------------------------
@@ -353,6 +459,7 @@ class ReproServer:
         self.alerts_fired += len(fired)
         telemetry.count("serve.appends")
         telemetry.observe("serve.append.seconds", elapsed)
+        await self._maybe_compact()
         for alert in fired:
             telemetry.count("serve.alerts.fired")
             self._fan_out(
@@ -392,6 +499,8 @@ class ReproServer:
             raise ProtocolError("standing query kind must be 'answer' or 'monitor'")
         index = self.db.shard_index(stream)
         async with self._locks[index]:
+            if name in self.alerts.names():
+                raise ReproError(f"standing query {name!r} already exists")
             evaluator = monitor = None
             if kind == "answer":
                 evaluator = self.db.streaming_evaluator(stream, query)
@@ -404,6 +513,12 @@ class ReproServer:
                 )
                 initial = monitor.value
             watch = ThresholdWatch(threshold, rearm, initial=initial)
+            # Write-ahead: journal after everything that can fail has
+            # succeeded, before the registration becomes visible.
+            if self.store is not None:
+                self.store.log_standing_registered(
+                    name, stream, kind, str(label), query, watched, threshold, rearm
+                )
             self.alerts.register(
                 StandingQuery(
                     name=name,
@@ -414,6 +529,7 @@ class ReproServer:
                     output=watched,
                     evaluator=evaluator,
                     monitor=monitor,
+                    query=query,
                 )
             )
         telemetry.gauge("serve.standing_queries", float(len(self.alerts)))
@@ -427,6 +543,9 @@ class ReproServer:
 
     async def _cmd_drop_standing_query(self, session: Session, params) -> dict:
         name = self._str_param(params, "name")
+        self.alerts.get(name)  # must exist before the drop is journaled
+        if self.store is not None:
+            self.store.log_standing_dropped(name)
         self.alerts.drop(name)
         for other in self.sessions:
             other.subscriptions.discard(name)
@@ -535,6 +654,8 @@ class ReproServer:
     async def _cmd_stats(self, session: Session, params) -> dict:
         return {
             "database": self.db.stats(),
+            "store": self.store.stats() if self.store is not None else None,
+            "recovered": self.recovered,
             "standing_queries": len(self.alerts),
             "standing": [
                 {

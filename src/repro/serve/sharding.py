@@ -59,6 +59,16 @@ class ShardedDatabase:
         ]
         self._queries: dict[str, object] = {}
 
+    def attach_store(self, store) -> None:
+        """Journal every shard's mutations through one shared store.
+
+        A stream lives on exactly one shard, so the shards interleave
+        their records in one totally ordered log (the server's event
+        loop is the single writer).
+        """
+        for db in self._shards:
+            db.attach_store(store)
+
     @property
     def shards(self) -> int:
         return len(self._shards)
@@ -128,6 +138,20 @@ class ShardedDatabase:
         return self.shard_for(name).streaming_evaluator(
             name, self.resolve_query(query)
         )
+
+    def install_evaluator(self, name: str, evaluator: StreamingEvaluator) -> None:
+        """Adopt a recovered evaluator on the shard owning ``name``."""
+        self.shard_for(name).install_evaluator(name, evaluator)
+
+    def attached_evaluators(self) -> list[tuple[str, StreamingEvaluator]]:
+        """Every live (stream, evaluator) pair across shards."""
+        return [
+            pair for db in self._shards for pair in db.attached_evaluators()
+        ]
+
+    def query_objects(self) -> dict[str, object]:
+        """The service-level query catalog (what snapshots capture)."""
+        return dict(self._queries)
 
     def query(self, stream: str, query, **options):
         return self.shard_for(stream).query(

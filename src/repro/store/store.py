@@ -1,0 +1,224 @@
+"""The durable store facade: one WAL + snapshot set under a data dir.
+
+On-disk layout::
+
+    <data-dir>/
+      wal/
+        0000000000000001.seg      sealed and live log segments
+        ...
+      snapshots/
+        0000000000000940.snap     frontier snapshots (newest wins)
+
+:class:`Store` is the journal the database and the service write
+through. Every mutating operation appends exactly one record *before*
+the in-memory commit (write-ahead ordering), so the log is always a
+superset of the acknowledged state, and recovery replays it onto the
+newest snapshot.
+
+:class:`CompactionPolicy` decides when the log suffix since the last
+snapshot has grown enough to fold into a fresh snapshot;
+:meth:`Store.compact` performs the fold — snapshot first (atomic), then
+rotate the live segment and delete everything the snapshot supersedes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import telemetry
+from repro.io.json_format import query_to_dict, sequence_to_dict
+from repro.markov.sequence import MarkovSequence
+from repro.store.codec import encode_term, encode_transition, encode_value
+from repro.store.snapshot import (
+    StoreState,
+    delete_snapshots_before,
+    latest_snapshot_lsn,
+    snapshot_paths,
+    write_snapshot,
+)
+from repro.store.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    DEFAULT_SEGMENT_RECORDS,
+    WriteAheadLog,
+    segment_paths,
+)
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to fold the log suffix into a fresh snapshot.
+
+    Compaction triggers once the records *or* bytes appended since the
+    last snapshot exceed their bound. Either bound can be disabled with
+    ``None``; the default policy keys off record count alone, which is
+    the quantity that controls replay time.
+    """
+
+    max_records: int | None = 1024
+    max_bytes: int | None = None
+
+    def should_compact(self, records_since: int, bytes_since: int) -> bool:
+        if self.max_records is not None and records_since >= self.max_records:
+            return True
+        if self.max_bytes is not None and bytes_since >= self.max_bytes:
+            return True
+        return False
+
+
+class Store:
+    """A write-ahead log plus frontier snapshots under one directory.
+
+    Parameters
+    ----------
+    data_dir:
+        The store root; created (with ``wal/`` and ``snapshots/``) when
+        missing. Opening an existing directory repairs a torn final
+        record and resumes at the next LSN.
+    fsync:
+        Sync every appended record to disk before acknowledging
+        (durability); ``False`` trades the crash guarantee for speed.
+    policy:
+        The :class:`CompactionPolicy` consulted by :meth:`should_compact`.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        policy: CompactionPolicy | None = None,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.wal_dir = self.data_dir / "wal"
+        self.snapshot_dir = self.data_dir / "snapshots"
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self.wal = WriteAheadLog(
+            self.wal_dir,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            segment_records=segment_records,
+        )
+        self.snapshot_lsn = latest_snapshot_lsn(self.snapshot_dir)
+        self._bytes_since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Journal records (write-ahead: call *before* the in-memory commit)
+    # ------------------------------------------------------------------
+
+    def log_stream_created(self, name: str, sequence: MarkovSequence) -> int:
+        return self._append(
+            "stream_created", {"name": name, "sequence": sequence_to_dict(sequence)}
+        )
+
+    def log_append(self, stream: str, transition) -> int:
+        return self._append(
+            "append", {"stream": stream, "transition": encode_transition(transition)}
+        )
+
+    def log_stream_dropped(self, name: str) -> int:
+        return self._append("stream_dropped", {"name": name})
+
+    def log_query_registered(self, name: str, query) -> int:
+        return self._append(
+            "query_registered", {"name": name, "query": query_to_dict(query)}
+        )
+
+    def log_standing_registered(
+        self,
+        name: str,
+        stream: str,
+        kind: str,
+        label: str,
+        query,
+        output: tuple,
+        threshold,
+        rearm,
+    ) -> int:
+        return self._append(
+            "standing_registered",
+            {
+                "name": name,
+                "stream": stream,
+                "kind": kind,
+                "label": label,
+                "query": query_to_dict(query),
+                "output": encode_term(tuple(output)),
+                "threshold": encode_value(threshold),
+                "rearm": encode_value(rearm) if rearm is not None else None,
+            },
+        )
+
+    def log_standing_dropped(self, name: str) -> int:
+        return self._append("standing_dropped", {"name": name})
+
+    def _append(self, record_type: str, data: dict) -> int:
+        lsn = self.wal.append(record_type, data)
+        self._bytes_since_snapshot += 1  # refreshed precisely on compact
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self.wal.last_lsn
+
+    @property
+    def records_since_snapshot(self) -> int:
+        return self.wal.last_lsn - self.snapshot_lsn
+
+    def should_compact(self) -> bool:
+        """Whether the policy asks for a compaction right now."""
+        return self.policy.should_compact(
+            self.records_since_snapshot, self._bytes_since_snapshot
+        )
+
+    def compact(self, state: StoreState) -> Path:
+        """Fold the log into a fresh snapshot of ``state`` at the head LSN.
+
+        The caller must pass a ``state`` consistent with every record up
+        to :attr:`last_lsn` (i.e. capture it while holding the same
+        locks that order appends). Ordering is crash-safe: the snapshot
+        lands atomically first; only then is the live segment rotated
+        and everything the snapshot supersedes (older segments, older
+        snapshots) deleted. A crash between those steps merely leaves
+        extra files that the next compaction removes.
+        """
+        start = time.perf_counter()
+        lsn = self.wal.last_lsn
+        write_snapshot(self.snapshot_dir, lsn, state)
+        self.snapshot_lsn = lsn
+        self._bytes_since_snapshot = 0
+        fresh = self.wal.rotate()
+        self.wal.delete_segments_before(fresh)
+        delete_snapshots_before(self.snapshot_dir, lsn)
+        telemetry.count("store.compactions")
+        telemetry.observe("store.compaction.seconds", time.perf_counter() - start)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Seal the live segment (flush + fsync); the store is quiescent."""
+        self.wal.close()
+
+    def stats(self) -> dict:
+        """Occupancy counters for the service's ``stats`` command."""
+        segments = segment_paths(self.wal_dir)
+        return {
+            "data_dir": str(self.data_dir),
+            "last_lsn": self.wal.last_lsn,
+            "snapshot_lsn": self.snapshot_lsn,
+            "records_since_snapshot": self.records_since_snapshot,
+            "segments": len(segments),
+            "snapshots": len(snapshot_paths(self.snapshot_dir)),
+            "wal_bytes": sum(path.stat().st_size for path in segments),
+            "fsync": self.wal.fsync,
+        }

@@ -1,0 +1,345 @@
+"""The append-only segment log: length-prefixed, checksummed NDJSON.
+
+On disk a log is a directory of numbered *segment* files::
+
+    <data-dir>/wal/
+      0000000000000001.seg     records with LSN 1..k
+      00000000000000k+1.seg    records with LSN k+1.. (live segment)
+
+Each record is one line framed as::
+
+    {payload_length:08x}{crc32:08x} {payload}\\n
+
+where ``payload`` is a compact JSON object
+``{"lsn": N, "type": ..., "data": {...}}`` and the CRC covers the
+payload bytes. Probabilities inside ``data`` follow the repo's exact
+``"p/q"`` convention, so replaying a record reproduces the same
+``Fraction`` values bit-for-bit.
+
+Durability and damage model
+---------------------------
+:meth:`WriteAheadLog.append` writes, flushes, and (by default) fsyncs
+before returning — a record handed back to the caller is on disk. A
+crash can therefore leave at most a *torn tail*: a trailing byte prefix
+of the record being written when the process died. Scanning classifies
+damage accordingly:
+
+* a frame that runs past the end of the **final** segment (or trailing
+  bytes too short to hold a header) is a torn tail — recovery truncates
+  it and continues;
+* a fully present frame that fails its checksum, framing, or JSON parse
+  is **corruption** (something other than a torn append-in-flight wrote
+  those bytes) and raises :class:`~repro.errors.ReproError`;
+* any damage in a non-final segment is corruption — earlier segments
+  were sealed by a successful later append, so no torn tail can live
+  there.
+
+LSNs are assigned densely (1, 2, 3, ...); a gap or reordering fails the
+scan. Segment files are named by the first LSN they hold, which is what
+lets compaction delete whole segments older than a snapshot without
+reading them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import telemetry
+from repro.errors import ReproError
+
+#: Bytes of ``{length:08x}{crc:08x} `` before each payload.
+_HEADER_LEN = 17
+
+#: Rotate the live segment past this many bytes.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: Rotate the live segment past this many records.
+DEFAULT_SEGMENT_RECORDS = 4096
+
+_SEGMENT_SUFFIX = ".seg"
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Frame one payload as a length-prefixed, checksummed line."""
+    return b"%08x%08x " % (len(payload), zlib.crc32(payload)) + payload + b"\n"
+
+
+def encode_record(lsn: int, record_type: str, data: dict) -> bytes:
+    """Serialize one record to its framed wire form."""
+    payload = json.dumps(
+        {"lsn": lsn, "type": record_type, "data": data},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return frame_record(payload)
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Scan summary of one segment file."""
+
+    path: Path
+    records: int
+    good_bytes: int
+    first_lsn: int | None
+    last_lsn: int | None
+    torn_bytes: int = 0
+
+
+@dataclass
+class LogScan:
+    """The result of scanning a whole log directory."""
+
+    records: list[dict] = field(default_factory=list)
+    segments: list[SegmentInfo] = field(default_factory=list)
+    torn_bytes: int = 0
+    truncated: bool = False
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1]["lsn"] if self.records else 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.good_bytes for segment in self.segments)
+
+
+def _corrupt(path: Path, offset: int, reason: str) -> ReproError:
+    return ReproError(
+        f"corrupt WAL record in {path.name} at byte {offset}: {reason} "
+        "(refusing to recover past interior damage; restore from a backup "
+        "or remove the damaged segment explicitly)"
+    )
+
+
+def scan_segment(path: Path, final: bool) -> tuple[list[dict], SegmentInfo]:
+    """Parse one segment; returns its records and a scan summary.
+
+    ``final`` marks the last segment of the log, the only place a torn
+    tail is legal. Interior damage raises :class:`ReproError`.
+    """
+    data = path.read_bytes()
+    records: list[dict] = []
+    pos = 0
+    torn_at: int | None = None
+    while pos < len(data):
+        remaining = len(data) - pos
+        if remaining < _HEADER_LEN:
+            torn_at = pos
+            break
+        header = data[pos : pos + _HEADER_LEN]
+        try:
+            length = int(header[0:8], 16)
+            crc = int(header[8:16], 16)
+        except ValueError as exc:
+            raise _corrupt(path, pos, f"bad frame header {header!r}") from exc
+        if header[16:17] != b" ":
+            raise _corrupt(path, pos, f"bad frame header {header!r}")
+        end = pos + _HEADER_LEN + length + 1
+        if end > len(data):
+            torn_at = pos
+            break
+        payload = data[pos + _HEADER_LEN : end - 1]
+        if data[end - 1 : end] != b"\n":
+            raise _corrupt(path, pos, "missing record terminator")
+        if zlib.crc32(payload) != crc:
+            raise _corrupt(path, pos, "checksum mismatch")
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise _corrupt(path, pos, f"invalid JSON payload: {exc}") from exc
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("lsn"), int)
+            or not isinstance(record.get("type"), str)
+        ):
+            raise _corrupt(path, pos, f"malformed record object {record!r}")
+        records.append(record)
+        pos = end
+    if torn_at is not None and not final:
+        raise _corrupt(path, torn_at, "torn record in a sealed (non-final) segment")
+    good_bytes = torn_at if torn_at is not None else len(data)
+    info = SegmentInfo(
+        path=path,
+        records=len(records),
+        good_bytes=good_bytes,
+        first_lsn=records[0]["lsn"] if records else None,
+        last_lsn=records[-1]["lsn"] if records else None,
+        torn_bytes=len(data) - good_bytes,
+    )
+    return records, info
+
+
+def segment_paths(wal_dir: Path) -> list[Path]:
+    """The log's segment files in LSN order."""
+    return sorted(wal_dir.glob(f"*{_SEGMENT_SUFFIX}"))
+
+
+def scan_log(wal_dir: Path, repair: bool = False) -> LogScan:
+    """Scan every segment, verifying LSN continuity across the log.
+
+    With ``repair=True`` a torn tail is physically truncated off the
+    final segment (the crash-recovery "truncate and continue" step);
+    otherwise it is only reported via ``scan.torn_bytes``.
+    """
+    scan = LogScan()
+    paths = segment_paths(wal_dir)
+    expected: int | None = None
+    for index, path in enumerate(paths):
+        final = index == len(paths) - 1
+        records, info = scan_segment(path, final=final)
+        for record in records:
+            if expected is not None and record["lsn"] != expected:
+                raise _corrupt(
+                    path, 0, f"LSN {record['lsn']} breaks sequence (expected {expected})"
+                )
+            expected = record["lsn"] + 1
+        scan.records.extend(records)
+        scan.segments.append(info)
+        if info.torn_bytes:
+            scan.torn_bytes = info.torn_bytes
+            if repair:
+                with path.open("r+b") as handle:
+                    handle.truncate(info.good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                scan.truncated = True
+                telemetry.count("store.recovery.truncated_bytes", info.torn_bytes)
+    return scan
+
+
+class WriteAheadLog:
+    """The writer side of a segment log directory.
+
+    Opening scans (and repairs) the existing log, then appends to the
+    last segment. ``fsync=False`` trades durability for speed — useful
+    for tests and for measuring pure journaling overhead.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str | Path,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    ) -> None:
+        self.wal_dir = Path(wal_dir)
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.segment_records = segment_records
+        scan = scan_log(self.wal_dir, repair=True)
+        paths = segment_paths(self.wal_dir)
+        # A fresh post-compaction segment is empty but *named* by the LSN
+        # it will hold; honour the name so LSNs never restart from 1.
+        self.next_lsn = scan.last_lsn + 1
+        if paths:
+            self.next_lsn = max(self.next_lsn, int(paths[-1].stem))
+        self._file = None
+        self._current_path: Path | None = None
+        self._current_records = 0
+        self._current_bytes = 0
+        if paths:
+            info = scan.segments[-1]
+            self._open_segment(paths[-1], info.records, info.good_bytes)
+        else:
+            self._open_segment(self._segment_path(self.next_lsn), 0, 0)
+        telemetry.gauge("store.segments", float(len(segment_paths(self.wal_dir))))
+
+    # ------------------------------------------------------------------
+    # Segment management
+    # ------------------------------------------------------------------
+
+    def _segment_path(self, first_lsn: int) -> Path:
+        return self.wal_dir / f"{first_lsn:016d}{_SEGMENT_SUFFIX}"
+
+    def _open_segment(self, path: Path, records: int, size: int) -> None:
+        self._file = path.open("ab")
+        self._current_path = path
+        self._current_records = records
+        self._current_bytes = size
+
+    def rotate(self) -> Path:
+        """Seal the live segment and start a fresh one at the next LSN."""
+        self.close_segment()
+        path = self._segment_path(self.next_lsn)
+        self._open_segment(path, 0, 0)
+        telemetry.count("store.rotations")
+        telemetry.gauge("store.segments", float(len(segment_paths(self.wal_dir))))
+        return path
+
+    def close_segment(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def close(self) -> None:
+        """Flush and fsync the live segment; the log is sealed on disk."""
+        self.close_segment()
+
+    @property
+    def current_path(self) -> Path:
+        assert self._current_path is not None
+        return self._current_path
+
+    @property
+    def last_lsn(self) -> int:
+        return self.next_lsn - 1
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def append(self, record_type: str, data: dict) -> int:
+        """Durably append one record; returns its LSN.
+
+        The record is written, flushed, and (with ``fsync``) synced
+        before this method returns — the commit point of every journaled
+        operation.
+        """
+        if self._file is None:
+            raise ReproError("write-ahead log is closed")
+        lsn = self.next_lsn
+        line = encode_record(lsn, record_type, data)
+        self._file.write(line)
+        self._file.flush()
+        if self.fsync:
+            start = time.perf_counter()
+            os.fsync(self._file.fileno())
+            telemetry.observe("store.fsync.seconds", time.perf_counter() - start)
+        self.next_lsn = lsn + 1
+        self._current_records += 1
+        self._current_bytes += len(line)
+        telemetry.count("store.records")
+        telemetry.count("store.bytes", len(line))
+        if (
+            self._current_bytes >= self.segment_bytes
+            or self._current_records >= self.segment_records
+        ):
+            self.rotate()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def delete_segments_before(self, path: Path) -> int:
+        """Delete every sealed segment older than ``path``; returns count."""
+        deleted = 0
+        for candidate in segment_paths(self.wal_dir):
+            if candidate.name < path.name and candidate != self._current_path:
+                candidate.unlink()
+                deleted += 1
+        if deleted:
+            telemetry.count("store.segments_deleted", deleted)
+            telemetry.gauge(
+                "store.segments", float(len(segment_paths(self.wal_dir)))
+            )
+        return deleted

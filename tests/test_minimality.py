@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 import random
 
 from hypothesis import given, settings, strategies as st
@@ -13,25 +12,34 @@ from repro.automata.minimize import minimize
 from tests.conftest import make_random_dfa, make_random_nfa
 
 ALPHABET = "ab"
-PROBE_LENGTH = 6
 
 
-def nerode_classes(dfa, probe_length: int) -> int:
-    """Number of distinguishable reachable states, by probing all strings
-    up to ``probe_length`` (sound for small automata: distinguishing
-    strings need at most |Q| - 1 symbols)."""
-    probes = [
-        tuple(p)
-        for length in range(probe_length + 1)
-        for p in itertools.product(ALPHABET, repeat=length)
-    ]
-    signatures = set()
-    for state in dfa.reachable_states():
-        signature = tuple(
-            dfa.run(probe, start=state) in dfa.accepting for probe in probes
-        )
-        signatures.add(signature)
-    return len(signatures)
+def nerode_classes(dfa) -> int:
+    """Number of distinguishable reachable states, by Moore-style
+    signature refinement run to a fixpoint.
+
+    After round ``k`` two states share a class iff no string of length
+    ``<= k`` distinguishes them; the class count is monotone and can
+    only stabilize at the Nerode partition, so the fixpoint is exact for
+    *any* automaton size (a fixed probe length is not: a determinized
+    ``n``-state NFA can need distinguishing strings of ``2^n - 1``
+    symbols).
+    """
+    states = sorted(dfa.reachable_states(), key=repr)
+    classes = {state: int(state in dfa.accepting) for state in states}
+    while True:
+        keys = {
+            state: (
+                classes[state],
+                tuple(classes[dfa.step(state, symbol)] for symbol in ALPHABET),
+            )
+            for state in states
+        }
+        ids: dict = {}
+        refined = {state: ids.setdefault(keys[state], len(ids)) for state in states}
+        if len(set(refined.values())) == len(set(classes.values())):
+            return len(set(refined.values()))
+        classes = refined
 
 
 @settings(max_examples=25, deadline=None)
@@ -40,7 +48,7 @@ def test_minimized_dfa_has_nerode_many_states(seed: int) -> None:
     rng = random.Random(seed)
     dfa = make_random_dfa(ALPHABET, 5, rng)
     minimal = minimize(dfa)
-    assert len(minimal.states) == nerode_classes(dfa, PROBE_LENGTH)
+    assert len(minimal.states) == nerode_classes(dfa)
 
 
 @settings(max_examples=20, deadline=None)
@@ -50,7 +58,7 @@ def test_minimized_determinized_nfa(seed: int) -> None:
     nfa = make_random_nfa(ALPHABET, 4, rng)
     dfa = determinize(nfa)
     minimal = minimize(dfa)
-    assert len(minimal.states) == nerode_classes(dfa, PROBE_LENGTH)
+    assert len(minimal.states) == nerode_classes(dfa)
 
 
 @settings(max_examples=20, deadline=None)

@@ -89,3 +89,51 @@ def test_sample_answer_sprojector() -> None:
     )
     answer = sample_answer(sequence, projector, random.Random(2))
     assert answer in (("a",), None) or answer == ("a",)
+
+
+def test_save_leaves_no_temp_files(tmp_path) -> None:
+    save_database(build_db(), tmp_path / "warehouse")
+    assert not list((tmp_path / "warehouse").rglob("*.tmp"))
+
+
+def test_save_sweeps_stale_temp_files(tmp_path) -> None:
+    root = tmp_path / "warehouse"
+    save_database(build_db(), root)
+    # a previous crashed save left litter behind
+    (root / "catalog.json.tmp").write_text("{torn")
+    (root / "streams" / "ghost.json.tmp").write_text("{torn")
+    (root / "queries" / "ghost.json.tmp").write_text("{torn")
+    save_database(build_db(), root)
+    assert not list(root.rglob("*.tmp"))
+    assert load_database(root).streams() == build_db().streams()
+
+
+def test_crash_before_catalog_preserves_previous_save(
+    tmp_path, monkeypatch
+) -> None:
+    """The catalog is the commit point: a save that dies before
+    publishing it leaves the previous generation fully loadable."""
+    import repro.lahar.persistence as persistence
+
+    root = tmp_path / "warehouse"
+    save_database(build_db(), root)
+    before = load_database(root)
+
+    bigger = build_db()
+    bigger.register_stream("cart/99", uniform_iid("ab", 3))
+    real_publish = persistence._publish
+
+    def crashing_publish(tmp, final):
+        if final.name == "catalog.json":
+            raise OSError("simulated crash before the commit point")
+        real_publish(tmp, final)
+
+    monkeypatch.setattr(persistence, "_publish", crashing_publish)
+    with pytest.raises(OSError, match="simulated crash"):
+        save_database(bigger, root)
+
+    # every document landed atomically, but the catalog — and therefore
+    # the loadable database — is still the previous generation
+    loaded = load_database(root)
+    assert loaded.streams() == before.streams()
+    assert loaded.queries() == before.queries()

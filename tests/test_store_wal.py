@@ -1,0 +1,233 @@
+"""The write-ahead log: framing, damage classification, rotation, LSNs.
+
+The torn-vs-corrupt distinction is the heart of the durability story:
+a crash can only shear the *final* record (truncate and continue), while
+any other byte damage means something else wrote to the log and recovery
+must refuse rather than silently resurrect a wrong prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.store.wal import (
+    WriteAheadLog,
+    encode_record,
+    frame_record,
+    scan_log,
+    scan_segment,
+    segment_paths,
+)
+
+
+def log_dir(tmp_path):
+    return tmp_path / "wal"
+
+
+def test_frame_is_length_prefixed_and_checksummed() -> None:
+    payload = b'{"lsn":1,"type":"x","data":{}}'
+    line = frame_record(payload)
+    assert line.endswith(payload + b"\n")
+    assert int(line[0:8], 16) == len(payload)
+    assert int(line[8:16], 16) == zlib.crc32(payload)
+    assert line[16:17] == b" "
+
+
+def test_encode_record_is_deterministic_compact_json() -> None:
+    line = encode_record(7, "append", {"b": 1, "a": 2})
+    payload = line[17:-1]
+    assert payload == b'{"data":{"a":2,"b":1},"lsn":7,"type":"append"}'
+    assert json.loads(payload)["lsn"] == 7
+
+
+def test_append_scan_round_trip(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    assert wal.append("stream_created", {"name": "s"}) == 1
+    assert wal.append("append", {"stream": "s"}) == 2
+    wal.close()
+    scan = scan_log(log_dir(tmp_path))
+    assert [record["lsn"] for record in scan.records] == [1, 2]
+    assert [record["type"] for record in scan.records] == [
+        "stream_created",
+        "append",
+    ]
+    assert scan.torn_bytes == 0 and not scan.truncated
+
+
+def test_reopen_resumes_at_next_lsn(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    for _ in range(3):
+        wal.append("append", {})
+    wal.close()
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    assert wal.last_lsn == 3
+    assert wal.append("append", {}) == 4
+    wal.close()
+
+
+def test_rotation_by_record_count(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False, segment_records=2)
+    for _ in range(5):
+        wal.append("append", {})
+    wal.close()
+    paths = segment_paths(log_dir(tmp_path))
+    assert [path.name for path in paths] == [
+        "0000000000000001.seg",
+        "0000000000000003.seg",
+        "0000000000000005.seg",
+    ]
+    scan = scan_log(log_dir(tmp_path))
+    assert [record["lsn"] for record in scan.records] == [1, 2, 3, 4, 5]
+
+
+def test_rotation_by_byte_budget(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False, segment_bytes=64)
+    for _ in range(4):
+        wal.append("append", {"padding": "x" * 40})
+    wal.close()
+    # every record overflows the 64-byte budget: four sealed segments
+    # plus the fresh (empty) live one
+    assert len(segment_paths(log_dir(tmp_path))) == 5
+    assert scan_log(log_dir(tmp_path)).last_lsn == 4
+
+
+def test_torn_tail_is_skipped_and_repaired(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.append("append", {"step": 1})
+    wal.append("append", {"step": 2})
+    wal.close()
+    path = segment_paths(log_dir(tmp_path))[0]
+    whole = path.read_bytes()
+    torn = whole + encode_record(3, "append", {"step": 3})[:-9]
+    path.write_bytes(torn)
+
+    scan = scan_log(log_dir(tmp_path), repair=False)
+    assert [record["lsn"] for record in scan.records] == [1, 2]
+    assert scan.torn_bytes > 0 and not scan.truncated
+    assert path.read_bytes() == torn  # read-only scan leaves the tail
+
+    scan = scan_log(log_dir(tmp_path), repair=True)
+    assert scan.truncated
+    assert path.read_bytes() == whole  # tail physically gone
+    assert scan_log(log_dir(tmp_path)).torn_bytes == 0
+
+
+def test_tail_shorter_than_header_is_torn(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.append("append", {})
+    wal.close()
+    path = segment_paths(log_dir(tmp_path))[0]
+    path.write_bytes(path.read_bytes() + b"00000")
+    scan = scan_log(log_dir(tmp_path), repair=True)
+    assert scan.last_lsn == 1 and scan.truncated
+
+
+def test_append_continues_after_repair(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.append("append", {"step": 1})
+    wal.close()
+    path = segment_paths(log_dir(tmp_path))[0]
+    path.write_bytes(path.read_bytes() + b"deadbeef")
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)  # repairs on open
+    assert wal.append("append", {"step": 2}) == 2
+    wal.close()
+    assert [r["lsn"] for r in scan_log(log_dir(tmp_path)).records] == [1, 2]
+
+
+def test_checksum_mismatch_in_complete_record_is_corruption(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.append("append", {"step": 1})
+    wal.close()
+    path = segment_paths(log_dir(tmp_path))[0]
+    data = bytearray(path.read_bytes())
+    data[-5] ^= 0xFF  # flip one payload byte, frame stays complete
+    path.write_bytes(bytes(data))
+    with pytest.raises(ReproError, match="checksum mismatch"):
+        scan_log(log_dir(tmp_path))
+
+
+def test_bad_header_is_corruption(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.append("append", {})
+    wal.close()
+    path = segment_paths(log_dir(tmp_path))[0]
+    data = bytearray(path.read_bytes())
+    data[0] = ord("z")  # not hex
+    path.write_bytes(bytes(data))
+    with pytest.raises(ReproError, match="bad frame header"):
+        scan_log(log_dir(tmp_path))
+
+
+def test_invalid_json_payload_is_corruption(tmp_path) -> None:
+    path = log_dir(tmp_path)
+    path.mkdir(parents=True)
+    (path / "0000000000000001.seg").write_bytes(frame_record(b"not json"))
+    with pytest.raises(ReproError, match="invalid JSON payload"):
+        scan_log(path)
+
+
+def test_malformed_record_object_is_corruption(tmp_path) -> None:
+    path = log_dir(tmp_path)
+    path.mkdir(parents=True)
+    payload = json.dumps({"lsn": "one", "type": "append"}).encode()
+    (path / "0000000000000001.seg").write_bytes(frame_record(payload))
+    with pytest.raises(ReproError, match="malformed record object"):
+        scan_log(path)
+
+
+def test_torn_bytes_in_sealed_segment_is_corruption(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False, segment_records=1)
+    wal.append("append", {"step": 1})  # rotates: segment 1 is sealed
+    wal.append("append", {"step": 2})
+    wal.close()
+    first = segment_paths(log_dir(tmp_path))[0]
+    first.write_bytes(first.read_bytes() + b"torn")
+    with pytest.raises(ReproError, match="sealed"):
+        scan_log(log_dir(tmp_path), repair=True)
+    # a direct final-segment scan of the same bytes would have been fine
+    assert scan_segment(first, final=True)[1].torn_bytes == 4
+
+
+def test_lsn_gap_is_corruption(tmp_path) -> None:
+    path = log_dir(tmp_path)
+    path.mkdir(parents=True)
+    (path / "0000000000000001.seg").write_bytes(
+        encode_record(1, "append", {}) + encode_record(3, "append", {})
+    )
+    with pytest.raises(ReproError, match="breaks sequence"):
+        scan_log(path)
+
+
+def test_delete_segments_before_spares_live_segment(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False, segment_records=2)
+    for _ in range(6):
+        wal.append("append", {})
+    live = wal.current_path
+    assert wal.delete_segments_before(live) == 3
+    assert segment_paths(log_dir(tmp_path)) == [live]
+    wal.close()
+
+
+def test_fresh_segment_filename_carries_next_lsn(tmp_path) -> None:
+    """Post-compaction, the empty live segment's *name* is the LSN
+    authority — reopening must not restart the counter at 1."""
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    for _ in range(4):
+        wal.append("append", {})
+    fresh = wal.rotate()
+    wal.delete_segments_before(fresh)
+    wal.close()
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    assert wal.append("append", {}) == 5
+    wal.close()
+
+
+def test_append_after_close_raises(tmp_path) -> None:
+    wal = WriteAheadLog(log_dir(tmp_path), fsync=False)
+    wal.close()
+    with pytest.raises(ReproError, match="closed"):
+        wal.append("append", {})
