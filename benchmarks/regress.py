@@ -207,6 +207,18 @@ def _run_telemetry_quick() -> dict:
     return common_result(n=120)
 
 
+def _run_approx() -> dict:
+    from benchmarks.bench_approx import common_result
+
+    return common_result()
+
+
+def _run_approx_quick() -> dict:
+    from benchmarks.bench_approx import QUICK_SIZES, common_result
+
+    return common_result(sizes=QUICK_SIZES)
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -276,6 +288,20 @@ SCENARIOS: dict[str, Scenario] = {
                     quick_tolerance=8.0,
                     floor=0.02,
                 ),
+            ),
+        ),
+        Scenario(
+            name="approx",
+            baseline_file="BENCH_approx.json",
+            run=_run_approx,
+            quick_run=_run_approx_quick,
+            specs=(
+                # crossover_n and the per-size clocks are informational
+                # (absolute wall clocks do not transfer across machines).
+                # The gated ratio is the exponential/polynomial
+                # separation itself: brute force / FPRAS at the largest
+                # swept size, which quick runs also sweep.
+                MetricSpec("approx_speedup", "higher", 4.0, quick_tolerance=8.0),
             ),
         ),
     )

@@ -19,7 +19,8 @@ See README.md for the architecture overview and DESIGN.md for the
 theorem-to-module map.
 """
 
-from repro.core.engine import compute_confidence, evaluate, top_k
+from repro.approx import ApproxConfidence
+from repro.core.engine import approximate_confidence, compute_confidence, evaluate, top_k
 from repro.core.korder import confidence_korder, evaluate_korder
 from repro.core.results import Answer, Order
 from repro.confidence.montecarlo import estimate_confidence
@@ -73,6 +74,8 @@ __all__ = [
     "evaluate",
     "top_k",
     "compute_confidence",
+    "approximate_confidence",
+    "ApproxConfidence",
     "evaluate_korder",
     "confidence_korder",
     "estimate_confidence",

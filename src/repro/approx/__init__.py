@@ -1,0 +1,22 @@
+"""FPRAS-style (ε, δ) confidence estimation for the #P-hard cells.
+
+See :mod:`repro.approx.fpras` for the estimator and
+:mod:`repro.approx.product` for the answer-product automaton it
+samples over.
+"""
+
+from repro.approx.fpras import (
+    AnswerProduct,
+    ApproxConfidence,
+    approximate_confidence,
+    dklr_target,
+    state_key,
+)
+
+__all__ = [
+    "AnswerProduct",
+    "ApproxConfidence",
+    "approximate_confidence",
+    "dklr_target",
+    "state_key",
+]

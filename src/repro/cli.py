@@ -7,8 +7,10 @@ Usage (after ``pip install -e .``, as ``repro``; or ``python -m repro.cli``):
     repro evaluate  --sequence seq.json --query query.json
                     [--order unranked|emax|imax|confidence] [--limit K]
                     [--no-confidence] [--allow-exponential]
+                    [--epsilon E --delta D --approx-seed N]
     repro confidence --sequence seq.json --query query.json
                      --answer 1,2 [--index I]
+                     [--epsilon E --delta D --approx-seed N]
     repro plan      --query query.json [--sequence seq.json]
     repro batch     --query query.json --sequence a.json --sequence b.json
                     [--corpus DIR] [-k K] [--workers N] [--answer 1,2]
@@ -40,7 +42,12 @@ import time
 
 from repro import telemetry
 from repro.errors import ReproError
-from repro.core.engine import compute_confidence, evaluate, top_k
+from repro.core.engine import (
+    approximate_confidence,
+    compute_confidence,
+    evaluate,
+    top_k,
+)
 from repro.io.json_format import read_query, read_sequence
 from repro.lahar.monitor import occurrence_profile
 from repro.parallel import WorkerPool
@@ -55,6 +62,26 @@ def _parse_answer(text: str) -> tuple:
     if text == "":
         return ()
     return tuple(text.split(","))
+
+
+def _approx_cli_seed(base: int, token: str) -> int:
+    """Deterministic per-item sampling seed (sha256, not PYTHONHASHSEED)."""
+    import hashlib
+
+    digest = hashlib.sha256(f"{base}|{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _render_approx(estimate) -> str:
+    """One-line rendering of an ApproxConfidence for CLI output."""
+    line = (
+        f"{estimate.estimate:.10g}\t"
+        f"interval=[{estimate.low:.10g},{estimate.high:.10g}]\t"
+        f"samples={estimate.samples}\tmethod={estimate.method}"
+    )
+    if not estimate.certified:
+        line += "\t(uncertified: sample cap hit)"
+    return line
 
 
 def _describe_query(query) -> str:
@@ -107,11 +134,14 @@ def _cmd_sample(args) -> int:
 def _cmd_evaluate(args) -> int:
     sequence = read_sequence(args.sequence)
     query = read_query(args.query)
+    approximate = args.epsilon is not None
     answers = evaluate(
         sequence,
         query,
         order=args.order,
-        with_confidence=not args.no_confidence,
+        # In (ε, δ) mode, exact per-answer confidences are replaced by
+        # FPRAS estimates after enumeration.
+        with_confidence=not args.no_confidence and not approximate,
         limit=args.limit,
         allow_exponential=args.allow_exponential,
     )
@@ -119,7 +149,21 @@ def _cmd_evaluate(args) -> int:
         fields = [answer.rendered()]
         if answer.score is not None:
             fields.append(f"score={float(answer.score):.6g}")
-        if answer.confidence is not None:
+        if approximate and not args.no_confidence:
+            estimate = approximate_confidence(
+                sequence,
+                query,
+                answer.output,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=_approx_cli_seed(args.approx_seed, repr(answer.output)),
+            )
+            fields.append(
+                f"confidence~{estimate.estimate:.6g} "
+                f"[{estimate.low:.6g},{estimate.high:.6g}] "
+                f"({estimate.method})"
+            )
+        elif answer.confidence is not None:
             fields.append(f"confidence={float(answer.confidence):.6g}")
         print("\t".join(fields))
     return 0
@@ -135,6 +179,17 @@ def _cmd_confidence(args) -> int:
         answer = (output, args.index)
     else:
         answer = output
+    if args.epsilon is not None:
+        estimate = approximate_confidence(
+            sequence,
+            query,
+            answer,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.approx_seed,
+        )
+        print(_render_approx(estimate))
+        return 0
     value = compute_confidence(
         sequence, query, answer, allow_exponential=args.allow_exponential
     )
@@ -176,6 +231,15 @@ def _cmd_plan(args) -> int:
     query = read_query(args.query)
     plan = cache.get(query)
     print(plan.describe())
+    if args.epsilon is not None:
+        from repro.approx import dklr_target
+
+        target = dklr_target(args.epsilon, args.delta)
+        print(
+            f"approx knobs: ε={args.epsilon:g} δ={args.delta:g} — DKLR "
+            f"stopping rule needs ≈{int(target)} successful samples "
+            "(zero when the answer product is unambiguous)"
+        )
     if args.sequence:
         sequence = read_sequence(args.sequence)
         start = time.perf_counter()
@@ -255,6 +319,22 @@ def _print_pool_stats(stats: dict) -> None:
 def _cmd_batch(args) -> int:
     corpus = _collect_corpus(args)
     query = read_query(args.query)
+    if args.epsilon is not None:
+        if args.answer is None:
+            raise ReproError("batch --epsilon needs --answer (approximate top-k "
+                             "is not supported; rankings need exact confidences)")
+        output = _parse_answer(args.answer)
+        for name, sequence in corpus.items():
+            estimate = approximate_confidence(
+                sequence,
+                query,
+                output,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=_approx_cli_seed(args.approx_seed, name),
+            )
+            print(f"{name}\t{_render_approx(estimate)}")
+        return 0
     vectorized = {"auto": "auto", "always": True, "never": False}[args.vectorized]
     with WorkerPool(
         args.workers,
@@ -311,6 +391,8 @@ def _cmd_verify(args) -> int:
         corpus=args.corpus,
         save_failures=args.save_failures,
         metamorphic=not args.no_metamorphic,
+        epsilon=args.epsilon,
+        delta=args.delta,
     )
     print(report.matrix_report())
     for diff in report.diffs:
@@ -503,6 +585,32 @@ def _cmd_store_recover(args) -> int:
     return 1
 
 
+def _add_approx_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="E",
+        help="approximate confidences with the FPRAS to relative error E "
+        "(exact algorithms are bypassed; enables --delta/--approx-seed)",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=0.05,
+        metavar="D",
+        help="FPRAS failure probability: the certified interval holds "
+        "with probability at least 1-D (default: 0.05)",
+    )
+    parser.add_argument(
+        "--approx-seed",
+        type=int,
+        default=0,
+        help="base seed for the FPRAS sampler (default: 0; runs are "
+        "deterministic given the same seed)",
+    )
+
+
 def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -543,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--limit", type=int, default=None)
     run.add_argument("--no-confidence", action="store_true")
     run.add_argument("--allow-exponential", action="store_true")
+    _add_approx_flags(run)
     run.set_defaults(handler=_cmd_evaluate)
 
     conf = sub.add_parser("confidence", help="confidence of one answer")
@@ -551,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--answer", required=True, help="comma-separated output symbols")
     conf.add_argument("--index", type=int, default=None)
     conf.add_argument("--allow-exponential", action="store_true")
+    _add_approx_flags(conf)
     conf.set_defaults(handler=_cmd_confidence)
 
     best = sub.add_parser("top-k", help="top answers under the class's best order")
@@ -577,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["unranked", "emax", "imax", "confidence"],
     )
     plan.add_argument("--allow-exponential", action="store_true")
+    _add_approx_flags(plan)
     _add_telemetry_flag(plan)
     plan.set_defaults(handler=_cmd_plan)
 
@@ -620,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dense same-plan batching for --answer (default: auto)",
     )
     batch.add_argument("--allow-exponential", action="store_true")
+    _add_approx_flags(batch)
     _add_telemetry_flag(batch)
     batch.set_defaults(handler=_cmd_batch)
 
@@ -660,6 +772,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-metamorphic",
         action="store_true",
         help="skip the metamorphic transforms (differential checks only)",
+    )
+    check.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="approx-engine relative error (default: the harness's "
+        "flake-free 0.25)",
+    )
+    check.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="approx-engine per-probe failure probability (default: 1e-9, "
+        "so an interval miss means a real bug)",
     )
     _add_telemetry_flag(check)
     check.set_defaults(handler=_cmd_verify)

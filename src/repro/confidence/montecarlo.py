@@ -37,6 +37,14 @@ class ConfidenceEstimate:
     hits: int
     delta: float
 
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ReproError("a confidence estimate needs at least one sample")
+        if not 0 <= self.hits <= self.samples:
+            raise ReproError("hits must lie in [0, samples]")
+        if not 0.0 < self.delta < 1.0:  # also rejects NaN
+            raise ReproError("delta must satisfy 0 < delta < 1")
+
     @property
     def half_width(self) -> float:
         """Hoeffding additive half-width at confidence level 1 - delta."""
@@ -73,7 +81,7 @@ def estimate_confidence(
     """
     if samples < 1:
         raise ReproError("need at least one sample")
-    if not 0 < delta < 1:
+    if not 0 < delta < 1:  # also rejects NaN
         raise ReproError("delta must be in (0, 1)")
     rng = rng if rng is not None else random.Random()
     hits = 0
@@ -101,6 +109,8 @@ def sample_answer(
     yields; one is picked uniformly). Returns None when ``max_attempts``
     consecutive worlds were rejected.
     """
+    if max_attempts < 1:
+        raise ReproError("need at least one attempt")
     rng = rng if rng is not None else random.Random()
     for _ in range(max_attempts):
         world = sequence.sample(rng)
@@ -116,8 +126,10 @@ def sample_answer(
 
 def estimate_samples_needed(epsilon: float, delta: float = 0.05) -> int:
     """Samples needed for additive error ``epsilon`` at level ``1 - delta``."""
-    if not 0 < epsilon < 1:
+    if not 0 < epsilon < 1:  # also rejects NaN
         raise ReproError("epsilon must be in (0, 1)")
-    if not 0 < delta < 1:
+    if not 0 < delta < 1:  # also rejects NaN
         raise ReproError("delta must be in (0, 1)")
+    if epsilon * epsilon == 0.0:
+        raise ReproError("epsilon is too small: epsilon**2 underflows to zero")
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))

@@ -23,6 +23,7 @@ from repro.runtime.cache import PlanCache, plan_for
 from repro.runtime.executor import (
     apply_threshold,
     plan_confidence,
+    plan_confidence_approx,
     run_evaluate,
     run_top_k,
 )
@@ -50,6 +51,39 @@ def compute_confidence(
     """
     plan = plan_for(query, cache)
     return plan_confidence(plan, sequence, output, allow_exponential)
+
+
+def approximate_confidence(
+    sequence: MarkovSequence,
+    query,
+    output,
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    seed: int | None = None,
+    rng=None,
+    max_samples: int | None = None,
+    cache: PlanCache | None = None,
+):
+    """FPRAS (ε, δ) confidence of one answer — the tractable route through
+    the cells where :func:`compute_confidence` needs ``allow_exponential``.
+
+    Returns a :class:`repro.approx.ApproxConfidence`: with probability at
+    least 1−δ the exact confidence lies in its certified ``[low, high]``
+    interval, where ``high/low ≤ (1+ε)/(1−ε)``. Unambiguous products are
+    answered exactly without sampling; indexed s-projectors are rejected
+    (their exact algorithm is already polynomial, Theorem 5.8).
+    """
+    plan = plan_for(query, cache)
+    return plan_confidence_approx(
+        plan,
+        sequence,
+        output,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        rng=rng,
+        max_samples=max_samples,
+    )
 
 
 def evaluate(

@@ -143,6 +143,8 @@ def verify(
     engines: tuple[Engine, ...] = ENGINES,
     metamorphic: bool = True,
     probe_limit: int = 3,
+    epsilon: float | None = None,
+    delta: float | None = None,
 ) -> VerifyReport:
     """Run the conformance harness; returns the (gate-carrying) report.
 
@@ -151,7 +153,10 @@ def verify(
     still certifies the full coverage matrix. ``corpus_cases`` injects
     pre-loaded instances (tests use it); ``corpus`` points at a directory
     of ``oracle_case`` files loaded via
-    :func:`repro.oracle.shrinker.load_corpus`.
+    :func:`repro.oracle.shrinker.load_corpus`. ``epsilon``/``delta``
+    override the approx engine's tolerances (defaults live on
+    :class:`VerifyContext` and are tuned to keep interval checks
+    flake-free).
     """
     classes = tuple(classes)
     unknown = [label for label in classes if label not in CLASS_LABELS]
@@ -180,7 +185,12 @@ def verify(
     def fails(candidate: Instance) -> bool:
         return bool(check_instance(candidate, context, tuple(engines), probe_limit).diffs)
 
-    with VerifyContext(workers=workers) as context, telemetry.span("verify"):
+    context_kwargs: dict = {"workers": workers}
+    if epsilon is not None:
+        context_kwargs["epsilon"] = epsilon
+    if delta is not None:
+        context_kwargs["delta"] = delta
+    with VerifyContext(**context_kwargs) as context, telemetry.span("verify"):
         for instance in replay:
             with telemetry.span("corpus_case"):
                 result = check_instance(instance, context, tuple(engines), probe_limit)

@@ -7,7 +7,7 @@ emission), and knows how to compute ``conf(answer)`` on a prepared
 instance. The differential runner executes every applicable engine and
 diffs the results against the exact-``Fraction`` referee.
 
-The eight engine families of the harness matrix:
+The nine engine families of the harness matrix:
 
 ==================  =====================================================
 engine              implementation
@@ -20,7 +20,16 @@ specialized         class-specialized DP as Table 2 dispatches it
 runtime             :func:`repro.runtime.executor.plan_confidence`
 pool                :meth:`repro.parallel.WorkerPool.batch_confidence`
 vectorized          batched ``(B,S)@(B,S,S)`` numpy DP
+approx              FPRAS (ε, δ) estimator (:mod:`repro.approx.fpras`)
 ==================  =====================================================
+
+The approx engine is *approximate*: instead of an exact match it is
+checked by certified-interval membership — the referee's exact value
+must lie in the returned ``[low, high]`` interval. Its per-probe seeds
+are derived deterministically (sha256 over instance coordinates), and
+the default ``VerifyContext`` tolerances make a legitimate interval miss
+astronomically unlikely (δ = 1e-9 per probe), so a Diff from this engine
+means a real bug, not sampling noise.
 
 For the *general* class, "specialized" and "fraction" run the
 possible-world oracle — which is exactly what Table 2 dispatches there
@@ -29,11 +38,13 @@ possible-world oracle — which is exactly what Table 2 dispatches there
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from collections.abc import Callable
 from fractions import Fraction
 
+from repro.approx.fpras import ApproxConfidence, approximate_confidence
 from repro.markov.sequence import MarkovSequence, Number
 from repro.confidence.brute_force import brute_force_confidence
 from repro.confidence.dense import confidence_deterministic_dense
@@ -100,10 +111,19 @@ class VerifyContext:
     serial in-process — the same chunk-execution code path, no fan-out);
     the plan cache is shared so the runtime engine exercises cache hits
     the way production callers do.
+
+    ``epsilon``/``delta``/``approx_max_samples`` parameterize the approx
+    engine. The defaults trade precision for per-probe certainty: at
+    ε = 0.25 the DKLR success target is small (≈ 1.2k), while δ = 1e-9
+    makes an honest interval miss essentially impossible — so the fuzz
+    gate stays flake-free without retry logic.
     """
 
     workers: int = 1
     plan_cache: PlanCache = field(default_factory=PlanCache)
+    epsilon: float = 0.25
+    delta: float = 1e-9
+    approx_max_samples: int = 25_000
     _pool: WorkerPool | None = None
 
     def pool(self) -> WorkerPool:
@@ -146,6 +166,10 @@ class Engine:
         Whether the engine preserves exact rational arithmetic; exact
         engines on exact instances are compared to the referee with
         ``==`` instead of a float tolerance.
+    approximate:
+        Whether the engine returns an :class:`ApproxConfidence` carrying
+        a certified interval; such results are checked by interval
+        membership instead of closeness.
     rel_tol / abs_tol:
         Float comparison tolerances against the referee.
     """
@@ -155,6 +179,7 @@ class Engine:
     compute: Callable[[Prepared, object, VerifyContext], Number]
     applies: Callable[[Prepared], bool] = lambda prepared: True
     exact: bool = False
+    approximate: bool = False
     rel_tol: float = 1e-9
     abs_tol: float = 1e-9
 
@@ -163,6 +188,8 @@ class Engine:
 
     def matches(self, got: Number, want: Number, instance_exact: bool) -> bool:
         """Semiring/representation-aware comparison against the referee."""
+        if self.approximate and isinstance(got, ApproxConfidence):
+            return got.contains(want)
         if self.exact and instance_exact:
             return got == want
         return math.isclose(
@@ -237,6 +264,39 @@ def _pool(prepared: Prepared, answer, context: VerifyContext) -> Number:
     return values["stream"]
 
 
+def _approx_seed(prepared: Prepared, answer, context: VerifyContext) -> int:
+    """A deterministic per-probe seed from the instance coordinates.
+
+    sha256 (not ``hash``, which ``PYTHONHASHSEED`` perturbs) so the same
+    harness seed replays the same sample paths everywhere — a fuzz
+    failure shrinks and reproduces exactly.
+    """
+    token = "|".join(
+        (
+            "approx",
+            prepared.instance.label,
+            repr(prepared.instance.seed),
+            repr(prepared.instance.trial),
+            repr(answer),
+            repr(context.epsilon),
+            repr(context.delta),
+        )
+    )
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+def _approx(prepared: Prepared, answer, context: VerifyContext) -> ApproxConfidence:
+    return approximate_confidence(
+        prepared.sequence_exact,
+        prepared.instance.query,
+        answer,
+        epsilon=context.epsilon,
+        delta=context.delta,
+        seed=_approx_seed(prepared, answer, context),
+        max_samples=context.approx_max_samples,
+    )
+
+
 def _vectorized(prepared: Prepared, answer, context: VerifyContext) -> float:
     # A two-copy batch exercises the actual batching (stacked tensors,
     # shared step structure), not just the B=1 degenerate case.
@@ -270,6 +330,15 @@ ENGINES: tuple[Engine, ...] = (
     Engine("runtime", _ALL, _runtime, exact=True),
     Engine("pool", _ALL, _pool, exact=True),
     Engine("vectorized", _DENSE_CLASSES, _vectorized, applies=_is_dense_eligible),
+    # Applicable exactly where brute force is the only exact option:
+    # general-class transducers (Table 2's FP^#P-complete cell).
+    Engine(
+        "approx",
+        frozenset({"general"}),
+        _approx,
+        applies=lambda prepared: isinstance(prepared.instance.query, Transducer),
+        approximate=True,
+    ),
 )
 
 

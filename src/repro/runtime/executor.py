@@ -63,6 +63,49 @@ def plan_confidence(
     )
 
 
+def plan_confidence_approx(
+    plan: QueryPlan,
+    sequence: MarkovSequence,
+    output,
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    seed: int | None = None,
+    rng=None,
+    max_samples: int | None = None,
+):
+    """FPRAS (ε, δ) confidence of one answer via the plan.
+
+    The approximate counterpart of :func:`plan_confidence` for the cells
+    where that function would need ``allow_exponential=True``: returns a
+    :class:`repro.approx.ApproxConfidence` whose certified ``[low, high]``
+    interval contains the exact confidence with probability ≥ 1−δ.
+    Indexed s-projectors are rejected — their exact algorithm is already
+    polynomial (Theorem 5.8), so approximating would only lose precision.
+    Deterministic/uniform plans are accepted (the estimator's exactness
+    shortcut usually answers without sampling), keeping one call shape
+    for callers that take ε/δ knobs.
+    """
+    from repro.approx.fpras import approximate_confidence
+
+    if plan.kind is PlanKind.INDEXED_SPROJECTOR:
+        raise ReproError(
+            "indexed s-projector confidence is exactly computable in "
+            "polynomial time (Theorem 5.8); use plan_confidence instead "
+            "of the FPRAS"
+        )
+    query = plan.compiled if plan.kind is PlanKind.SPROJECTOR else plan.query
+    return approximate_confidence(
+        sequence,
+        query,
+        output,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        rng=rng,
+        max_samples=max_samples,
+    )
+
+
 def run_evaluate(
     plan,
     sequence: MarkovSequence,

@@ -298,6 +298,11 @@ class QueryPlan:
                 f"|Q_E| {len(self.query.suffix.states)}->{len(self.minimized.suffix.states)}"
             )
         lines.append(f"confidence:  {self.confidence_algorithm}")
+        if self.kind in (PlanKind.GENERAL, PlanKind.UNIFORM):
+            lines.append(
+                "approximate: FPRAS (1±ε) with prob ≥ 1−δ "
+                "(Karp-Luby union of runs; --epsilon/--delta)"
+            )
         lines.append(f"top-k order: {self.default_order.value}")
         for order, algorithm in self.order_dispatch().items():
             lines.append(f"  {order.value:<11} {algorithm}")

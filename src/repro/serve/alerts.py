@@ -104,7 +104,10 @@ class StandingQuery:
     ``evaluator``/``monitor`` is the incremental engine (exactly one is
     set, by ``kind``); ``alerts_fired`` counts upward crossings so far.
     ``query`` retains the query object itself so the store can journal
-    and snapshot the standing query for crash recovery.
+    and snapshot the standing query for crash recovery. ``approx`` is
+    None for exact standing queries; an approximate one (FPRAS-backed
+    evaluator) records its ``{"epsilon", "delta", "seed"}`` here so
+    every report and alert can be marked as estimated.
     """
 
     name: str
@@ -117,6 +120,7 @@ class StandingQuery:
     monitor: object | None = None
     alerts_fired: int = 0
     query: object | None = None
+    approx: dict | None = None
 
     def current_value(self) -> Number:
         """The watched value for the stream absorbed so far."""
@@ -131,7 +135,7 @@ class StandingQuery:
             self.monitor.append(transition)
 
     def describe(self) -> dict:
-        return {
+        described = {
             "name": self.name,
             "stream": self.stream,
             "kind": self.kind,
@@ -141,7 +145,12 @@ class StandingQuery:
             "value": self.watch.value,
             "armed": self.watch.armed,
             "alerts_fired": self.alerts_fired,
+            "approximate": self.approx is not None,
         }
+        if self.approx is not None:
+            described["epsilon"] = self.approx["epsilon"]
+            described["delta"] = self.approx["delta"]
+        return described
 
 
 @dataclass(frozen=True)

@@ -29,17 +29,26 @@ Command vocabulary
 ``ping``, ``register_stream``, ``drop_stream``, ``append``,
 ``register_query``, ``register_standing_query``,
 ``drop_standing_query``, ``subscribe``, ``unsubscribe``, ``query``,
-``top_k_across``, ``stats``, ``shutdown`` — documented with wire-level
-examples in ``docs/USAGE.md``.
+``confidence``, ``top_k_across``, ``stats``, ``shutdown`` — documented
+with wire-level examples in ``docs/USAGE.md``.
+
+The ``confidence`` command and ``register_standing_query`` both accept
+an ``epsilon`` (with optional ``delta``/``seed``) to use the FPRAS
+estimator of :mod:`repro.approx` instead of an exact algorithm — the
+tractable route for the #P-hard query classes. Approximate results are
+always marked ``"approximate": true`` on the wire, and alerts fired by
+an approximate standing query carry the same marker.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import threading
 import time
 
 from repro import telemetry
+from repro.core.engine import approximate_confidence, compute_confidence
 from repro.errors import ReproError
 from repro.io.json_format import query_from_dict, sequence_from_dict
 from repro.lahar.monitor import StreamingMonitor, query_pattern
@@ -67,6 +76,56 @@ DEFAULT_DRAIN_TIMEOUT = 5.0
 #: The regular pattern watched by a ``monitor`` standing query (shared
 #: with the store's recovery replay, which must build the same DFA).
 _pattern_of = query_pattern
+
+
+def _approx_stream_seed(base: int, stream: str, length: int) -> int:
+    """Deterministic FPRAS seed per (client seed, stream, length).
+
+    Folding the length in gives every append a fresh — but replayable —
+    sample path, so a standing query's watched value is a function of
+    the stream state, not of how many times it was read.
+    """
+    digest = hashlib.sha256(f"approx|{base}|{stream}|{length}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _ApproxAnswerEvaluator:
+    """Duck-types ``StreamingEvaluator.confidences()`` with FPRAS estimates.
+
+    Backs an *approximate* standing query: instead of an exact
+    incremental DP frontier, every read re-estimates the watched
+    answer's confidence to (ε, δ) on the stream's current state. The
+    last full :class:`~repro.approx.ApproxConfidence` is kept on
+    ``last_estimate`` so describe/report paths can expose the interval;
+    ``confidences()`` itself yields plain floats because the value feeds
+    a :class:`~repro.serve.alerts.ThresholdWatch` comparison.
+    """
+
+    def __init__(self, db, stream, query, output, epsilon, delta, seed, max_samples):
+        self._db = db
+        self._stream = stream
+        self._query = query
+        self._output = tuple(output)
+        self.epsilon = epsilon
+        self.delta = delta
+        self.seed = seed
+        self.max_samples = max_samples
+        self.last_estimate = None
+
+    def confidences(self) -> dict:
+        sequence = self._db.stream(self._stream)
+        estimate = approximate_confidence(
+            sequence,
+            self._query,
+            self._output,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            seed=_approx_stream_seed(self.seed, self._stream, sequence.length),
+            max_samples=self.max_samples,
+            cache=self._db.plan_cache,
+        )
+        self.last_estimate = estimate
+        return {self._output: estimate.estimate}
 
 
 class ReproServer:
@@ -137,6 +196,7 @@ class ReproServer:
             "subscribe": self._cmd_subscribe,
             "unsubscribe": self._cmd_unsubscribe,
             "query": self._cmd_query,
+            "confidence": self._cmd_confidence,
             "top_k_across": self._cmd_top_k_across,
             "stats": self._cmd_stats,
             "shutdown": self._cmd_shutdown,
@@ -462,19 +522,23 @@ class ReproServer:
         await self._maybe_compact()
         for alert in fired:
             telemetry.count("serve.alerts.fired")
-            self._fan_out(
-                (alert.standing,),
-                event_frame(
-                    "alert",
-                    {
-                        "standing": alert.standing,
-                        "stream": alert.stream,
-                        "timestep": alert.timestep,
-                        "value": encode_value(alert.value),
-                        "threshold": encode_value(alert.threshold),
-                    },
-                ),
-            )
+            payload = {
+                "standing": alert.standing,
+                "stream": alert.stream,
+                "timestep": alert.timestep,
+                "value": encode_value(alert.value),
+                "threshold": encode_value(alert.threshold),
+            }
+            try:
+                standing = self.alerts.get(alert.standing)
+            except ReproError:  # pragma: no cover - dropped concurrently
+                standing = None
+            if standing is not None and standing.approx is not None:
+                # An estimated value crossed the threshold — subscribers
+                # must be able to tell it apart from an exact crossing.
+                payload["approximate"] = True
+                payload["epsilon"] = standing.approx["epsilon"]
+            self._fan_out((alert.standing,), event_frame("alert", payload))
         return {
             "stream": stream,
             "shard": index,
@@ -497,14 +561,45 @@ class ReproServer:
         kind = params.get("kind", "monitor" if output is None else "answer")
         if kind not in ("answer", "monitor"):
             raise ProtocolError("standing query kind must be 'answer' or 'monitor'")
+        epsilon = params.get("epsilon")
+        approx: dict | None = None
+        if epsilon is not None:
+            if kind != "answer":
+                raise ProtocolError(
+                    "approximate standing queries need kind 'answer' "
+                    "(monitors are already polynomial)"
+                )
+            if self.store is not None:
+                raise ReproError(
+                    "approximate standing queries are not supported in "
+                    "durable mode: sampled values cannot be journaled for "
+                    "bit-identical recovery"
+                )
+            approx = {
+                "epsilon": float(epsilon),
+                "delta": float(params.get("delta", 0.05)),
+                "seed": int(params.get("seed", 0)),
+            }
         index = self.db.shard_index(stream)
         async with self._locks[index]:
             if name in self.alerts.names():
                 raise ReproError(f"standing query {name!r} already exists")
             evaluator = monitor = None
             if kind == "answer":
-                evaluator = self.db.streaming_evaluator(stream, query)
                 watched = tuple(output) if output is not None else ()
+                if approx is not None:
+                    evaluator = _ApproxAnswerEvaluator(
+                        self.db,
+                        stream,
+                        query,
+                        watched,
+                        approx["epsilon"],
+                        approx["delta"],
+                        approx["seed"],
+                        params.get("max_samples"),
+                    )
+                else:
+                    evaluator = self.db.streaming_evaluator(stream, query)
                 initial = evaluator.confidences().get(watched, 0)
             else:
                 watched = ()
@@ -530,16 +625,24 @@ class ReproServer:
                     evaluator=evaluator,
                     monitor=monitor,
                     query=query,
+                    approx=approx,
                 )
             )
         telemetry.gauge("serve.standing_queries", float(len(self.alerts)))
-        return {
+        if approx is not None:
+            telemetry.count("serve.approx.standing")
+        result = {
             "standing": name,
             "stream": stream,
             "kind": kind,
             "value": encode_value(initial),
             "armed": watch.armed,
+            "approximate": approx is not None,
         }
+        if approx is not None:
+            result["epsilon"] = approx["epsilon"]
+            result["delta"] = approx["delta"]
+        return result
 
     async def _cmd_drop_standing_query(self, session: Session, params) -> dict:
         name = self._str_param(params, "name")
@@ -610,6 +713,56 @@ class ReproServer:
                 for answer in answers
             ],
         }
+
+    async def _cmd_confidence(self, session: Session, params) -> dict:
+        """Confidence of one answer — exact, or FPRAS when ``epsilon`` is set.
+
+        The sequence snapshot is taken under the shard lock; the
+        computation itself (exact DP, brute force, or sampling) runs off
+        the event loop so a hard instance never stalls appends.
+        """
+        stream = self._str_param(params, "stream")
+        query, _label = self._query_param(params)
+        output = params.get("output")
+        if not isinstance(output, list):
+            raise ProtocolError("param 'output' must be a list of answer symbols")
+        answer = tuple(output)
+        index = self.db.shard_index(stream)
+        async with self._locks[index]:
+            sequence = self.db.stream(stream)
+        epsilon = params.get("epsilon")
+        if epsilon is None:
+            value = await asyncio.to_thread(
+                compute_confidence,
+                sequence,
+                query,
+                answer,
+                bool(params.get("allow_exponential", False)),
+                self.db.plan_cache,
+            )
+            return {
+                "stream": stream,
+                "confidence": encode_value(value),
+                "approximate": False,
+            }
+        telemetry.count("serve.approx.queries")
+        estimate = await asyncio.to_thread(
+            lambda: approximate_confidence(
+                sequence,
+                query,
+                answer,
+                epsilon=float(epsilon),
+                delta=float(params.get("delta", 0.05)),
+                seed=int(params.get("seed", 0)),
+                max_samples=params.get("max_samples"),
+                cache=self.db.plan_cache,
+            )
+        )
+        result = estimate.describe()
+        result["stream"] = stream
+        result["approximate"] = True
+        result["confidence"] = estimate.estimate
+        return result
 
     async def _cmd_top_k_across(self, session: Session, params) -> dict:
         query, _label = self._query_param(params)

@@ -1,0 +1,151 @@
+"""Statistical conformance: the FPRAS (1±ε, δ) contract vs an exact referee.
+
+The acceptance criterion for the estimator: for every hardness family
+small enough to compute exactly, 100 seeded FPRAS runs at ε=0.1, δ=0.05
+must land inside the (1±ε) interval at least 95 times. With δ=0.05 the
+expected miss count is ≤ 5 per 100 runs; in practice the DKLR rule is
+conservative and the fixed seed matrix below was observed to land all
+runs in-interval, so the test is deterministic and flake-free — the
+seeds are derived from sha256 of the family label and trial index, never
+from global random state.
+
+Three regimes are covered:
+
+* the gap families (unambiguous products — the shortcut answers exactly,
+  so conformance there checks the run-weight DP against closed forms);
+* the same families with ``exact_shortcut=False`` (genuine sampling on
+  instances with a known referee);
+* the 2-DNF counting reduction (genuinely ambiguous product — the
+  union-of-runs correction is load-bearing) against the Fraction
+  brute-force referee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+
+import pytest
+
+from repro.approx.fpras import approximate_confidence
+from repro.confidence.brute_force import brute_force_confidence
+from repro.hardness.counting import two_dnf_counting_instance
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+
+EPSILON = 0.1
+DELTA = 0.05
+TRIALS = 100
+REQUIRED_HITS = 95
+
+
+def conformance_seed(family: str, trial: int) -> int:
+    """The deterministic seed matrix: sha256, never global random state."""
+    token = f"approx-conformance|{family}|{trial}|{EPSILON}|{DELTA}"
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+def run_trials(
+    family: str, sequence, query, answer, exact: Fraction, *, exact_shortcut: bool = True
+) -> int:
+    """Number of the TRIALS seeded runs whose interval contains ``exact``."""
+    hits = 0
+    for trial in range(TRIALS):
+        estimate = approximate_confidence(
+            sequence,
+            query,
+            answer,
+            epsilon=EPSILON,
+            delta=DELTA,
+            seed=conformance_seed(family, trial),
+            exact_shortcut=exact_shortcut,
+        )
+        assert estimate.certified, (family, trial, estimate.method)
+        if estimate.contains(exact):
+            hits += 1
+    return hits
+
+
+GAP_FAMILIES = {
+    "mealy-4": lambda: mealy_gap_instance(4),
+    "mealy-6": lambda: mealy_gap_instance(6),
+    "projector-4": lambda: projector_gap_instance(4),
+    "projector-6": lambda: projector_gap_instance(6),
+    "amplified-mealy-3x2": lambda: amplified_gap_instance(mealy_gap_instance(3), 2),
+    "amplified-projector-3x2": lambda: amplified_gap_instance(
+        projector_gap_instance(3), 2
+    ),
+}
+
+
+@pytest.mark.parametrize("family", sorted(GAP_FAMILIES))
+def test_gap_family_conformance(family: str) -> None:
+    """Every gap family: 100 runs against its closed-form confidence."""
+    gap = GAP_FAMILIES[family]()
+    hits = run_trials(
+        family, gap.sequence, gap.query, gap.emax_top_answer, gap.emax_top_confidence
+    )
+    assert hits >= REQUIRED_HITS, f"{family}: only {hits}/{TRIALS} in-interval"
+
+
+@pytest.mark.parametrize("family", ["mealy-4", "projector-4"])
+def test_forced_sampling_conformance(family: str) -> None:
+    """Same referee, shortcut disabled: the sampler itself must conform."""
+    gap = GAP_FAMILIES[family]()
+    hits = run_trials(
+        f"forced-{family}",
+        gap.sequence,
+        gap.query,
+        gap.emax_top_answer,
+        gap.emax_top_confidence,
+        exact_shortcut=False,
+    )
+    assert hits >= REQUIRED_HITS, f"forced {family}: only {hits}/{TRIALS} in-interval"
+
+
+def test_ambiguous_product_conformance() -> None:
+    """The union-of-runs path on a genuinely ambiguous product (2-DNF)."""
+    instance = two_dnf_counting_instance([(1, 1), (2, 2), (1, 2)], 2, 2)
+    exact = brute_force_confidence(
+        instance.sequence, instance.transducer, instance.answer
+    )
+    assert exact == Fraction(1, 2)  # the referee itself is known in closed form
+    hits = run_trials(
+        "2dnf", instance.sequence, instance.transducer, instance.answer, exact
+    )
+    assert hits >= REQUIRED_HITS, f"2dnf: only {hits}/{TRIALS} in-interval"
+
+
+def test_wider_tolerances_also_conform() -> None:
+    """The serve/oracle default regime (ε=0.25) on the ambiguous product."""
+    instance = two_dnf_counting_instance([(1, 1), (2, 2)], 2, 2)
+    exact = brute_force_confidence(
+        instance.sequence, instance.transducer, instance.answer
+    )
+    hits = 0
+    for trial in range(TRIALS):
+        estimate = approximate_confidence(
+            instance.sequence,
+            instance.transducer,
+            instance.answer,
+            epsilon=0.25,
+            delta=0.05,
+            seed=conformance_seed("2dnf-wide", trial),
+        )
+        if estimate.contains(exact):
+            hits += 1
+    assert hits >= REQUIRED_HITS, f"2dnf-wide: only {hits}/{TRIALS} in-interval"
+
+
+def test_seed_matrix_is_reproducible() -> None:
+    """The matrix is pure sha256 — pin a few entries so a refactor that
+    silently changes the seeds (and thus the observed hit counts) fails
+    loudly instead of re-rolling the dice."""
+    assert conformance_seed("mealy-4", 0) != conformance_seed("mealy-4", 1)
+    assert conformance_seed("mealy-4", 0) != conformance_seed("projector-4", 0)
+    assert conformance_seed("2dnf", 0) == int.from_bytes(
+        hashlib.sha256(b"approx-conformance|2dnf|0|0.1|0.05").digest()[:8], "big"
+    )

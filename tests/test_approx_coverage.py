@@ -1,0 +1,181 @@
+"""FPRAS coverage: every hardness family gets at least one estimator case,
+and the approx engine is a covered cell of the oracle verify matrix."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+
+from repro.approx.fpras import approximate_confidence
+from repro.automata.nfa import NFA
+from repro.confidence.brute_force import brute_force_confidence
+from repro.hardness.counting import (
+    count_dnf_models,
+    nfa_counting_instance,
+    two_dnf_counting_instance,
+)
+from repro.hardness.gap_instances import (
+    amplified_gap_instance,
+    mealy_gap_instance,
+    projector_gap_instance,
+)
+from repro.hardness.independent_set import occurrence_gap_instance
+from repro.hardness.max3dnf import Max3DnfInstance
+from repro.oracle.harness import verify
+
+# ------------------------------------------------- gap_instances families
+
+
+@pytest.mark.parametrize(
+    "label, build",
+    [
+        ("mealy", lambda: mealy_gap_instance(5)),
+        ("projector", lambda: projector_gap_instance(5)),
+        ("amplified-mealy", lambda: amplified_gap_instance(mealy_gap_instance(3), 2)),
+        (
+            "amplified-projector",
+            lambda: amplified_gap_instance(projector_gap_instance(3), 2),
+        ),
+    ],
+)
+def test_every_gap_family_has_an_fpras_case(label: str, build) -> None:
+    gap = build()
+    # The E_max-top confidence is exact in closed form for every family;
+    # best_confidence is only a blockwise *lower bound* on the amplified
+    # projector family (answer a^k gains splits across copies), so the
+    # best answer is refereed by exact brute force instead.
+    estimate = approximate_confidence(
+        gap.sequence, gap.query, gap.emax_top_answer,
+        epsilon=0.1, delta=0.05, seed=11,
+    )
+    assert estimate.certified, label
+    assert estimate.contains(gap.emax_top_confidence), label
+    exact_best = brute_force_confidence(gap.sequence, gap.query, gap.best_answer)
+    assert exact_best >= gap.best_confidence
+    estimate = approximate_confidence(
+        gap.sequence, gap.query, gap.best_answer,
+        epsilon=0.1, delta=0.05, seed=11,
+    )
+    assert estimate.certified, label
+    assert estimate.contains(exact_best), (label, gap.best_answer)
+
+
+# --------------------------------------- independent_set (s-projector) family
+
+
+def test_occurrence_gap_family_has_an_fpras_case() -> None:
+    occ = occurrence_gap_instance(5)
+    exact = brute_force_confidence(occ.sequence, occ.projector, occ.answer)
+    estimate = approximate_confidence(
+        occ.sequence, occ.projector, occ.answer, epsilon=0.1, delta=0.05, seed=13
+    )
+    assert estimate.certified
+    assert estimate.contains(exact)
+
+
+# --------------------------------------------- counting (Theorem 4.9) chain
+
+
+def test_two_dnf_reduction_has_an_fpras_case() -> None:
+    clauses = [(1, 1), (2, 2), (1, 2), (2, 1)]
+    instance = two_dnf_counting_instance(clauses, 2, 2)
+    exact = Fraction(count_dnf_models(clauses, 2, 2), instance.scale)
+    estimate = approximate_confidence(
+        instance.sequence, instance.transducer, instance.answer,
+        epsilon=0.1, delta=0.05, seed=17,
+    )
+    assert estimate.certified
+    assert estimate.contains(exact)
+
+
+def test_plain_nfa_counting_has_an_fpras_case() -> None:
+    # |L(A) ∩ {0,1}^4| for A = "contains two consecutive 1s" — an
+    # ambiguous NFA (the witness pair can be guessed at several offsets).
+    nfa = NFA.from_transitions(
+        ("0", "1"),
+        "s",
+        {"hit"},
+        [
+            ("s", "0", "s"),
+            ("s", "1", "s"),
+            ("s", "1", "one"),
+            ("one", "1", "hit"),
+            ("hit", "0", "hit"),
+            ("hit", "1", "hit"),
+        ],
+    )
+    instance = nfa_counting_instance(nfa, 4)
+    words = [
+        bits for bits in product("01", repeat=4) if "11" in "".join(bits)
+    ]
+    exact = Fraction(len(words), instance.scale)
+    estimate = approximate_confidence(
+        instance.sequence, instance.transducer, instance.answer,
+        epsilon=0.1, delta=0.05, seed=19,
+    )
+    assert estimate.certified
+    assert estimate.contains(exact)
+
+
+# ------------------------------------------------- max3dnf (Theorem 4.4/4.5)
+
+
+def three_dnf_to_nfa(instance: Max3DnfInstance) -> NFA:
+    """Encode the 3-DNF's models as fixed-length bit strings, the same
+    clause-guessing shape as :func:`repro.hardness.counting.dnf_to_nfa`
+    but with three literals of either polarity per clause."""
+    length = instance.num_vars
+    triples = []
+    for c, clause in enumerate(instance.clauses):
+        required = {var + 1: "1" if polarity else "0" for var, polarity in clause}
+        for pos in range(length):
+            for bit in ("0", "1"):
+                need = required.get(pos + 1)
+                if need is not None and bit != need:
+                    continue
+                source = ("c", c, pos) if pos > 0 else "start"
+                triples.append((source, bit, ("c", c, pos + 1)))
+    accepting = {("c", c, length) for c in range(len(instance.clauses))}
+    return NFA.from_transitions(("0", "1"), "start", accepting, triples)
+
+
+def test_max3dnf_reduction_has_an_fpras_case() -> None:
+    # Overlapping clauses so several guesses accept the same model —
+    # exactly the ambiguity regime the union-of-runs correction exists for.
+    formula = Max3DnfInstance(
+        num_vars=5,
+        clauses=(
+            ((0, True), (1, True), (2, True)),
+            ((0, True), (2, True), (3, False)),
+            ((1, False), (3, True), (4, True)),
+        ),
+    )
+    models = sum(
+        1
+        for bits in product((False, True), repeat=formula.num_vars)
+        if formula.num_satisfied(bits) >= 1
+    )
+    instance = nfa_counting_instance(three_dnf_to_nfa(formula), formula.num_vars)
+    exact = Fraction(models, instance.scale)
+    estimate = approximate_confidence(
+        instance.sequence, instance.transducer, instance.answer,
+        epsilon=0.1, delta=0.05, seed=23,
+    )
+    assert estimate.certified
+    assert estimate.contains(exact)
+    # The sampler really worked: the clause-guessing product is ambiguous.
+    assert estimate.method == "dklr"
+    assert estimate.run_weight > float(exact)
+
+
+# ------------------------------------------------ the verify coverage matrix
+
+
+def test_verify_matrix_covers_the_approx_cell() -> None:
+    report = verify(seed=3, max_rounds=2, classes=("general",))
+    assert report.ok, [diff.kind for diff in report.diffs]
+    assert ("general", "approx") in report.coverage
+    assert ("general", "approx") not in report.untested_cells()
+    assert "approx" in report.matrix_report()

@@ -1,0 +1,153 @@
+"""The --epsilon/--delta/--approx-seed surface of the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import compute_confidence
+from repro.examples_data.hospital import hospital_sequence, room_change_transducer
+from repro.hardness.counting import two_dnf_counting_instance
+from repro.io.json_format import write_query, write_sequence
+
+
+@pytest.fixture
+def files(tmp_path):
+    seq_path = tmp_path / "mu.json"
+    query_path = tmp_path / "query.json"
+    write_sequence(hospital_sequence(), seq_path)
+    write_query(room_change_transducer(), query_path)
+    return str(seq_path), str(query_path)
+
+
+@pytest.fixture
+def hard_files(tmp_path):
+    """The ambiguous 2-DNF instance: the FPRAS genuinely samples here."""
+    instance = two_dnf_counting_instance([(1, 1), (2, 2), (1, 2)], 2, 2)
+    seq_path = tmp_path / "hard_mu.json"
+    query_path = tmp_path / "hard_query.json"
+    write_sequence(instance.sequence, seq_path)
+    write_query(instance.transducer, query_path)
+    return str(seq_path), str(query_path), instance
+
+
+def test_confidence_epsilon_prints_the_interval(files, capsys) -> None:
+    seq, query = files
+    assert (
+        main(
+            ["confidence", "--sequence", seq, "--query", query,
+             "--answer", "1,2", "--epsilon", "0.1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "interval=[" in out
+    assert "method=unambiguous" in out  # hospital transducer: exact shortcut
+    estimate = float(out.split("\t")[0])
+    exact = float(
+        compute_confidence(hospital_sequence(), room_change_transducer(), ("1", "2"))
+    )
+    assert estimate == pytest.approx(exact)
+
+
+def test_confidence_epsilon_samples_on_hard_instances(hard_files, capsys) -> None:
+    seq, query, instance = hard_files
+    answer = ",".join(instance.answer)
+    assert (
+        main(
+            ["confidence", "--sequence", seq, "--query", query,
+             "--answer", answer, "--epsilon", "0.1", "--approx-seed", "7"]
+        )
+        == 0
+    )
+    first = capsys.readouterr().out
+    assert "method=dklr" in first
+    # Same seed, same output — the CLI path is deterministic.
+    main(
+        ["confidence", "--sequence", seq, "--query", query,
+         "--answer", answer, "--epsilon", "0.1", "--approx-seed", "7"]
+    )
+    assert capsys.readouterr().out == first
+    # The certified interval contains the exact confidence (here 1/2).
+    low, high = first.split("interval=[")[1].split("]")[0].split(",")
+    assert float(low) <= 0.5 <= float(high)
+
+
+def test_confidence_rejects_bad_epsilon(files, capsys) -> None:
+    seq, query = files
+    code = main(
+        ["confidence", "--sequence", seq, "--query", query,
+         "--answer", "1,2", "--epsilon", "1.5"]
+    )
+    assert code == 2
+    assert "epsilon" in capsys.readouterr().err
+
+
+def test_evaluate_epsilon_marks_estimates(files, capsys) -> None:
+    seq, query = files
+    assert (
+        main(
+            ["evaluate", "--sequence", seq, "--query", query,
+             "--order", "emax", "--limit", "2", "--epsilon", "0.2"]
+        )
+        == 0
+    )
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        assert "confidence~" in line  # ~, never =, for an estimate
+        assert "(" in line and ")" in line  # the method tag
+
+
+def test_plan_epsilon_prints_the_sampling_knobs(files, capsys) -> None:
+    seq, query = files
+    assert (
+        main(["plan", "--sequence", seq, "--query", query, "--epsilon", "0.1"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "approx knobs" in out
+    assert "DKLR" in out
+
+
+def test_batch_epsilon_needs_answer(files, capsys) -> None:
+    seq, query = files
+    code = main(
+        ["batch", "--sequence", seq, "--query", query, "--epsilon", "0.1"]
+    )
+    assert code == 2
+    assert "--answer" in capsys.readouterr().err
+
+
+def test_batch_epsilon_estimates_per_stream(files, tmp_path, capsys) -> None:
+    seq, query = files
+    other = tmp_path / "mu2.json"
+    write_sequence(hospital_sequence(), other)
+    assert (
+        main(
+            ["batch", "--sequence", seq, "--sequence", str(other),
+             "--query", query, "--answer", "1,2", "--epsilon", "0.1"]
+        )
+        == 0
+    )
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    exact = float(
+        compute_confidence(hospital_sequence(), room_change_transducer(), ("1", "2"))
+    )
+    for line in lines:
+        name, rest = line.split("\t", 1)
+        assert name in ("mu", "mu2")
+        assert float(rest.split("\t")[0]) == pytest.approx(exact)
+
+
+def test_verify_accepts_approx_tolerances(capsys) -> None:
+    assert (
+        main(
+            ["verify", "--seed", "3", "--max-rounds", "2",
+             "--classes", "general", "--epsilon", "0.3", "--delta", "0.001"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "approx" in out  # the engine column is in the matrix report
+    assert "ok" in out

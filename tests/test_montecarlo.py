@@ -158,3 +158,75 @@ def test_parameter_validation() -> None:
         estimate_confidence(sequence, query, ("X", "X"), samples=10, delta=1.5)
     with pytest.raises(ReproError):
         estimate_samples_needed(0.0)
+
+
+def test_samples_needed_achieves_chernoff_coverage() -> None:
+    """``estimate_samples_needed(ε, δ)`` samples really deliver the
+    additive (ε, δ) contract, measured empirically.
+
+    The budget for ε=0.15, δ=0.25 is 47 samples; across 200 seeded
+    trials of a p=1/2 answer the ±ε interval must contain p in at least
+    a 1−δ fraction (the Hoeffding budget is conservative — normal
+    approximation puts true coverage near 96% — so 150/200 is a
+    flake-free floor far above noise but far below a broken bound).
+    """
+    epsilon, delta = 0.15, 0.25
+    budget = estimate_samples_needed(epsilon, delta)
+    assert budget == 47
+    sequence = uniform_iid("ab", 1)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    answer = ("X",)  # exact confidence 1/2
+    trials = 200
+    covered = 0
+    for trial in range(trials):
+        estimate = estimate_confidence(
+            sequence,
+            query,
+            answer,
+            samples=budget,
+            rng=random.Random(31_000 + trial),
+            delta=delta,
+        )
+        if abs(estimate.estimate - 0.5) <= epsilon:
+            covered += 1
+    assert covered >= trials * (1 - delta)
+
+
+def test_estimate_rejects_degenerate_inputs() -> None:
+    sequence = uniform_iid("ab", 2)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    for delta in (0.0, -1.0, 1.0, float("nan")):
+        with pytest.raises(ReproError):
+            estimate_confidence(sequence, query, ("X", "X"), samples=5, delta=delta)
+
+
+def test_samples_needed_rejects_degenerate_inputs() -> None:
+    for epsilon in (0.0, -0.5, 1.0, float("nan")):
+        with pytest.raises(ReproError):
+            estimate_samples_needed(epsilon)
+    for delta in (0.0, -0.5, 1.0, float("nan")):
+        with pytest.raises(ReproError):
+            estimate_samples_needed(0.1, delta=delta)
+    # In (0, 1) but squares to 0.0: must raise, not divide by zero.
+    with pytest.raises(ReproError, match="underflow"):
+        estimate_samples_needed(1e-200)
+
+
+def test_confidence_estimate_validates_on_construction() -> None:
+    with pytest.raises(ReproError):
+        ConfidenceEstimate(estimate=0.5, samples=0, hits=0, delta=0.05)
+    with pytest.raises(ReproError):
+        ConfidenceEstimate(estimate=0.5, samples=10, hits=11, delta=0.05)
+    with pytest.raises(ReproError):
+        ConfidenceEstimate(estimate=0.5, samples=10, hits=-1, delta=0.05)
+    with pytest.raises(ReproError):
+        ConfidenceEstimate(estimate=0.5, samples=10, hits=5, delta=float("nan"))
+
+
+def test_sample_answer_rejects_nonpositive_attempts() -> None:
+    from repro.confidence.montecarlo import sample_answer
+
+    sequence = uniform_iid("ab", 2)
+    query = collapse_transducer({"a": "X", "b": "Y"})
+    with pytest.raises(ReproError):
+        sample_answer(sequence, query, rng=random.Random(1), max_attempts=0)

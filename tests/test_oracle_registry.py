@@ -10,7 +10,7 @@ from repro.oracle.registry import ENGINES, Prepared, VerifyContext, engine_matri
 ENGINE_NAMES = tuple(engine.name for engine in ENGINES)
 
 
-def test_registry_has_the_eight_engine_families() -> None:
+def test_registry_has_the_nine_engine_families() -> None:
     assert ENGINE_NAMES == (
         "brute-force",
         "dense",
@@ -20,6 +20,7 @@ def test_registry_has_the_eight_engine_families() -> None:
         "runtime",
         "pool",
         "vectorized",
+        "approx",
     )
 
 
@@ -83,3 +84,39 @@ def test_context_reuses_its_pool_and_closes_it() -> None:
     finally:
         context.close()
     assert context._pool is None
+
+
+def test_approx_engine_scopes_to_the_general_class() -> None:
+    matrix = engine_matrix()
+    applicable = {label for label in CLASS_LABELS if matrix[(label, "approx")]}
+    assert applicable == {"general"}
+
+
+def test_approx_matches_by_interval_membership() -> None:
+    from repro.approx import ApproxConfidence
+
+    by_name = {engine.name: engine for engine in ENGINES}
+    engine = by_name["approx"]
+    got = ApproxConfidence(
+        estimate=0.5, low=0.45, high=0.55, epsilon=0.1, delta=0.05,
+        samples=10, successes=5, run_weight=1.0, certified=True, method="dklr",
+    )
+    # The referee value must fall inside the certified interval — the
+    # estimate itself is never compared for closeness.
+    assert engine.matches(got, Fraction(1, 2), instance_exact=True)
+    assert engine.matches(got, 0.451, instance_exact=False)
+    assert not engine.matches(got, Fraction(9, 10), instance_exact=True)
+
+
+def test_approx_engine_is_deterministic_per_probe() -> None:
+    from repro.confidence.brute_force import brute_force_answers
+    from repro.oracle.registry import _approx
+
+    prepared = Prepared(generate_instance("general", seed=11, trial=0))
+    answers = brute_force_answers(prepared.sequence_exact, prepared.instance.query)
+    answer, want = max(answers.items(), key=lambda item: (item[1], repr(item[0])))
+    with VerifyContext() as context:
+        first = _approx(prepared, answer, context)
+        second = _approx(prepared, answer, context)
+    assert first == second
+    assert first.contains(want)

@@ -1,0 +1,191 @@
+"""Approximate confidence over the serve protocol.
+
+The ``confidence`` command answers one-shot exact or FPRAS reads, and a
+standing query registered with ``epsilon`` is FPRAS-backed: every wire
+artifact that carries a sampled value is marked ``approximate`` so no
+client can mistake an estimate for the exact Fraction engine's output.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.engine import compute_confidence
+from repro.io.json_format import query_to_dict, sequence_to_dict
+from repro.serve import ServeClient, ServeError, ServerThread
+from repro.serve.protocol import decode_value, encode_transition
+
+from tests.test_serve_e2e import (
+    contains_ab_query,
+    rare_b_sequence,
+    rare_b_timestep,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    path = str(tmp_path / "approx.sock")
+    with ServerThread(socket_path=path, shards=2):
+        with ServeClient.connect_unix(path) as client:
+            client.call(
+                "register_stream",
+                name="s",
+                sequence=sequence_to_dict(rare_b_sequence()),
+            )
+            yield client
+
+
+def _grow(client, appends: int) -> None:
+    for _ in range(appends):
+        client.call("append", stream="s", transition=encode_transition(rare_b_timestep()))
+
+
+def test_confidence_command_exact_path(served) -> None:
+    _grow(served, 3)
+    result = served.call(
+        "confidence", stream="s", query=query_to_dict(contains_ab_query()), output=[]
+    )
+    assert result["approximate"] is False
+    sequence = rare_b_sequence()
+    offline = rare_b_sequence()
+    from repro.lahar.database import MarkovStreamDatabase
+
+    db = MarkovStreamDatabase()
+    db.register_stream("s", offline)
+    for _ in range(3):
+        grown = db.append("s", rare_b_timestep())
+    exact = compute_confidence(grown, contains_ab_query(), ())
+    assert decode_value(result["confidence"]) == exact
+    assert isinstance(exact, Fraction)
+
+
+def test_confidence_command_approx_path_is_marked_and_deterministic(served) -> None:
+    _grow(served, 3)
+    params = dict(
+        stream="s",
+        query=query_to_dict(contains_ab_query()),
+        output=[],
+        epsilon=0.2,
+        delta=0.05,
+        seed=4,
+    )
+    first = served.call("confidence", **params)
+    second = served.call("confidence", **params)
+    assert first["approximate"] is True
+    assert first == second  # same seed, same estimate, bit for bit
+    assert first["certified"] is True
+    assert first["low"] <= first["confidence"] <= first["high"]
+    # The interval really contains the exact confidence.
+    exact = served.call(
+        "confidence", stream="s", query=query_to_dict(contains_ab_query()), output=[]
+    )
+    value = decode_value(exact["confidence"])
+    assert first["low"] - 1e-12 <= float(value) <= first["high"] + 1e-12
+
+
+def test_confidence_command_requires_an_output_list(served) -> None:
+    with pytest.raises(ServeError, match="output"):
+        served.call(
+            "confidence", stream="s", query=query_to_dict(contains_ab_query())
+        )
+
+
+def test_approximate_standing_query_lifecycle(served) -> None:
+    result = served.call(
+        "register_standing_query",
+        name="approx-watch",
+        stream="s",
+        query=query_to_dict(contains_ab_query()),
+        kind="answer",
+        output=[],
+        threshold="3/20",
+        epsilon=0.25,
+        delta=0.05,
+        seed=9,
+    )
+    assert result["approximate"] is True
+    assert result["epsilon"] == 0.25
+    assert result["delta"] == 0.05
+    # Pr("ab" occurred) is 1/10 at registration — below the threshold,
+    # so the watch arms. (The accept-filter product is unambiguous, so
+    # the FPRAS shortcut makes the watched value exact and the crossing
+    # deterministic.)
+    assert result["armed"] is True
+
+    served.call("subscribe", standing="approx-watch")
+    # After one append the value is 19/100 >= 3/20: the alert fires.
+    append = served.call(
+        "append", stream="s", transition=encode_transition(rare_b_timestep())
+    )
+    assert append["alerts"] == ["approx-watch"]
+    event = served.next_event(timeout=5)
+    assert event["event"] == "alert"
+    assert event["data"]["approximate"] is True
+    assert event["data"]["epsilon"] == 0.25
+
+    entries = {e["name"]: e for e in served.call("stats")["standing"]}
+    described = entries["approx-watch"]
+    assert described["approximate"] is True
+    assert described["epsilon"] == 0.25
+    assert described["delta"] == 0.05
+    # Exact standing queries stay unmarked.
+    served.call(
+        "register_standing_query",
+        name="exact-watch",
+        stream="s",
+        query=query_to_dict(contains_ab_query()),
+        kind="answer",
+        output=[],
+        threshold="2/1",
+    )
+    entries = {e["name"]: e for e in served.call("stats")["standing"]}
+    assert entries["exact-watch"]["approximate"] is False
+    assert "epsilon" not in entries["exact-watch"]
+
+
+def test_approximate_monitors_are_rejected(served) -> None:
+    with pytest.raises(ServeError, match="kind 'answer'"):
+        served.call(
+            "register_standing_query",
+            name="bad",
+            stream="s",
+            query=query_to_dict(contains_ab_query()),
+            kind="monitor",
+            threshold="1/2",
+            epsilon=0.25,
+        )
+
+
+def test_durable_mode_rejects_approximate_standing_queries(tmp_path) -> None:
+    path = str(tmp_path / "durable.sock")
+    with ServerThread(socket_path=path, data_dir=str(tmp_path / "data")):
+        with ServeClient.connect_unix(path) as client:
+            client.call(
+                "register_stream",
+                name="s",
+                sequence=sequence_to_dict(rare_b_sequence()),
+            )
+            with pytest.raises(ServeError, match="durable"):
+                client.call(
+                    "register_standing_query",
+                    name="approx-watch",
+                    stream="s",
+                    query=query_to_dict(contains_ab_query()),
+                    kind="answer",
+                    output=[],
+                    threshold="1/2",
+                    epsilon=0.25,
+                )
+            # One-shot approximate reads are still fine in durable mode:
+            # nothing sampled enters the journal.
+            result = client.call(
+                "confidence",
+                stream="s",
+                query=query_to_dict(contains_ab_query()),
+                output=[],
+                epsilon=0.25,
+                seed=1,
+            )
+            assert result["approximate"] is True
