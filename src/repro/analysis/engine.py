@@ -1,0 +1,192 @@
+"""The lint engine: file walking, rule dispatch, pragma application.
+
+``lint_paths`` is what ``repro lint`` runs; ``lint_source`` lints one
+in-memory source under a virtual path so tests can exercise scoped
+rules without touching the checkout. The reverse telemetry pass (RX05's
+"documented but never emitted") only activates when at least one input
+is a directory — linting a single file must not claim the rest of the
+catalogue is dead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.pragmas import Pragma, apply_pragmas, parse_pragmas
+from repro.analysis.registry_doc import MetricRegistry, find_observability_doc
+from repro.analysis.report import SCHEMA
+from repro.analysis.rules import build_rules, rule_ids
+from repro.analysis.rules.base import (
+    META_RULE,
+    FileContext,
+    Finding,
+    package_relative,
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: list[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.violations:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "clean": self.clean,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "violations": [finding.as_dict() for finding in self.violations],
+        }
+
+
+def _iter_python_files(paths: list[str | Path]) -> tuple[list[Path], bool]:
+    """Expand inputs to .py files; report whether any input was a directory."""
+    files: list[Path] = []
+    saw_directory = False
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            saw_directory = True
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+        elif path.is_file():
+            continue  # non-Python input (e.g. a doc) — nothing to lint
+        else:
+            raise FileNotFoundError(f"lint input does not exist: {path}")
+    unique: list[Path] = []
+    seen: set[Path] = set()
+    for candidate in files:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(candidate)
+    return unique, saw_directory
+
+
+def _lint_one(
+    path: str,
+    source: str,
+    rules: list,
+    known: set[str],
+) -> tuple[list[Finding], int]:
+    """Lint one source; returns (surviving findings, suppressed count)."""
+    relpath = package_relative(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule=META_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies(relpath):
+            findings.extend(rule.check(ctx))
+    pragmas, pragma_findings = parse_pragmas(source, path, known)
+    survivors, _used = apply_pragmas(findings, pragmas)
+    suppressed = len(findings) - len(survivors)
+    survivors.extend(pragma_findings)
+    return survivors, suppressed
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    rules: set[str] | None = None,
+    observability_doc: str | Path | None = None,
+    reverse_telemetry: bool | None = None,
+) -> LintReport:
+    """Lint files and directories; the entry point behind ``repro lint``.
+
+    ``rules`` restricts to a subset of rule ids. ``observability_doc``
+    overrides RX05's catalogue location (auto-discovered by walking up
+    from the first input otherwise; RX05 is skipped when no catalogue
+    is found). ``reverse_telemetry`` forces the reverse pass on or off
+    (default: on exactly when some input is a directory).
+    """
+    files, saw_directory = _iter_python_files(list(paths))
+    if reverse_telemetry is None:
+        reverse_telemetry = saw_directory
+    registry: MetricRegistry | None = None
+    doc_path: Path | None = None
+    if observability_doc is not None:
+        doc_path = Path(observability_doc)
+    elif files:
+        doc_path = find_observability_doc(files[0])
+    if doc_path is not None and doc_path.is_file():
+        registry = MetricRegistry.from_file(doc_path)
+    rule_objs = build_rules(registry, reverse_telemetry, selected=rules)
+    known = rule_ids()
+    report = LintReport()
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        findings, suppressed = _lint_one(str(path), source, rule_objs, known)
+        report.violations.extend(findings)
+        report.suppressed += suppressed
+        report.files += 1
+    for rule in rule_objs:
+        report.violations.extend(rule.finalize())
+    report.violations.sort()
+    return report
+
+
+def lint_source(
+    source: str,
+    *,
+    virtual_path: str = "repro/module.py",
+    rules: set[str] | None = None,
+    observability_text: str | None = None,
+    reverse_telemetry: bool = False,
+) -> LintReport:
+    """Lint an in-memory source under a virtual path (for tests).
+
+    ``observability_text`` supplies an in-memory catalogue for RX05;
+    without it RX05 has no registry and stays silent.
+    """
+    registry = (
+        MetricRegistry.from_text(observability_text) if observability_text is not None else None
+    )
+    rule_objs = build_rules(registry, reverse_telemetry, selected=rules)
+    known = rule_ids()
+    report = LintReport()
+    findings, suppressed = _lint_one(virtual_path, source, rule_objs, known)
+    report.violations.extend(findings)
+    report.suppressed += suppressed
+    report.files = 1
+    for rule in rule_objs:
+        report.violations.extend(rule.finalize())
+    report.violations.sort()
+    return report
+
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "Pragma"]

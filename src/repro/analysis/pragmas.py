@@ -1,0 +1,153 @@
+"""Suppression pragmas: ``# repro: allow[RX01] reason`` parsing.
+
+A pragma suppresses findings of the named rule(s) on its own line when
+it trails code, or on the next code line when it stands alone. The
+reason is mandatory — an unexplained suppression is worse than the
+violation, because it survives refactors nobody re-justifies. Malformed
+pragmas (unknown rule id, missing reason, unparseable rule list) are
+reported as RX00 findings rather than silently ignored, so a typo can
+never disable a rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.rules.base import META_RULE, Finding
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\b(.*)", re.DOTALL)
+_RULES_RE = re.compile(r"^\[([^\]]*)\]\s*(.*)$", re.DOTALL)
+_RULE_ID_RE = re.compile(r"^RX\d{2}$")
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    reason: str
+    #: Line the pragma suppresses (the same line, or the next code line
+    #: for a standalone comment). Filled in by :func:`parse_pragmas`.
+    target_line: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.errors
+
+
+def _parse_comment(text: str, line: int, col: int, known_rules: set[str]) -> Pragma | None:
+    match = _PRAGMA_RE.search(text)
+    if match is None:
+        return None
+    rest = match.group(1).strip()
+    errors: list[str] = []
+    rules: tuple[str, ...] = ()
+    reason = ""
+    rules_match = _RULES_RE.match(rest)
+    if rules_match is None:
+        errors.append("pragma must name rules as allow[RXnn,...]")
+    else:
+        raw_rules = [part.strip() for part in rules_match.group(1).split(",")]
+        reason = rules_match.group(2).strip()
+        cleaned = []
+        for rule in raw_rules:
+            if not rule:
+                continue
+            if not _RULE_ID_RE.match(rule):
+                errors.append(f"malformed rule id {rule!r} in pragma")
+            elif rule not in known_rules:
+                errors.append(f"unknown rule {rule} in pragma")
+            else:
+                cleaned.append(rule)
+        if not cleaned and not errors:
+            errors.append("pragma names no rules")
+        rules = tuple(cleaned)
+        if not reason:
+            errors.append("pragma is missing a reason (# repro: allow[RXnn] <why>)")
+    return Pragma(line=line, col=col, rules=rules, reason=reason, errors=errors)
+
+
+def parse_pragmas(
+    source: str, path: str, known_rules: set[str]
+) -> tuple[list[Pragma], list[Finding]]:
+    """Extract pragmas from ``source`` and resolve their target lines.
+
+    Returns the valid pragmas plus RX00 findings for malformed ones.
+    Tokenization errors are swallowed here — the engine already reports
+    files that fail to parse.
+    """
+    comments: list[tuple[int, int, str, bool]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []
+    code_lines: set[int] = set()
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            standalone = token.line[: token.start[1]].strip() == ""
+            comments.append((token.start[0], token.start[1], token.string, standalone))
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+            tokenize.COMMENT,
+        ):
+            for lineno in range(token.start[0], token.end[0] + 1):
+                code_lines.add(lineno)
+
+    pragmas: list[Pragma] = []
+    findings: list[Finding] = []
+    max_line = max(code_lines, default=0)
+    for line, col, text, standalone in comments:
+        pragma = _parse_comment(text, line, col, known_rules)
+        if pragma is None:
+            continue
+        if standalone:
+            target = line + 1
+            while target <= max_line and target not in code_lines:
+                target += 1
+            pragma.target_line = target
+        else:
+            pragma.target_line = line
+        if pragma.valid:
+            pragmas.append(pragma)
+        else:
+            for error in pragma.errors:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=col + 1,
+                        rule=META_RULE,
+                        message=error,
+                    )
+                )
+    return pragmas, findings
+
+
+def apply_pragmas(
+    findings: list[Finding], pragmas: list[Pragma]
+) -> tuple[list[Finding], list[Pragma]]:
+    """Drop findings a pragma covers; return survivors and used pragmas."""
+    suppressed_at: dict[int, set[str]] = {}
+    for pragma in pragmas:
+        suppressed_at.setdefault(pragma.target_line, set()).update(pragma.rules)
+    kept: list[Finding] = []
+    used_lines: set[int] = set()
+    for finding in findings:
+        rules = suppressed_at.get(finding.line)
+        if rules is not None and finding.rule in rules:
+            used_lines.add(finding.line)
+        else:
+            kept.append(finding)
+    used = [p for p in pragmas if p.target_line in used_lines]
+    return kept, used

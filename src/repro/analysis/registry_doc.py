@@ -1,0 +1,123 @@
+"""The documented metric catalogue (``docs/OBSERVABILITY.md``) as data.
+
+RX05 needs both directions of the telemetry contract: every metric-name
+literal in code is documented, and every documented name is still
+emitted somewhere. This module parses the "Metric catalogue" section's
+markdown tables into a :class:`MetricRegistry`.
+
+Parsing rules, matching how the catalogue is written:
+
+* only table rows (lines starting ``|``) between ``## Metric
+  catalogue`` and the next ``## `` heading count; prose mentioning
+  metric names in backticks is ignored;
+* only the *first* cell of each row names metrics — later cells may
+  quote other names in their "meaning" text;
+* a cell listing abbreviated continuations (``` `runtime.plan_cache.hits`
+  / `.misses` ``` ) expands each leading-dot form against the most
+  recent full name by replacing its trailing segments;
+* a first cell containing the word ``span``/``spans`` outside backticks
+  declares span paths (``verify/corpus_case``) instead of metric names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_CATALOGUE_HEADING = "## Metric catalogue"
+_BACKTICKED_RE = re.compile(r"`([^`]+)`")
+
+
+def _expand(token: str, last_full: str | None) -> str | None:
+    """Expand ``.misses`` against ``runtime.plan_cache.hits``."""
+    if not token.startswith("."):
+        return token
+    if last_full is None:
+        return None
+    suffix_parts = token[1:].split(".")
+    base_parts = last_full.split(".")
+    if len(suffix_parts) >= len(base_parts):
+        return None
+    return ".".join(base_parts[: len(base_parts) - len(suffix_parts)] + suffix_parts)
+
+
+@dataclass
+class MetricRegistry:
+    """Documented metric names and span paths, with their doc lines."""
+
+    path: str
+    #: metric name -> 1-based line in the doc
+    metrics: dict[str, int] = field(default_factory=dict)
+    #: span path (e.g. ``verify/corpus_case``) -> doc line
+    spans: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def span_components(self) -> set[str]:
+        """Individual segments of the documented span paths.
+
+        ``telemetry.span`` call sites pass one segment; nesting builds
+        the ``/``-joined path at runtime, so code literals are matched
+        against components as well as full paths.
+        """
+        parts: set[str] = set()
+        for path in self.spans:
+            parts.update(path.split("/"))
+        return parts
+
+    def documents_metric(self, name: str) -> bool:
+        return name in self.metrics
+
+    def documents_span(self, name: str) -> bool:
+        return name in self.spans or name in self.span_components
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MetricRegistry":
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_text(text, str(path))
+
+    @classmethod
+    def from_text(cls, text: str, path: str = "OBSERVABILITY.md") -> "MetricRegistry":
+        registry = cls(path=path)
+        in_catalogue = False
+        last_full: str | None = None
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("## "):
+                in_catalogue = stripped == _CATALOGUE_HEADING
+                continue
+            if not in_catalogue or not stripped.startswith("|"):
+                continue
+            cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+            if not cells:
+                continue
+            first = cells[0]
+            if not first or set(first) <= {"-", ":", " "} or first.lower() == "name":
+                continue
+            names = _BACKTICKED_RE.findall(first)
+            if not names:
+                continue
+            outside = _BACKTICKED_RE.sub("", first).lower()
+            is_span_row = re.search(r"\bspans?\b", outside) is not None
+            for token in names:
+                if is_span_row:
+                    registry.spans.setdefault(token, lineno)
+                    continue
+                expanded = _expand(token, last_full)
+                if expanded is None:
+                    continue
+                last_full = expanded
+                registry.metrics.setdefault(expanded, lineno)
+        return registry
+
+
+def find_observability_doc(start: str | Path) -> Path | None:
+    """Walk up from ``start`` looking for ``docs/OBSERVABILITY.md``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate_dir in [current, *current.parents]:
+        candidate = candidate_dir / "docs" / "OBSERVABILITY.md"
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,29 @@
+"""Reporters for lint results: ``repro-lint/1`` JSON and pretty text."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import LintReport
+
+SCHEMA = "repro-lint/1"
+
+
+def render_json(report: "LintReport") -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=False)
+
+
+def render_pretty(report: "LintReport") -> str:
+    lines = [finding.render() for finding in report.violations]
+    counts = report.counts()
+    if counts:
+        summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) in {report.files} file(s) ({summary})"
+        )
+    else:
+        lines.append(f"clean: {report.files} file(s), 0 violations")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""The rule set: one module per invariant, assembled for the engine."""
+
+from __future__ import annotations
+
+from repro.analysis.registry_doc import MetricRegistry
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.base import META_RULE, FileContext, Finding, Rule
+from repro.analysis.rules.exactness import ExactnessTaintRule
+from repro.analysis.rules.locks import LockRaceRule
+from repro.analysis.rules.seeds import SeedDisciplineRule
+from repro.analysis.rules.telemetry_registry import TelemetryRegistryRule
+
+#: Every shipped rule class, in rule-id order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    ExactnessTaintRule,
+    AsyncBlockingRule,
+    SeedDisciplineRule,
+    LockRaceRule,
+    TelemetryRegistryRule,
+)
+
+
+def rule_ids() -> set[str]:
+    """Known rule ids, including the RX00 meta rule (pragma hygiene)."""
+    return {META_RULE} | {rule.rule_id for rule in ALL_RULES}
+
+
+def build_rules(
+    registry: MetricRegistry | None,
+    reverse_telemetry: bool,
+    selected: set[str] | None = None,
+) -> list[Rule]:
+    """Fresh rule instances for one lint run.
+
+    ``selected`` restricts to a subset of rule ids (RX00 pragma checks
+    always run — a malformed pragma must never pass unnoticed).
+    """
+    rules: list[Rule] = []
+    for rule_cls in ALL_RULES:
+        if selected is not None and rule_cls.rule_id not in selected:
+            continue
+        if rule_cls is TelemetryRegistryRule:
+            rules.append(TelemetryRegistryRule(registry, reverse_telemetry))
+        else:
+            rules.append(rule_cls())
+    return rules
+
+
+__all__ = [
+    "ALL_RULES",
+    "AsyncBlockingRule",
+    "ExactnessTaintRule",
+    "FileContext",
+    "Finding",
+    "LockRaceRule",
+    "META_RULE",
+    "Rule",
+    "SeedDisciplineRule",
+    "TelemetryRegistryRule",
+    "build_rules",
+    "rule_ids",
+]

@@ -1,0 +1,102 @@
+"""RX02 — async-blocking.
+
+``repro serve`` is a single asyncio event loop multiplexing every
+connection, standing query, and alert subscriber; one synchronous
+``fsync`` or ``time.sleep`` inside an ``async def`` stalls all of them
+at once. This rule flags known-blocking calls lexically inside ``async
+def`` bodies in ``serve/`` unless they are hopped to an executor
+(``asyncio.to_thread`` / ``loop.run_in_executor``). Nested synchronous
+``def``s are skipped — they only block if called, and the call site is
+what gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import FileContext, Finding, Rule, call_name
+
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep blocks the event loop; use await asyncio.sleep",
+    "os.fsync": "os.fsync blocks the event loop; hop via asyncio.to_thread",
+    "os.fdatasync": "os.fdatasync blocks the event loop; hop via asyncio.to_thread",
+    "os.sync": "os.sync blocks the event loop; hop via asyncio.to_thread",
+    "open": "open() does blocking file I/O in an async def; hop via asyncio.to_thread",
+    "subprocess.run": "subprocess.run blocks; use asyncio.create_subprocess_exec",
+    "subprocess.call": "subprocess.call blocks; use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "subprocess.check_call blocks; use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "subprocess.check_output blocks; use asyncio.create_subprocess_exec",
+    "subprocess.Popen": "subprocess.Popen blocks on pipe I/O; use asyncio subprocesses",
+    "socket.socket": "raw sockets block; use asyncio streams",
+    "socket.create_connection": "socket.create_connection blocks; use asyncio.open_connection",
+}
+
+# Blocking when invoked as a method on anything (Path.write_text, file.fsync, ...).
+_BLOCKING_ATTRS = {
+    "write_text",
+    "write_bytes",
+    "read_text",
+    "read_bytes",
+    "fsync",
+}
+
+_EXECUTOR_CALLS = {"asyncio.to_thread"}
+_EXECUTOR_ATTRS = {"run_in_executor", "to_thread"}
+
+
+def _is_executor_hop(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name in _EXECUTOR_CALLS:
+        return True
+    func = node.func
+    return isinstance(func, ast.Attribute) and func.attr in _EXECUTOR_ATTRS
+
+
+class AsyncBlockingRule(Rule):
+    rule_id = "RX02"
+    title = "async-blocking"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("serve/")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                scanner = _BodyScanner(self, ctx)
+                for stmt in node.body:
+                    scanner.visit(stmt)
+                findings.extend(scanner.findings)
+        return findings
+
+
+class _BodyScanner(ast.NodeVisitor):
+    """Scans one async body; stops at nested sync/async defs."""
+
+    def __init__(self, rule: AsyncBlockingRule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # a nested def only blocks at its call site
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # scanned on its own by the rule's walk
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_executor_hop(node):
+            return  # args run off-loop by construction
+        name = call_name(node)
+        if name in _BLOCKING_CALLS:
+            self.findings.append(self.rule.finding(self.ctx, node, _BLOCKING_CALLS[name]))
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in _BLOCKING_ATTRS:
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx,
+                    node,
+                    f".{node.func.attr}(...) does blocking I/O in an async def; "
+                    "hop via asyncio.to_thread",
+                )
+            )
+        self.generic_visit(node)

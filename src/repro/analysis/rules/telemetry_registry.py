@@ -1,0 +1,136 @@
+"""RX05 — telemetry-registry.
+
+Dashboards, the bench-regress gate, and `repro stats` all key off
+metric names; a renamed counter that nobody re-documents is silent
+metric drift (graphs flatline, gates pass vacuously). This rule holds
+code and ``docs/OBSERVABILITY.md`` to the same catalogue, both ways:
+
+* **forward** — every metric-name string literal passed to a telemetry
+  recording call (``telemetry.count/gauge/observe/span`` and the
+  recorder's ``count/gauge/observe/observe_span``) must appear in the
+  catalogue (span literals may match a documented path or any
+  component of one, since nesting builds paths at runtime);
+* **reverse** — every documented metric name must still be emitted by
+  some literal in the linted tree. Reverse findings anchor at the
+  catalogue line in OBSERVABILITY.md. The engine only enables the
+  reverse pass when the lint run covers whole directories — linting a
+  single file must not claim the rest of the catalogue is dead.
+
+Dynamic names (f-strings, concatenation) are out of static reach and
+are deliberately not flagged; the forward pass covers the plain-literal
+idiom every call site in this tree uses.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry_doc import MetricRegistry
+from repro.analysis.rules.base import FileContext, Finding, Rule
+
+_TELEMETRY_RECEIVERS = {"telemetry", "recorder"}
+_METRIC_METHODS = {"count", "gauge", "observe"}
+_SPAN_METHODS = {"span", "observe_span"}
+
+
+def _telemetry_method(node: ast.Call) -> str | None:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr not in _METRIC_METHODS | _SPAN_METHODS:
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id in _TELEMETRY_RECEIVERS:
+        return func.attr
+    if isinstance(receiver, ast.Attribute) and receiver.attr in _TELEMETRY_RECEIVERS:
+        return func.attr
+    return None
+
+
+class TelemetryRegistryRule(Rule):
+    rule_id = "RX05"
+    title = "telemetry-registry"
+
+    def __init__(self, registry: MetricRegistry | None, reverse: bool) -> None:
+        self.registry = registry
+        self.reverse = reverse
+        self._used_metrics: set[str] = set()
+        self._used_span_literals: set[str] = set()
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if self.registry is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = _telemetry_method(node)
+            if method is None or not node.args:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+                continue  # dynamic names are out of static reach
+            name = first.value
+            if method in _SPAN_METHODS:
+                self._used_span_literals.add(name)
+                if not self.registry.documents_span(name):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            first,
+                            f"span name {name!r} is not documented in the "
+                            f"{self.registry.path} metric catalogue",
+                        )
+                    )
+            else:
+                self._used_metrics.add(name)
+                if not self.registry.documents_metric(name):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            first,
+                            f"metric name {name!r} is not documented in the "
+                            f"{self.registry.path} metric catalogue",
+                        )
+                    )
+        return findings
+
+    def finalize(self) -> list[Finding]:
+        if self.registry is None or not self.reverse:
+            return []
+        findings: list[Finding] = []
+        for name, lineno in sorted(self.registry.metrics.items()):
+            if name not in self._used_metrics:
+                findings.append(
+                    Finding(
+                        path=self.registry.path,
+                        line=lineno,
+                        col=1,
+                        rule=self.rule_id,
+                        message=(
+                            f"documented metric {name!r} is never emitted by any "
+                            "telemetry call in the linted tree (metric drift — "
+                            "delete the row or restore the emission)"
+                        ),
+                    )
+                )
+        for path, lineno in sorted(self.registry.spans.items()):
+            if not self._span_path_covered(path):
+                findings.append(
+                    Finding(
+                        path=self.registry.path,
+                        line=lineno,
+                        col=1,
+                        rule=self.rule_id,
+                        message=(
+                            f"documented span {path!r} has components never opened "
+                            "by any telemetry.span call in the linted tree"
+                        ),
+                    )
+                )
+        return findings
+
+    def _span_path_covered(self, path: str) -> bool:
+        if path in self._used_span_literals:
+            return True
+        return all(part in self._used_span_literals for part in path.split("/"))

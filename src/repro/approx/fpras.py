@@ -36,7 +36,6 @@ import math
 import random
 from collections.abc import Sequence
 from dataclasses import dataclass
-from fractions import Fraction
 
 from repro import telemetry
 from repro.approx.product import AnswerProduct, state_key

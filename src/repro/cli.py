@@ -415,6 +415,27 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Imported lazily: the analyzer is only needed by this subcommand.
+    from repro.analysis import lint_paths, render_json, render_pretty
+
+    reverse = None
+    if args.no_reverse_telemetry:
+        reverse = False
+    rules = set(args.rules.split(",")) if args.rules else None
+    report = lint_paths(
+        args.paths,
+        rules=rules,
+        observability_doc=args.observability,
+        reverse_telemetry=reverse,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_pretty(report))
+    return 0 if report.clean else 1
+
+
 def _cmd_dot(args) -> int:
     if args.sequence:
         print(sequence_to_dot(read_sequence(args.sequence)))
@@ -879,6 +900,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("snapshot", help="snapshot file written by --telemetry")
     stats.set_defaults(handler=_cmd_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check project invariants statically (RX01-RX05; see docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint.add_argument("--format", choices=("pretty", "json"), default="pretty")
+    lint.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    lint.add_argument(
+        "--observability",
+        help="path to the metric catalogue doc (default: auto-discover docs/OBSERVABILITY.md)",
+    )
+    lint.add_argument(
+        "--no-reverse-telemetry",
+        action="store_true",
+        help="skip the documented-but-never-emitted RX05 pass",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     dot = sub.add_parser("dot", help="emit a graphviz rendering")
     dot.add_argument("--sequence")

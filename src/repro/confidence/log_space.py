@@ -25,11 +25,11 @@ from repro.transducers.transducer import Transducer
 
 Symbol = Hashable
 
-NEG_INF = -math.inf
+NEG_INF = -math.inf  # repro: allow[RX01] log-space engine is the float-underflow ablation; -inf is log(0)
 
 
 def _log(value) -> float:
-    value = float(value)
+    value = float(value)  # repro: allow[RX01] entering log-space: probabilities become float logs by design
     return math.log(value) if value > 0 else NEG_INF
 
 

@@ -13,6 +13,7 @@ fallback for the FP^#P-complete cells of Table 2.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -21,6 +22,12 @@ from repro.errors import ReproError
 from repro.markov.sequence import MarkovSequence
 from repro.transducers.sprojector import SProjector
 from repro.transducers.transducer import Transducer
+
+# Fallback seed when callers do not supply an rng: sha256-derived so the
+# default estimate is reproducible run to run (RX03 seed discipline).
+_DEFAULT_SEED = int.from_bytes(
+    hashlib.sha256(b"repro.confidence.montecarlo").digest()[:8], "big"
+)
 
 
 @dataclass(frozen=True)
@@ -83,7 +90,7 @@ def estimate_confidence(
         raise ReproError("need at least one sample")
     if not 0 < delta < 1:  # also rejects NaN
         raise ReproError("delta must be in (0, 1)")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(_DEFAULT_SEED)
     hits = 0
     for _ in range(samples):
         if _matches(query, sequence.sample(rng), answer):
@@ -111,7 +118,7 @@ def sample_answer(
     """
     if max_attempts < 1:
         raise ReproError("need at least one attempt")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(_DEFAULT_SEED)
     for _ in range(max_attempts):
         world = sequence.sample(rng)
         if isinstance(query, (Transducer, SProjector)):

@@ -15,7 +15,9 @@ and hands execution to :mod:`repro.runtime.executor`.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import random
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.markov.sequence import MarkovSequence, Number
 from repro.core.results import Answer, Order
@@ -27,6 +29,19 @@ from repro.runtime.executor import (
     run_evaluate,
     run_top_k,
 )
+from repro.runtime.plan import QueryPlan
+from repro.transducers.sprojector import SProjector
+from repro.transducers.transducer import Transducer
+
+if TYPE_CHECKING:
+    from repro.approx.fpras import ApproxConfidence
+
+#: Anything the plan cache can resolve: a query object or a prebuilt plan.
+Query = Transducer | SProjector | QueryPlan
+
+#: An answer's output: a symbol sequence, or (output, index) for the
+#: indexed s-projector class — which is itself a 2-sequence.
+Output = Sequence[object]
 
 #: Backwards-compatible alias — the threshold filter lived here before the
 #: runtime split, and its early-stop behaviour is tested against this name.
@@ -35,8 +50,8 @@ _apply_threshold = apply_threshold
 
 def compute_confidence(
     sequence: MarkovSequence,
-    query,
-    output,
+    query: Query,
+    output: Output,
     allow_exponential: bool = True,
     cache: PlanCache | None = None,
 ) -> Number:
@@ -55,15 +70,15 @@ def compute_confidence(
 
 def approximate_confidence(
     sequence: MarkovSequence,
-    query,
-    output,
+    query: Query,
+    output: Output,
     epsilon: float = 0.1,
     delta: float = 0.05,
     seed: int | None = None,
-    rng=None,
+    rng: random.Random | None = None,
     max_samples: int | None = None,
     cache: PlanCache | None = None,
-):
+) -> "ApproxConfidence":
     """FPRAS (ε, δ) confidence of one answer — the tractable route through
     the cells where :func:`compute_confidence` needs ``allow_exponential``.
 
@@ -88,7 +103,7 @@ def approximate_confidence(
 
 def evaluate(
     sequence: MarkovSequence,
-    query,
+    query: Query,
     order: Order | str = Order.UNRANKED,
     with_confidence: bool = True,
     limit: int | None = None,
@@ -144,7 +159,7 @@ def evaluate(
 
 def top_k(
     sequence: MarkovSequence,
-    query,
+    query: Query,
     k: int,
     order: Order | str | None = None,
     allow_exponential: bool = False,

@@ -11,10 +11,11 @@ original output symbols, so answers come back unchanged.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 from repro.errors import InvalidTransducerError
 from repro.markov.korder import KOrderMarkovSequence, lift_transducer
+from repro.markov.sequence import Number
 from repro.transducers.transducer import Transducer
 from repro.core.engine import compute_confidence, evaluate
 from repro.core.results import Answer, Order
@@ -48,8 +49,8 @@ def evaluate_korder(
 
 
 def confidence_korder(
-    spec: KOrderMarkovSequence, transducer: Transducer, output
-) -> object:
+    spec: KOrderMarkovSequence, transducer: Transducer, output: Sequence[object]
+) -> Number:
     """Confidence of one answer over an order-k Markov sequence."""
     if not transducer.is_deterministic():
         raise InvalidTransducerError(

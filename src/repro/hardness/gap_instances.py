@@ -81,7 +81,6 @@ def mealy_gap_instance(
         raise ReproError(
             "need (1-heavy)/group_size < heavy < 1-heavy for the gap to appear"
         )
-    symbols = [f"a{i}" for i in range(1, m + 1)] + ["b"]
     distribution = {f"a{i}": light for i in range(1, m + 1)}
     distribution["b"] = heavy
     sequence = iid(distribution, n)

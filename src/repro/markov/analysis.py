@@ -54,8 +54,6 @@ def k_best_worlds(
     """
     from repro.enumeration.lawler import lawler_enumerate
 
-    symbols = sequence.symbols
-
     def best(space: tuple[tuple[Symbol, ...], frozenset]):
         prefix, forbidden = space
         # Viterbi completion of the prefix.

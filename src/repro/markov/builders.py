@@ -129,7 +129,6 @@ def hospital_model(
     if num_rooms < 1:
         raise InvalidMarkovSequenceError("need at least one room")
     places = [f"r{k}" for k in range(1, num_rooms + 1)] + ["l"]
-    symbols = [f"{p}{sub}" for p in places for sub in ("a", "b")]
 
     move_prob = max(0.0, 1.0 - stay_prob - sublocation_shuffle)
     matrix: dict[Symbol, dict[Symbol, float]] = {}

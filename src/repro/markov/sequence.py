@@ -15,6 +15,7 @@ the paper's convention that probabilities are rational numbers.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 from fractions import Fraction
@@ -23,6 +24,13 @@ from repro.errors import InvalidDistributionError, InvalidMarkovSequenceError
 
 Symbol = Hashable
 Number = float | int | Fraction
+
+# Fallback seed for sample() when no rng is supplied: sha256-derived so
+# the default draw is reproducible (RX03 seed discipline). Callers that
+# want independent draws pass their own seeded rng.
+_DEFAULT_SAMPLE_SEED = int.from_bytes(
+    hashlib.sha256(b"repro.markov.sequence.sample").digest()[:8], "big"
+)
 
 _FLOAT_TOLERANCE = 1e-9
 
@@ -225,8 +233,13 @@ class MarkovSequence:
         return result
 
     def sample(self, rng: random.Random | None = None) -> tuple[Symbol, ...]:
-        """Draw one world from the distribution."""
-        rng = rng if rng is not None else random.Random()
+        """Draw one world from the distribution.
+
+        Without an ``rng`` the draw uses a fixed derived seed and is the
+        same on every call — pass a seeded ``random.Random`` to get an
+        independent stream.
+        """
+        rng = rng if rng is not None else random.Random(_DEFAULT_SAMPLE_SEED)
         world = [self._draw(self._initial, rng)]
         for i in range(1, self.length):
             row = self._transitions[i - 1].get(world[-1], {})

@@ -163,7 +163,7 @@ def instrument(iterator, stats: PlanStats):
     consumer does not inflate the plan's numbers. Recording happens when
     the iterator is exhausted *or* closed early (``limit``, ``break``).
     """
-    seconds = 0.0
+    seconds: float = 0.0  # wall-clock accumulator, not a probability
     answers = 0
     try:
         while True:

@@ -22,6 +22,7 @@ convention, Section 3.2) without a parallel code path.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from typing import Any, Callable, Generic, TypeVar
 
 T = TypeVar("T")
@@ -66,14 +67,14 @@ class Semiring(Generic[T]):
         """Return True if ``value`` is the additive identity."""
         return self._is_zero(value)
 
-    def sum(self, values) -> T:
+    def sum(self, values: Iterable[T]) -> T:
         """Fold ``add`` over an iterable of values (empty sum is ``zero``)."""
         total = self.zero
         for value in values:
             total = self.add(total, value)
         return total
 
-    def product(self, values) -> T:
+    def product(self, values: Iterable[T]) -> T:
         """Fold ``mul`` over an iterable of values (empty product is ``one``)."""
         total = self.one
         for value in values:

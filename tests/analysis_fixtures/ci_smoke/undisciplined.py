@@ -1,0 +1,14 @@
+"""Deliberate violation for the CI gate-proof step.
+
+The `lint` job runs `repro lint` over this directory and requires a
+nonzero exit — if this file ever lints clean, the gate is broken. RX03
+applies regardless of path, so the violation fires here without the
+file living under ``src/repro/``.
+"""
+
+import random
+
+
+def unreproducible():
+    rng = random.Random()  # unseeded on purpose: the gate must catch this
+    return rng.random()

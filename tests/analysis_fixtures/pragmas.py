@@ -1,0 +1,20 @@
+"""Pragma-semantics fixture: suppression shapes, valid and malformed.
+
+Linted under a virtual path in ``core/`` (so RX01 is in scope). The
+valid pragmas must suppress their lines; the malformed ones must
+surface as RX00 findings *and* leave the underlying violation standing.
+"""
+
+SCALE = 0.5  # repro: allow[RX01] fixture: trailing pragma suppresses its own line
+
+# repro: allow[RX01] fixture: standalone pragma suppresses the next code line
+OFFSET = 0.25
+
+# A pragma naming several rules covers each of them.
+RATIO = 0.75  # repro: allow[RX01,RX03] fixture: multi-rule pragma
+
+BAD_REASONLESS = 1.5  # repro: allow[RX01]
+
+BAD_UNKNOWN_RULE = 2.5  # repro: allow[RX99] no such rule
+
+BAD_SYNTAX = 3.5  # repro: allow no brackets at all

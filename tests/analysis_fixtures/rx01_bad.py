@@ -1,0 +1,22 @@
+"""RX01 fixture: float taint inside the exact-Fraction zone.
+
+Linted under a virtual path in ``confidence/`` — every pattern below
+must be flagged.
+"""
+
+from fractions import Fraction
+
+import math  # the attribute uses below are the violations
+
+
+def half_life(prob: Fraction):
+    scaled = prob * 0.5  # float literal
+    as_float = float(prob)  # float(...) conversion
+    decayed = math.exp(-1)  # math.* usage
+    return scaled, as_float, decayed
+
+
+def from_math_import():
+    from math import log
+
+    return log

@@ -1,0 +1,41 @@
+"""RX01 fixture: compliant exact-zone patterns, including every
+deliberate exemption — all of this must lint clean under a virtual
+path in ``core/``.
+"""
+
+import time
+from fractions import Fraction
+
+from repro import telemetry
+
+
+def exact_sum(probs):
+    total = Fraction(0)
+    for prob in probs:
+        total += prob
+    return total
+
+
+def timed_step(recorder):
+    # Whole statements carrying a clock call are exempt (timing floats
+    # never touch probabilities).
+    start = time.perf_counter()
+    result = Fraction(1, 2)
+    elapsed = time.perf_counter() - start
+    # Float expressions inside telemetry recording calls are exempt.
+    telemetry.observe("runtime.append.seconds", elapsed * 1.0)
+    if recorder is not None:
+        recorder.gauge("runtime.append.frontier", 0.0)
+    return result
+
+
+def declared_float(scale: float = 0.5) -> float:
+    # Annotated float parameters, variables, and returns are reviewed
+    # API decisions, not silent taint.
+    bound: float = 0.25
+    return scale + bound
+
+
+def suppressed_literal():
+    tolerance = 1e-9  # repro: allow[RX01] validation tolerance for float inputs, never a probability
+    return tolerance

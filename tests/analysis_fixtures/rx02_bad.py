@@ -1,0 +1,24 @@
+"""RX02 fixture: blocking calls inside async defs (virtual path in
+``serve/``) — every pattern below must be flagged.
+"""
+
+import os
+import subprocess
+import time
+from pathlib import Path
+
+
+async def handler(path: Path, fd: int):
+    time.sleep(0.1)  # blocks the loop
+    os.fsync(fd)  # blocks the loop
+    with open(path) as fh:  # blocking file I/O
+        data = fh.read()
+    path.write_text(data)  # blocking file I/O via method
+    subprocess.run(["sync"])  # blocking subprocess
+    return data
+
+
+async def nested_scope(path: Path):
+    if path.exists():
+        for _ in range(3):
+            time.sleep(0.01)  # flagged at any nesting depth

@@ -1,0 +1,22 @@
+"""RX03 fixture: seed-discipline violations — every pattern below must
+be flagged (the rule applies everywhere, no special path needed).
+"""
+
+import random
+
+import numpy as np
+
+
+def unseeded_constructions():
+    a = random.Random()  # OS-entropy seeding
+    b = random.Random(None)  # literal None is still unseeded
+    c = np.random.default_rng()  # numpy, same story
+    return a, b, c
+
+
+def global_rng_usage(items):
+    random.seed(42)  # mutates shared global state
+    pick = random.choice(items)  # draws from the global RNG
+    value = random.random()  # likewise
+    noise = np.random.uniform()  # numpy global RNG
+    return pick, value, noise

@@ -1,0 +1,34 @@
+"""RX04 fixture: lock/race violations (virtual path in ``runtime/``) —
+the unguarded mutation sites below must be flagged.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # __init__ is exempt: construction happens-before sharing
+        self.entries = []
+
+    def record(self, item):
+        with self._lock:
+            self.hits += 1  # guarded here...
+            self.entries.append(item)
+
+    def reset(self):
+        self.hits = 0  # ...but bare here: flagged
+        self.entries.clear()  # bare mutating call: flagged
+
+
+class AsyncShard:
+    def __init__(self, lock):
+        self._locks = {0: lock}
+        self.appends = 0
+
+    async def append(self, index):
+        async with self._locks[index]:
+            self.appends += 1
+
+    async def rollback(self):
+        self.appends -= 1  # bare vs the locked site above: flagged

@@ -1,0 +1,34 @@
+"""RX04 fixture: compliant locking patterns (virtual path in
+``runtime/``) — all of this must lint clean.
+"""
+
+import threading
+
+
+class ConsistentCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.label = "cold"  # set in __init__ and never mutated under a lock
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        with self._lock:
+            self.hits = 0
+
+    def rename(self, label):
+        # Never lock-guarded anywhere -> not part of the lock protocol.
+        self.label = label
+
+
+class UnlockedStats:
+    """A class with no locks at all is fine — nothing to be consistent with."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def bump(self):
+        self.calls += 1

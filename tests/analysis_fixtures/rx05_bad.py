@@ -1,0 +1,17 @@
+"""RX05 fixture: telemetry literals missing from the catalogue — linted
+with the miniature catalogue in the test; the undocumented names must
+be flagged.
+"""
+
+from repro import telemetry
+
+
+def instrumented(value):
+    telemetry.count("fixture.documented")  # in the mini catalogue: clean
+    telemetry.count("fixture.renamed_counter")  # NOT documented: flagged
+    telemetry.gauge("fixture.mystery_gauge", value)  # NOT documented: flagged
+    with telemetry.span("undocumented_phase"):  # NOT documented: flagged
+        pass
+    recorder = telemetry.recorder()
+    if recorder is not None:
+        recorder.observe("fixture.histogram", value)  # documented: clean

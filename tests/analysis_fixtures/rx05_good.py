@@ -1,0 +1,15 @@
+"""RX05 fixture: telemetry usage matching the miniature catalogue in
+the test — must lint clean, including the dynamic-name escape hatch.
+"""
+
+from repro import telemetry
+
+
+def instrumented(value, phase: str):
+    telemetry.count("fixture.documented")
+    telemetry.observe("fixture.histogram", value)
+    with telemetry.span("outer"):
+        with telemetry.span("inner"):  # components of 'outer/inner'
+            pass
+    # Dynamic names are out of static reach and deliberately not flagged.
+    telemetry.count(f"fixture.dynamic.{phase}")

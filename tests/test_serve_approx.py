@@ -48,7 +48,6 @@ def test_confidence_command_exact_path(served) -> None:
         "confidence", stream="s", query=query_to_dict(contains_ab_query()), output=[]
     )
     assert result["approximate"] is False
-    sequence = rare_b_sequence()
     offline = rare_b_sequence()
     from repro.lahar.database import MarkovStreamDatabase
 
