@@ -1,0 +1,187 @@
+"""Experiment R6: sparse CSR kernels + plan-time automaton shrinking.
+
+The workload is a Lahar-style occurrence query on a **trap-heavy**
+monitor automaton: 96 states, density 1/96 (far under the 25% planner
+threshold), of which only 8 form the live accepting core — the other 88
+are absorbing trap states a run can wander into but never leave. The
+old pipeline (dense dict DP on the unshrunken machine) faithfully drags
+the trapped probability mass through every layer, multiplying exact
+``Fraction`` terms that can never reach an accepting state; the new
+pipeline (plan-time trim + CSR kernel) proves those states dead once at
+plan time and never touches them again.
+
+Both paths are exact: the benchmark asserts the sparse confidence is
+**bit-identical** (``==`` on ``Fraction``) to the dense one before
+timing anything. The speedup must be at least 5x (it is three orders of
+magnitude in practice). Run as a script to (re)record the
+``BENCH_sparse.json`` baseline at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro import telemetry
+from repro.automata.nfa import NFA
+from repro.markov.sequence import MarkovSequence
+from repro.runtime.executor import plan_confidence
+from repro.runtime.plan import QueryPlan
+from repro.transducers.transducer import Transducer
+
+from benchmarks.shape import REPO_ROOT, bench_result, print_series, timed_best, write_result
+
+NUM_STATES = 96
+LIVE_STATES = 8
+LENGTH = 48
+QUICK_LENGTH = 20
+ALPHABET = ("a", "b", "c")
+MIN_SPEEDUP = 5.0
+
+
+def trap_monitor_query(num_states: int = NUM_STATES, live: int = LIVE_STATES) -> Transducer:
+    """A deterministic 0-uniform monitor with a small live core.
+
+    States ``q000..q{live-1}`` cycle on ``a`` and are accepting; ``b``
+    and ``c`` scatter into the trap region, whose states shuffle among
+    themselves and never accept. Emission is empty everywhere (an
+    occurrence-style query), so the answer set is ``{()}`` and the DP
+    frontier is exactly the reachable-state mass — which is where the
+    dense and shrunken machines differ.
+    """
+    states = [f"q{i:03d}" for i in range(num_states)]
+    traps = num_states - live
+    delta: dict = {}
+    for i in range(live):
+        delta[(states[i], "a")] = {states[(i + 1) % live]}
+        delta[(states[i], "b")] = {states[live + (i % traps)]}
+        delta[(states[i], "c")] = {states[live + ((i * 7 + 3) % traps)]}
+    for i in range(live, num_states):
+        j = i - live
+        delta[(states[i], "a")] = {states[live + ((j + 1) % traps)]}
+        delta[(states[i], "b")] = {states[i]}
+        delta[(states[i], "c")] = {states[live + (j * 3 % traps)]}
+    nfa = NFA(ALPHABET, states, states[0], set(states[:live]), delta)
+    omega = {
+        (state, symbol, target): ()
+        for (state, symbol), targets in delta.items()
+        for target in targets
+    }
+    return Transducer(nfa, omega)
+
+
+def positive_fraction_sequence(length: int, rng: random.Random) -> MarkovSequence:
+    """A strictly positive exact-``Fraction`` chain of ``length`` steps.
+
+    Every row gives every symbol nonzero mass, so the live core keeps
+    nonzero probability at every layer — the answer stays a nontrivial
+    ``Fraction`` instead of collapsing to zero mid-stream.
+    """
+
+    def row() -> dict:
+        weights = [rng.randint(1, 5) for _ in ALPHABET]
+        total = sum(weights)
+        return {s: Fraction(w, total) for s, w in zip(ALPHABET, weights)}
+
+    return MarkovSequence(
+        ALPHABET,
+        row(),
+        [{source: row() for source in ALPHABET} for _ in range(length - 1)],
+    )
+
+
+def measure(length: int = LENGTH) -> dict:
+    query = trap_monitor_query()
+    rng = random.Random("bench-sparse")
+    sequence = positive_fraction_sequence(length, rng)
+
+    sparse_plan = QueryPlan.build(query, sparse_threshold=1.0)
+    dense_plan = QueryPlan.build(query, sparse_threshold=-1.0, shrink=False)
+    assert sparse_plan.representation == "sparse" and sparse_plan.sparse is not None
+    assert dense_plan.representation == "dense" and dense_plan.shrunk is None
+    report = sparse_plan.shrink_report
+    assert report is not None and report.pruned() >= NUM_STATES - LIVE_STATES
+
+    answer = ()  # the sole output of a 0-uniform query
+
+    # Exact-twin gate: bit-identical nonzero Fractions before any timing.
+    sparse_value = plan_confidence(sparse_plan, sequence, answer)
+    dense_value = plan_confidence(dense_plan, sequence, answer)
+    assert isinstance(sparse_value, Fraction) and isinstance(dense_value, Fraction)
+    assert sparse_value == dense_value
+    assert sparse_value > 0
+
+    sparse_s = timed_best(lambda: plan_confidence(sparse_plan, sequence, answer), repeats=3)
+    dense_s = timed_best(lambda: plan_confidence(dense_plan, sequence, answer), repeats=3)
+
+    return {
+        "num_states": NUM_STATES,
+        "live_states": LIVE_STATES,
+        "length": length,
+        "density": float(sparse_plan.density),
+        "states_pruned": report.pruned(),
+        "dense_confidence_s": dense_s,
+        "sparse_confidence_s": sparse_s,
+        "sparse_speedup": dense_s / sparse_s,
+    }
+
+
+def report(results: dict) -> None:
+    print_series(
+        f"Sparse kernel vs dense DP "
+        f"(|Q|={results['num_states']}, n={results['length']}, "
+        f"density={results['density']:.4f})",
+        ["path", "seconds", "speedup"],
+        [
+            ("dense dict DP, unshrunken", results["dense_confidence_s"], 1.0),
+            (
+                "CSR kernel, shrunken",
+                results["sparse_confidence_s"],
+                results["sparse_speedup"],
+            ),
+        ],
+    )
+
+
+def bench_sparse_kernel(benchmark) -> None:
+    results = measure()
+    report(results)
+    assert results["sparse_speedup"] >= MIN_SPEEDUP, results
+
+    query = trap_monitor_query()
+    rng = random.Random("bench-sparse")
+    sequence = positive_fraction_sequence(LENGTH, rng)
+    plan = QueryPlan.build(query, sparse_threshold=1.0)
+    benchmark(lambda: plan_confidence(plan, sequence, ()))
+
+
+def common_result(length: int = LENGTH) -> dict:
+    """One common-schema result, measured with telemetry enabled."""
+    with telemetry.session() as registry:
+        results = measure(length)
+        snapshot = registry.snapshot()
+    return bench_result(
+        "sparse",
+        {
+            "num_states": results["num_states"],
+            "live_states": results["live_states"],
+            "length": length,
+        },
+        results,
+        telemetry_snapshot=snapshot,
+    )
+
+
+def main() -> None:
+    result = common_result()
+    metrics = result["metrics"]
+    report(metrics)
+    assert metrics["sparse_speedup"] >= MIN_SPEEDUP, metrics
+    path = write_result(result, REPO_ROOT / "BENCH_sparse.json")
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,8 @@
 """Benchmark regression gate: fresh runs vs the committed baselines.
 
 ``BENCH_runtime.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``,
-``BENCH_telemetry.json`` and ``BENCH_store.json`` at the repo root are
-common-schema
+``BENCH_telemetry.json``, ``BENCH_store.json``, ``BENCH_approx.json``
+and ``BENCH_sparse.json`` at the repo root are common-schema
 (:data:`benchmarks.shape.RESULT_SCHEMA`) records of what the key
 numbers looked like when they were committed. This module re-runs each
 scenario and gates the fresh metrics against the baseline with
@@ -207,6 +207,18 @@ def _run_telemetry_quick() -> dict:
     return common_result(n=120)
 
 
+def _run_sparse() -> dict:
+    from benchmarks.bench_sparse import common_result
+
+    return common_result()
+
+
+def _run_sparse_quick() -> dict:
+    from benchmarks.bench_sparse import QUICK_LENGTH, common_result
+
+    return common_result(length=QUICK_LENGTH)
+
+
 def _run_approx() -> dict:
     from benchmarks.bench_approx import common_result
 
@@ -288,6 +300,20 @@ SCENARIOS: dict[str, Scenario] = {
                     quick_tolerance=8.0,
                     floor=0.02,
                 ),
+            ),
+        ),
+        Scenario(
+            name="sparse",
+            baseline_file="BENCH_sparse.json",
+            run=_run_sparse,
+            quick_run=_run_sparse_quick,
+            specs=(
+                # Absolute kernel seconds are informational. The gated
+                # ratio is pure algorithm: dense unshrunken DP / CSR
+                # kernel on the shrunken machine — quick runs use a
+                # shorter stream whose trapped mass is legitimately
+                # cheaper to drag along, hence the looser tolerance.
+                MetricSpec("sparse_speedup", "higher", 4.0, quick_tolerance=8.0),
             ),
         ),
         Scenario(

@@ -1,0 +1,328 @@
+"""CSR-style sparse kernels for the deterministic DP (Theorem 4.6).
+
+Large product automata are overwhelmingly sparse: a total DFA lifted to
+a transducer has exactly one target per ``(state, symbol)``, i.e.
+density ``1/|Q|``. The dict-of-frozensets representation used by
+:class:`repro.transducers.transducer.Transducer` pays hashing and
+indirection per move; this module flattens the live transitions of a
+*shrunk* deterministic machine (see :mod:`repro.runtime.shrink`) into
+CSR-style parallel arrays built once per plan:
+
+* ``indptr / columns / targets / emissions`` — one physical row per
+  *distinct* transition row. States whose rows are identical (failure-
+  arc factoring) share a physical row through ``row_of``;
+* ``_move`` — the ``(row, symbol) -> (target, emission)`` dispatch map
+  the DP inner loop actually reads (deterministic machines have at most
+  one entry per pair);
+* ``push`` — the weight-pushing table: per state, a guaranteed prefix of
+  every accepting continuation's emission. The kernels drop DP cells
+  whose remaining target output cannot start with that prefix; such
+  cells provably contribute zero, so the Fraction results stay
+  bit-identical to :func:`repro.confidence.deterministic.confidence_deterministic`.
+
+Two kernels share the representation: :func:`confidence_sparse` is the
+exact-``Fraction``/float twin of the reference DP, and
+:func:`log_confidence_sparse` is the log-space underflow-safe variant
+(the sparse twin of :mod:`repro.confidence.log_space`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro import telemetry
+from repro.confidence.log_space import NEG_INF, _log, _log_add
+from repro.errors import InvalidTransducerError
+from repro.markov.sequence import MarkovSequence, Number
+from repro.semiring import REAL, Semiring
+from repro.transducers.transducer import Transducer
+
+Symbol = Hashable
+
+
+class SparseKernel:
+    """Per-plan CSR transition representation of a deterministic transducer.
+
+    Built once at plan time (``repro.runtime.plan``) and shared by the
+    serial executor, the streaming evaluator, and worker processes that
+    rebuild the plan from its shipped fingerprint.
+    """
+
+    __slots__ = (
+        "transducer",
+        "initial",
+        "accepting",
+        "uniformity",
+        "push",
+        "indptr",
+        "columns",
+        "targets",
+        "emissions",
+        "row_of",
+        "num_rows",
+        "shared_rows",
+        "nnz",
+        "_move",
+    )
+
+    def __init__(self, transducer: Transducer, push: Mapping | None = None) -> None:
+        if not transducer.is_deterministic():
+            raise InvalidTransducerError(
+                "SparseKernel requires a deterministic transducer"
+            )
+        nfa = transducer.nfa
+        self.transducer = transducer
+        self.initial = nfa.initial
+        self.accepting = nfa.accepting
+        self.uniformity = transducer.uniformity()
+        # Absent push table means "never prune" (kernel still exact).
+        self.push = dict(push) if push is not None else None
+
+        symbols = sorted(nfa.alphabet, key=repr)
+        row_ids: dict[tuple, int] = {}
+        rows: list[tuple] = []
+        self.row_of = {}
+        for state in sorted(nfa.states, key=repr):
+            row = tuple(
+                (symbol, target, transducer.emission(state, symbol, target))
+                for symbol in symbols
+                for target in sorted(nfa.successors(state, symbol), key=repr)
+            )
+            row_id = row_ids.get(row)
+            if row_id is None:
+                row_id = len(rows)
+                row_ids[row] = row_id
+                rows.append(row)
+            self.row_of[state] = row_id
+
+        indptr = [0]
+        columns: list = []
+        targets: list = []
+        emissions: list = []
+        self._move = {}
+        for row_id, row in enumerate(rows):
+            for symbol, target, emission in row:
+                columns.append(symbol)
+                targets.append(target)
+                emissions.append(emission)
+                self._move[(row_id, symbol)] = (target, emission)
+            indptr.append(len(columns))
+        self.indptr = tuple(indptr)
+        self.columns = tuple(columns)
+        self.targets = tuple(targets)
+        self.emissions = tuple(emissions)
+        self.num_rows = len(rows)
+        self.shared_rows = len(self.row_of) - len(rows)
+        self.nnz = len(columns)
+
+    def move(self, state, symbol):
+        """The unique ``(target, emission)`` move, or None if undefined."""
+        row_id = self.row_of.get(state)
+        if row_id is None:
+            return None
+        return self._move.get((row_id, symbol))
+
+    def moves(self, state, symbol) -> tuple:
+        """Transducer-shaped move tuple (used by the streaming frontier)."""
+        entry = self.move(state, symbol)
+        return () if entry is None else (entry,)
+
+    def row(self, state) -> tuple:
+        """All ``(symbol, target, emission)`` entries of a state's row."""
+        row_id = self.row_of.get(state)
+        if row_id is None:
+            return ()
+        start, end = self.indptr[row_id], self.indptr[row_id + 1]
+        return tuple(
+            zip(
+                self.columns[start:end],
+                self.targets[start:end],
+                self.emissions[start:end],
+            )
+        )
+
+    def viable(self, state, target: tuple, j: int) -> bool:
+        """Can *any* accepting continuation from ``state`` emit ``target[j:]``?
+
+        False only when provably not: the state is dead (absent from the
+        push table) or the guaranteed pushed prefix disagrees with the
+        remaining target. Pruning on this predicate is exact.
+        """
+        if self.push is None:
+            return True
+        guaranteed = self.push.get(state)
+        if guaranteed is None:
+            return False
+        if not guaranteed:
+            return True
+        return tuple(target[j : j + len(guaranteed)]) == guaranteed
+
+
+def _match(target: tuple, j: int, emission: tuple) -> int | None:
+    end = j + len(emission)
+    if end > len(target):
+        return None
+    if tuple(target[j:end]) != emission:
+        return None
+    return end
+
+
+def confidence_sparse(
+    sequence: MarkovSequence,
+    kernel: SparseKernel,
+    output: Sequence,
+    semiring: Semiring = REAL,
+) -> Number:
+    """``Pr(S -> [A^omega] -> output)`` via the CSR kernel.
+
+    Bit-identical to
+    :func:`repro.confidence.deterministic.confidence_deterministic` on
+    the kernel's transducer (exact with ``Fraction`` inputs): the layered
+    recursion is the same; the only cells dropped are those the push
+    table proves contribute ``semiring.zero``.
+    """
+    kernel.transducer.check_alphabet(sequence.alphabet)
+    telemetry.count("sparse.kernel.runs")
+    target = tuple(output)
+    if kernel.uniformity is not None:
+        return _confidence_sparse_uniform(
+            sequence, kernel, target, kernel.uniformity, semiring
+        )
+    return _confidence_sparse_general(sequence, kernel, target, semiring)
+
+
+def _confidence_sparse_general(
+    sequence: MarkovSequence,
+    kernel: SparseKernel,
+    target: tuple,
+    semiring: Semiring,
+) -> Number:
+    layer: dict[tuple[Symbol, object, int], Number] = {}
+    for symbol, prob in sequence.initial_support():
+        entry = kernel.move(kernel.initial, symbol)
+        if entry is None:
+            continue
+        state, emission = entry
+        j = _match(target, 0, emission)
+        if j is None or not kernel.viable(state, target, j):
+            continue
+        key = (symbol, state, j)
+        layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object, int], Number] = {}
+        for (symbol, state, j), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                entry = kernel.move(state, target_symbol)
+                if entry is None:
+                    continue
+                target_state, emission = entry
+                j2 = _match(target, j, emission)
+                if j2 is None or not kernel.viable(target_state, target, j2):
+                    continue
+                key = (target_symbol, target_state, j2)
+                weight = semiring.mul(mass, prob)
+                nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+
+    return semiring.sum(
+        mass
+        for (_symbol, state, j), mass in layer.items()
+        if j == len(target) and state in kernel.accepting
+    )
+
+
+def _confidence_sparse_uniform(
+    sequence: MarkovSequence,
+    kernel: SparseKernel,
+    target: tuple,
+    k: int,
+    semiring: Semiring,
+) -> Number:
+    if len(target) != k * sequence.length:
+        return semiring.zero
+    layer: dict[tuple[Symbol, object], Number] = {}
+    first = tuple(target[0:k])
+    for symbol, prob in sequence.initial_support():
+        entry = kernel.move(kernel.initial, symbol)
+        if entry is None:
+            continue
+        state, emission = entry
+        if emission != first or not kernel.viable(state, target, k):
+            continue
+        key = (symbol, state)
+        layer[key] = semiring.add(layer.get(key, semiring.zero), prob)
+
+    for i in range(1, sequence.length):
+        expected = tuple(target[k * i : k * (i + 1)])
+        progress = k * (i + 1)
+        nxt: dict[tuple[Symbol, object], Number] = {}
+        for (symbol, state), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                entry = kernel.move(state, target_symbol)
+                if entry is None:
+                    continue
+                target_state, emission = entry
+                if emission != expected:
+                    continue
+                if not kernel.viable(target_state, target, progress):
+                    continue
+                key = (target_symbol, target_state)
+                weight = semiring.mul(mass, prob)
+                nxt[key] = semiring.add(nxt.get(key, semiring.zero), weight)
+        layer = nxt
+
+    return semiring.sum(
+        mass for (_symbol, state), mass in layer.items() if state in kernel.accepting
+    )
+
+
+def log_confidence_sparse(
+    sequence: MarkovSequence,
+    kernel: SparseKernel,
+    output: Sequence,
+) -> float:
+    """``log Pr(S -> [A^omega] -> output)`` via the CSR kernel (float).
+
+    The sparse twin of
+    :func:`repro.confidence.log_space.log_confidence_deterministic`:
+    same log-sum-exp accumulation, same pruning as
+    :func:`confidence_sparse`. Use it when per-world probabilities
+    underflow IEEE doubles.
+    """
+    kernel.transducer.check_alphabet(sequence.alphabet)
+    target = tuple(output)
+
+    layer: dict[tuple[Symbol, object, int], float] = {}
+    for symbol, prob in sequence.initial_support():
+        entry = kernel.move(kernel.initial, symbol)
+        if entry is None:
+            continue
+        state, emission = entry
+        j = _match(target, 0, emission)
+        if j is None or not kernel.viable(state, target, j):
+            continue
+        key = (symbol, state, j)
+        layer[key] = _log_add(layer.get(key, NEG_INF), _log(prob))
+
+    for i in range(1, sequence.length):
+        nxt: dict[tuple[Symbol, object, int], float] = {}
+        for (symbol, state, j), mass in layer.items():
+            for target_symbol, prob in sequence.successors(i, symbol):
+                log_step = mass + _log(prob)  # repro: allow[RX01] log-space twin accumulates float log-probs by design
+                entry = kernel.move(state, target_symbol)
+                if entry is None:
+                    continue
+                target_state, emission = entry
+                j2 = _match(target, j, emission)
+                if j2 is None or not kernel.viable(target_state, target, j2):
+                    continue
+                key = (target_symbol, target_state, j2)
+                nxt[key] = _log_add(nxt.get(key, NEG_INF), log_step)
+        layer = nxt
+
+    result = NEG_INF
+    for (_symbol, state, j), mass in layer.items():
+        if j == len(target) and state in kernel.accepting:
+            result = _log_add(result, mass)
+    return result

@@ -47,6 +47,7 @@ from repro.oracle.metamorphic import (
     TRANSFORMS,
     Transform,
     check_execution_equivalence,
+    check_representation_swap,
     check_semiring_swap,
     check_transform,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "TRANSFORMS",
     "Transform",
     "check_execution_equivalence",
+    "check_representation_swap",
     "check_semiring_swap",
     "check_transform",
     "instance_from_dict",

@@ -285,3 +285,109 @@ def generate_instance(label: str, seed: int, trial: int = 0) -> Instance:
                 label=label, sequence=sequence, query=query, seed=seed, trial=trial
             )
     raise ReproError(f"could not generate a {label!r} query in 64 attempts")
+
+
+# ---------------------------------------------------------------------------
+# Large-sparse corpus factories (the sparse-kernel conformance seeds)
+# ---------------------------------------------------------------------------
+
+
+def make_sparse_transducer(
+    num_states: int = 64, alphabet=("a", "b", "c"), seed: int = 0
+) -> Transducer:
+    """A large, low-density deterministic transducer (density ``1/|Q|``).
+
+    A total single-successor machine over ``num_states`` states: symbol 0
+    hops ``+1``, symbol 1 doubles-and-shifts, later symbols hop by a
+    fixed odd offset — so the whole state space is reachable and the
+    transition structure has no repeated rows. Every state accepts
+    (non-selective), so trimming keeps all ``num_states`` states and the
+    sparse-vs-dense choice is exercised on the full machine. Emissions
+    are 1-uniform over ``("x", "y")``, seeded deterministically.
+    """
+    rng = random.Random(f"sparse-transducer/{seed}")
+    alphabet = tuple(alphabet)
+    states = tuple(f"q{i:03d}" for i in range(num_states))
+
+    def step(i: int, si: int) -> int:
+        if si == 0:
+            return (i + 1) % num_states
+        if si == 1:
+            return (2 * i + 1) % num_states
+        return (i + 7 + si) % num_states
+
+    delta = {}
+    omega = {}
+    for i, state in enumerate(states):
+        for si, symbol in enumerate(alphabet):
+            target = states[step(i, si)]
+            delta[(state, symbol)] = {target}
+            omega[(state, symbol, target)] = (rng.choice(("x", "y")),)
+    nfa = NFA(alphabet, states, states[0], set(states), delta)
+    return Transducer(nfa, omega)
+
+
+def make_failure_arc_transducer(num_states: int = 64, seed: int = 0) -> Transducer:
+    """A sparse deterministic transducer with heavily shared rows.
+
+    States come in pairs with *identical* transition rows (same targets,
+    same emissions) — the failure-arc factoring of the CSR kernel should
+    collapse ``num_states`` logical rows to ``num_states / 2`` physical
+    ones. Pair ``2m/2m+1`` steps to ``2m+2`` on the first symbol (an
+    even-cycle) and to the odd state ``2m + num_states/2 + 1`` on the
+    second, so every state stays reachable; all states accept, so
+    trimming keeps the machine intact. ``num_states`` must be a positive
+    multiple of 4 (keeps the odd offset odd).
+    """
+    if num_states % 4 != 0 or num_states <= 0:
+        raise ReproError("make_failure_arc_transducer needs num_states % 4 == 0")
+    alphabet = ("a", "b")
+    odd_offset = num_states // 2 + 1
+    states = tuple(f"q{i:03d}" for i in range(num_states))
+    rng = random.Random(f"failure-arc/{seed}")
+    # One emission choice per (pair, symbol) so paired rows stay identical.
+    pair_emissions = {
+        (base, symbol): (rng.choice(("x", "y")),)
+        for base in range(0, num_states, 2)
+        for symbol in alphabet
+    }
+    delta = {}
+    omega = {}
+    for i, state in enumerate(states):
+        base = (i // 2) * 2
+        for symbol, offset in (("a", 2), ("b", odd_offset)):
+            target = states[(base + offset) % num_states]
+            delta[(state, symbol)] = {target}
+            omega[(state, symbol, target)] = pair_emissions[(base, symbol)]
+    nfa = NFA(alphabet, states, states[0], set(states), delta)
+    return Transducer(nfa, omega)
+
+
+def make_large_sparse_instance(
+    num_states: int = 64, length: int = 3, seed: int = 0
+) -> Instance:
+    """A corpus-grade instance driving the sparse kernel (density ``1/|Q|``)."""
+    rng = random.Random(f"sparse-instance/{seed}")
+    alphabet = ("a", "b", "c")
+    return Instance(
+        label="deterministic",
+        sequence=make_fraction_sequence(alphabet, length, rng),
+        query=make_sparse_transducer(num_states, alphabet, seed),
+        seed=seed,
+        note="large-sparse",
+    )
+
+
+def make_failure_arc_instance(
+    num_states: int = 64, length: int = 3, seed: int = 0
+) -> Instance:
+    """A corpus-grade instance whose rows are maximally shareable."""
+    rng = random.Random(f"failure-arc-instance/{seed}")
+    alphabet = ("a", "b")
+    return Instance(
+        label="deterministic",
+        sequence=make_fraction_sequence(alphabet, length, rng),
+        query=make_failure_arc_transducer(num_states, seed),
+        seed=seed,
+        note="failure-arc-heavy",
+    )

@@ -18,10 +18,12 @@ instance must agree:
   reduction (:meth:`KOrderMarkovSequence.to_first_order` +
   :func:`lift_transducer`); answers come back unchanged.
 
-Two further relations compare *evaluation paths* rather than rewritten
+Three further relations compare *evaluation paths* rather than rewritten
 instances: :func:`check_semiring_swap` (the real vs log semiring run of
-the deterministic-transducer DP) and :func:`check_execution_equivalence`
-(serial vs pooled vs vectorized execution of the same plan).
+the deterministic-transducer DP), :func:`check_execution_equivalence`
+(serial vs pooled vs vectorized execution of the same plan), and
+:func:`check_representation_swap` (dense↔sparse plan representation ×
+shrink-on↔shrink-off, all four routes against the referee).
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ from repro.oracle.registry import VerifyContext
 from repro.parallel.vectorized import dense_batch_eligible
 from repro.runtime.cache import plan_for
 from repro.runtime.executor import plan_confidence
+from repro.runtime.plan import QueryPlan
 from repro.transducers.sprojector import IndexedSProjector, SProjector
 from repro.transducers.transducer import Transducer
 
@@ -442,4 +445,57 @@ def check_execution_equivalence(
     finally:
         if owned:
             context.close()
+    return diffs
+
+
+def check_representation_swap(instance: Instance, probe_limit: int = 3) -> list[Diff]:
+    """Dense↔sparse plan representation × shrink-on↔shrink-off.
+
+    Builds four plans for the same query — the representation forced
+    dense (threshold ``-1.0``; density is never negative) or sparse
+    (threshold ``1.0``; density is never above one), each with and
+    without the plan-time shrink pass — and requires
+    :func:`plan_confidence` through every route to agree with the
+    brute-force referee (bit-for-bit over rational streams). Also
+    asserts the planner honored the forced threshold, so a broken
+    density heuristic cannot silently turn all four routes into the same
+    code path.
+    """
+    query = instance.query
+    reference = brute_force_answers(instance.sequence, query)
+    plans = {
+        "dense+shrink": QueryPlan.build(query, sparse_threshold=-1.0, shrink=True),
+        "dense-noshrink": QueryPlan.build(query, sparse_threshold=-1.0, shrink=False),
+        "sparse+shrink": QueryPlan.build(query, sparse_threshold=1.0, shrink=True),
+        "sparse-noshrink": QueryPlan.build(query, sparse_threshold=1.0, shrink=False),
+    }
+    diffs: list[Diff] = []
+    for route, plan in plans.items():
+        expected = "dense" if route.startswith("dense") else "sparse"
+        if plan.representation != expected:
+            diffs.append(
+                Diff(
+                    instance=instance,
+                    engine=f"metamorphic:representation[{route}]",
+                    answer=None,
+                    got=plan.representation,
+                    want=expected,
+                )
+            )
+    if diffs:
+        return diffs
+    for answer in pick_probes(instance, reference, probe_limit):
+        want = reference.get(answer, 0)
+        for route, plan in plans.items():
+            got = plan_confidence(plan, instance.sequence, answer, allow_exponential=True)
+            if not _values_close(got, want):
+                diffs.append(
+                    Diff(
+                        instance=instance,
+                        engine=f"metamorphic:representation[{route}]",
+                        answer=answer,
+                        got=got,
+                        want=want,
+                    )
+                )
     return diffs

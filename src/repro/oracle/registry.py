@@ -7,7 +7,7 @@ emission), and knows how to compute ``conf(answer)`` on a prepared
 instance. The differential runner executes every applicable engine and
 diffs the results against the exact-``Fraction`` referee.
 
-The nine engine families of the harness matrix:
+The ten engine families of the harness matrix:
 
 ==================  =====================================================
 engine              implementation
@@ -20,6 +20,8 @@ specialized         class-specialized DP as Table 2 dispatches it
 runtime             :func:`repro.runtime.executor.plan_confidence`
 pool                :meth:`repro.parallel.WorkerPool.batch_confidence`
 vectorized          batched ``(B,S)@(B,S,S)`` numpy DP
+dense_sparse        runtime dispatch on a sparse-forced, shrunk plan
+                    (CSR kernel for deterministic machines)
 approx              FPRAS (ε, δ) estimator (:mod:`repro.approx.fpras`)
 ==================  =====================================================
 
@@ -121,6 +123,11 @@ class VerifyContext:
 
     workers: int = 1
     plan_cache: PlanCache = field(default_factory=PlanCache)
+    #: Separate cache for sparse-forced plans (threshold 1.0): their
+    #: fingerprints differ from the default-threshold plans, so sharing
+    #: ``plan_cache`` would work but would let the two populations evict
+    #: each other mid-run.
+    sparse_plan_cache: PlanCache = field(default_factory=PlanCache)
     epsilon: float = 0.25
     delta: float = 1e-9
     approx_max_samples: int = 25_000
@@ -297,6 +304,19 @@ def _approx(prepared: Prepared, answer, context: VerifyContext) -> ApproxConfide
     )
 
 
+def _dense_sparse(prepared: Prepared, answer, context: VerifyContext) -> Number:
+    """Runtime dispatch on a sparse-forced plan (threshold 1.0).
+
+    Density is in ``[0, 1]``, so threshold 1.0 forces the sparse
+    representation (and the CSR kernel on deterministic machines) for
+    every instance, regardless of what the default threshold would have
+    chosen — the dense↔sparse half of the representation matrix. Exact:
+    the kernel must match the referee bit-for-bit on Fraction streams.
+    """
+    plan = context.sparse_plan_cache.get(prepared.instance.query, sparse_threshold=1.0)
+    return plan_confidence(plan, prepared.sequence, answer, allow_exponential=True)
+
+
 def _vectorized(prepared: Prepared, answer, context: VerifyContext) -> float:
     # A two-copy batch exercises the actual batching (stacked tensors,
     # shared step structure), not just the B=1 degenerate case.
@@ -330,6 +350,7 @@ ENGINES: tuple[Engine, ...] = (
     Engine("runtime", _ALL, _runtime, exact=True),
     Engine("pool", _ALL, _pool, exact=True),
     Engine("vectorized", _DENSE_CLASSES, _vectorized, applies=_is_dense_eligible),
+    Engine("dense_sparse", _ALL, _dense_sparse, exact=True),
     # Applicable exactly where brute force is the only exact option:
     # general-class transducers (Table 2's FP^#P-complete cell).
     Engine(

@@ -237,7 +237,7 @@ class WorkerPool:
         if vectorized is True or (
             vectorized == "auto" and dense_batch_eligible(plan, ordered)
         ):
-            values = confidence_dense_batch(ordered, plan.compiled, output)
+            values = confidence_dense_batch(ordered, plan.execution, output)
             self.stats.vectorized_batches += 1
             self.stats.streams += len(ordered)
             telemetry.count("parallel.vectorized_batches")

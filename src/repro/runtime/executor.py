@@ -22,6 +22,7 @@ from repro.confidence.batch import confidence_deterministic_batch
 from repro.confidence.brute_force import brute_force_answers, brute_force_confidence
 from repro.confidence.deterministic import confidence_deterministic
 from repro.confidence.indexed import confidence_indexed
+from repro.confidence.sparse import confidence_sparse
 from repro.confidence.sprojector import confidence_sprojector
 from repro.confidence.uniform_subset import confidence_uniform
 from repro.enumeration.emax import enumerate_emax
@@ -51,11 +52,13 @@ def plan_confidence(
             sequence, plan.minimized, output, minimize_suffix=False
         )
     if plan.kind is PlanKind.DETERMINISTIC:
-        return confidence_deterministic(sequence, plan.query, output)
+        if plan.sparse is not None:
+            return confidence_sparse(sequence, plan.sparse, output)
+        return confidence_deterministic(sequence, plan.execution, output)
     if plan.kind is PlanKind.UNIFORM:
-        return confidence_uniform(sequence, plan.query, output)
+        return confidence_uniform(sequence, plan.execution, output)
     if allow_exponential:
-        return brute_force_confidence(sequence, plan.query, output)
+        return brute_force_confidence(sequence, plan.execution, output)
     raise ReproError(
         "confidence for a non-uniform nondeterministic transducer is "
         "FP^#P-complete (Theorem 4.9); pass allow_exponential=True to "
@@ -93,7 +96,9 @@ def plan_confidence_approx(
             "polynomial time (Theorem 5.8); use plan_confidence instead "
             "of the FPRAS"
         )
-    query = plan.compiled if plan.kind is PlanKind.SPROJECTOR else plan.query
+    # The trimmed machine has the same accepting runs, so the Karp-Luby
+    # estimator samples the same union — just over fewer dead branches.
+    query = plan.execution
     return approximate_confidence(
         sequence,
         query,
@@ -200,14 +205,14 @@ def _take(iterator, limit):
 
 def _evaluate_unranked(plan, sequence, with_confidence):
     if plan.kind is PlanKind.INDEXED_SPROJECTOR:
-        for output in enumerate_unranked(sequence, plan.compiled):
+        for output in enumerate_unranked(sequence, plan.execution):
             answer = decode_indexed_output(output)
             confidence = (
                 plan_confidence(plan, sequence, answer) if with_confidence else None
             )
             yield Answer(answer, confidence, None, Order.UNRANKED)
         return
-    for output in enumerate_unranked(sequence, plan.compiled):
+    for output in enumerate_unranked(sequence, plan.execution):
         confidence = (
             plan_confidence(plan, sequence, output, allow_exponential=True)
             if with_confidence
@@ -218,14 +223,14 @@ def _evaluate_unranked(plan, sequence, with_confidence):
 
 def _evaluate_emax(plan, sequence, with_confidence):
     if plan.kind is PlanKind.INDEXED_SPROJECTOR:
-        for score, output in enumerate_emax(sequence, plan.compiled):
+        for score, output in enumerate_emax(sequence, plan.execution):
             answer = decode_indexed_output(output)
             confidence = (
                 plan_confidence(plan, sequence, answer) if with_confidence else None
             )
             yield Answer(answer, confidence, score, Order.EMAX)
         return
-    for score, output in enumerate_emax(sequence, plan.compiled):
+    for score, output in enumerate_emax(sequence, plan.execution):
         confidence = (
             plan_confidence(plan, sequence, output, allow_exponential=True)
             if with_confidence
@@ -379,7 +384,7 @@ def _fill_deferred_confidences(
     for name, positions in pending.items():
         outputs = [merged[position][1].output for position in positions]
         confidences = confidence_deterministic_batch(
-            sequences[name], plan.compiled, outputs
+            sequences[name], plan.execution, outputs
         )
         for position in positions:
             answer = merged[position][1]

@@ -76,11 +76,30 @@ class StreamingEvaluator:
         self.plan = plan_for(query, cache)
         self.plan.compiled.check_alphabet(sequence.alphabet)
         self._deterministic = self.plan.deterministic
+        self._bind_execution()
         self._sequence = sequence
         self._frontier: dict = self._initial_frontier(sequence)
         for i in range(1, sequence.length):
             self._advance(i)
         self._checkpoints: list[tuple[MarkovSequence, dict]] = []
+
+    def _bind_execution(self) -> None:
+        """Resolve the move source once: CSR kernel > shrunk > compiled.
+
+        The frontier *representation* (deterministic vs world-summary,
+        decided by ``plan.deterministic``) is always derived from the
+        compiled machine, so persisted frontiers restore identically; the
+        shrunk/sparse machines only change how fast a layer is pushed —
+        dead runs drop out of the frontier instead of being carried.
+        """
+        plan = self.plan
+        if plan.sparse is not None and self._deterministic:
+            self._moves = plan.sparse.moves
+            self._accepting = plan.sparse.accepting
+        else:
+            execution = plan.execution
+            self._moves = execution.moves
+            self._accepting = execution.nfa.accepting
 
     @classmethod
     def restore(
@@ -104,6 +123,7 @@ class StreamingEvaluator:
         self.plan = plan_for(query, cache)
         self.plan.compiled.check_alphabet(sequence.alphabet)
         self._deterministic = self.plan.deterministic
+        self._bind_execution()
         self._sequence = sequence
         self._frontier = dict(frontier)
         self._checkpoints = []
@@ -114,17 +134,17 @@ class StreamingEvaluator:
     # ------------------------------------------------------------------
 
     def _initial_frontier(self, sequence: MarkovSequence) -> dict:
-        compiled = self.plan.compiled
-        initial = compiled.nfa.initial
+        initial = self.plan.compiled.nfa.initial
+        moves = self._moves
         frontier: dict = {}
         if self._deterministic:
             for symbol, prob in sequence.initial_support():
-                for state, emission in compiled.moves(initial, symbol):
+                for state, emission in moves(initial, symbol):
                     key = (symbol, state, emission)
                     frontier[key] = frontier.get(key, 0) + prob
         else:
             for symbol, prob in sequence.initial_support():
-                summary = frozenset(compiled.moves(initial, symbol))
+                summary = frozenset(moves(initial, symbol))
                 if summary:
                     key = (symbol, summary)
                     frontier[key] = frontier.get(key, 0) + prob
@@ -136,14 +156,14 @@ class StreamingEvaluator:
         # recorder() call and a None check is the whole disabled cost.
         recorder = telemetry.recorder()
         start = time.perf_counter() if recorder is not None else 0.0
-        compiled = self.plan.compiled
+        moves = self._moves
         sequence = self._sequence
         nxt: dict = {}
         cells = 0
         if self._deterministic:
             for (symbol, state, output), mass in self._frontier.items():
                 for target_symbol, prob in sequence.successors(i, symbol):
-                    for target_state, emission in compiled.moves(state, target_symbol):
+                    for target_state, emission in moves(state, target_symbol):
                         key = (target_symbol, target_state, output + emission)
                         nxt[key] = nxt.get(key, 0) + mass * prob
                         cells += 1
@@ -153,7 +173,7 @@ class StreamingEvaluator:
                     new_summary = frozenset(
                         (target_state, output + emission)
                         for state, output in summary
-                        for target_state, emission in compiled.moves(state, target_symbol)
+                        for target_state, emission in moves(state, target_symbol)
                     )
                     cells += len(summary)
                     if new_summary:
@@ -214,7 +234,7 @@ class StreamingEvaluator:
         return conf
 
     def _raw_confidences(self) -> dict:
-        accepting = self.plan.compiled.nfa.accepting
+        accepting = self._accepting
         conf: dict = {}
         if self._deterministic:
             for (_symbol, state, output), mass in self._frontier.items():

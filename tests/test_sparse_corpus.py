@@ -1,0 +1,63 @@
+"""Guards for the seeded large-sparse corpus cases.
+
+The corpus carries two shrinker-minimized regression instances for the
+sparse kernels: a 64-state, density-1/64 machine and a failure-arc-heavy
+machine whose rows dedup 2:1. These tests pin their presence, their
+structural properties (so a future re-shrink cannot silently weaken
+them), and their clean replay through the full engine matrix.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+
+from repro.confidence.sparse import SparseKernel
+from repro.oracle.differential import check_instance
+from repro.oracle.metamorphic import check_representation_swap
+from repro.oracle.shrinker import load_corpus
+from repro.runtime.plan import QueryPlan
+from repro.runtime.shrink import measure_density
+
+CORPUS = Path(__file__).parent / "corpus"
+LARGE_SPARSE = CORPUS / "deterministic-2207d8d5cb2e.json"
+FAILURE_ARC = CORPUS / "deterministic-c16501b2184a.json"
+
+
+def _case(path: Path):
+    cases = dict(load_corpus(CORPUS))
+    assert path in cases, f"missing seeded corpus case {path.name}"
+    return cases[path]
+
+
+def test_large_sparse_case_shape() -> None:
+    instance = _case(LARGE_SPARSE)
+    assert instance.note == "large-sparse"
+    nfa = instance.query.nfa
+    assert len(nfa.states) >= 64
+    density = measure_density(instance.query)
+    assert density < Fraction(1, 20)  # under 5%
+    plan = QueryPlan.build(instance.query)
+    assert plan.representation == "sparse"
+    assert plan.sparse is not None
+
+
+def test_failure_arc_case_shape() -> None:
+    instance = _case(FAILURE_ARC)
+    assert instance.note == "failure-arc-heavy"
+    nfa = instance.query.nfa
+    assert len(nfa.states) >= 64
+    assert measure_density(instance.query) < Fraction(1, 20)
+    kernel = SparseKernel(instance.query)
+    # Half the rows are failure-arc shares of the other half.
+    assert kernel.shared_rows >= len(nfa.states) // 2
+    assert kernel.num_rows <= len(nfa.states) // 2
+
+
+def test_sparse_corpus_replays_clean() -> None:
+    for path in (LARGE_SPARSE, FAILURE_ARC):
+        instance = _case(path)
+        result = check_instance(instance)
+        assert result.diffs == [], f"{path.name}: {result.diffs}"
+        swaps = check_representation_swap(instance)
+        assert swaps == [], f"{path.name}: {swaps}"

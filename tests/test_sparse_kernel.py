@@ -1,0 +1,266 @@
+"""Unit tests for the shrink pass, the CSR kernels, and plan dispatch."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import telemetry
+from repro.automata.nfa import NFA
+from repro.confidence.brute_force import brute_force_answers
+from repro.confidence.deterministic import confidence_deterministic
+from repro.confidence.log_space import log_confidence_deterministic
+from repro.confidence.sparse import SparseKernel, confidence_sparse, log_confidence_sparse
+from repro.errors import InvalidTransducerError
+from repro.oracle.generators import (
+    make_failure_arc_transducer,
+    make_fraction_sequence,
+    make_random_deterministic_transducer,
+    make_sparse_transducer,
+)
+from repro.runtime.executor import plan_confidence
+from repro.runtime.incremental import StreamingEvaluator
+from repro.runtime.plan import SPARSE_DENSITY_THRESHOLD, QueryPlan, fingerprint
+from repro.runtime.shrink import measure_density, push_table, shrink_transducer
+from repro.transducers.transducer import Transducer
+
+
+def _chain_transducer() -> Transducer:
+    """a-chain s0->s1->s2(accepting), plus an unreachable and a dead state.
+
+    Every surviving path emits ``x`` then ``y``, so weight pushing must
+    discover the guaranteed prefix ``("x", "y")`` at the initial state.
+    """
+    nfa = NFA(
+        "ab",
+        ["s0", "s1", "s2", "dead", "lost"],
+        "s0",
+        {"s2"},
+        {
+            ("s0", "a"): {"s1"},
+            ("s0", "b"): {"dead"},
+            ("s1", "a"): {"s2"},
+            ("dead", "a"): {"dead"},
+            ("lost", "a"): {"s2"},
+        },
+    )
+    omega = {
+        ("s0", "a", "s1"): ("x",),
+        ("s0", "b", "dead"): ("x",),
+        ("s1", "a", "s2"): ("y",),
+        ("dead", "a", "dead"): (),
+        ("lost", "a", "s2"): ("y",),
+    }
+    return Transducer(nfa, omega)
+
+
+def test_shrink_prunes_unreachable_and_dead() -> None:
+    shrunk, push, report = shrink_transducer(_chain_transducer())
+    assert set(shrunk.nfa.states) == {"s0", "s1", "s2"}
+    assert report.states_before == 5
+    assert report.states_after == 3
+    assert report.pruned_unreachable == 1  # "lost"
+    assert report.pruned_dead == 1  # "dead"
+    assert report.pruned() == 2
+    # The b-move into the dead state is gone.
+    assert shrunk.moves("s0", "b") == ()
+
+
+def test_push_table_guaranteed_prefixes() -> None:
+    shrunk, push, report = shrink_transducer(_chain_transducer())
+    assert push["s0"] == ("x", "y")
+    assert push["s1"] == ("y",)
+    assert push["s2"] == ()
+    assert report.push_symbols == 3
+
+
+def test_push_table_empty_on_branching_emissions() -> None:
+    # Two accepting continuations with different first symbols: no
+    # guarantee survives the lcp.
+    nfa = NFA(
+        "ab",
+        ["p", "q"],
+        "p",
+        {"q"},
+        {("p", "a"): {"q"}, ("p", "b"): {"q"}},
+    )
+    push = push_table(Transducer(nfa, {("p", "a", "q"): ("x",), ("p", "b", "q"): ("y",)}))
+    assert push["p"] == ()
+
+
+def test_shrink_keeps_dead_initial_state() -> None:
+    nfa = NFA("a", ["i", "t"], "i", {"t"}, {})
+    shrunk, push, report = shrink_transducer(Transducer(nfa, {}))
+    assert shrunk.nfa.initial == "i"
+    assert "i" in shrunk.nfa.states
+    assert shrunk.nfa.num_transitions == 0
+    assert "i" not in push  # dead: no accepting continuation
+
+
+def test_measure_density_exact_and_sampled() -> None:
+    transducer = make_sparse_transducer(num_states=64)
+    exact = measure_density(transducer)
+    assert exact == Fraction(1, 64)
+    # All rows have out-degree |alphabet|, so any sample agrees exactly.
+    assert measure_density(transducer, sample_cap=8) == exact
+
+
+def test_kernel_shares_failure_arc_rows() -> None:
+    transducer = make_failure_arc_transducer(num_states=64)
+    kernel = SparseKernel(transducer)
+    assert kernel.num_rows == 32
+    assert kernel.shared_rows == 32
+    # Paired states dispatch identically.
+    assert kernel.moves("q000", "a") == kernel.moves("q001", "a")
+    assert kernel.moves("q000", "b") == kernel.moves("q001", "b")
+    # ...and agree with the dict representation.
+    for state in ("q000", "q001", "q033"):
+        for symbol in "ab":
+            assert kernel.moves(state, symbol) == transducer.moves(state, symbol)
+
+
+def test_kernel_rejects_nondeterministic() -> None:
+    nfa = NFA("a", ["p", "q"], "p", {"q"}, {("p", "a"): {"p", "q"}})
+    omega = {("p", "a", "p"): ("x",), ("p", "a", "q"): ("x",)}
+    with pytest.raises(InvalidTransducerError):
+        SparseKernel(Transducer(nfa, omega))
+
+
+def test_sparse_kernel_bit_identical_to_reference() -> None:
+    rng = random.Random("sparse-kernel-vs-reference")
+    for trial in range(10):
+        transducer = make_random_deterministic_transducer("ab", 4, rng)
+        sequence = make_fraction_sequence("ab", 3, rng)
+        shrunk, push, _report = shrink_transducer(transducer)
+        kernel = SparseKernel(shrunk, push=push)
+        for answer in brute_force_answers(sequence, transducer):
+            want = confidence_deterministic(sequence, transducer, answer)
+            got = confidence_sparse(sequence, kernel, answer)
+            assert isinstance(got, (int, Fraction))
+            assert got == want
+        # An impossible answer must come back exactly zero.
+        assert confidence_sparse(sequence, kernel, ("x",) * 9) == 0
+
+
+def test_log_kernel_matches_log_reference() -> None:
+    rng = random.Random("sparse-log-kernel")
+    transducer = make_sparse_transducer(num_states=16)
+    sequence = make_fraction_sequence(("a", "b", "c"), 4, rng).as_float()
+    shrunk, push, _report = shrink_transducer(transducer)
+    kernel = SparseKernel(shrunk, push=push)
+    answers = brute_force_answers(sequence, transducer)
+    for answer in list(answers)[:5]:
+        want = log_confidence_deterministic(sequence, transducer, answer)
+        got = log_confidence_sparse(sequence, kernel, answer)
+        assert got == pytest.approx(want, rel=1e-9)
+
+
+def test_planner_picks_sparse_below_threshold() -> None:
+    plan = QueryPlan.build(make_sparse_transducer(num_states=64))
+    assert plan.density == Fraction(1, 64)
+    assert plan.sparse_threshold == SPARSE_DENSITY_THRESHOLD
+    assert plan.representation == "sparse"
+    assert plan.sparse is not None
+    assert plan.shrunk is not None
+    assert "sparse" in plan.describe()
+    assert "shrink" in plan.describe()
+
+
+def test_planner_picks_dense_above_threshold() -> None:
+    # A 2-state total machine has density 1/2 > 0.25.
+    nfa = NFA(
+        "ab",
+        ["p", "q"],
+        "p",
+        {"p", "q"},
+        {
+            ("p", "a"): {"q"},
+            ("p", "b"): {"p"},
+            ("q", "a"): {"p"},
+            ("q", "b"): {"q"},
+        },
+    )
+    omega = {move: ("x",) for move in nfa.transitions()}
+    plan = QueryPlan.build(Transducer(nfa, omega))
+    assert plan.density == Fraction(1, 2)
+    assert plan.representation == "dense"
+    assert plan.sparse is None
+    # Forcing the threshold flips the choice (and the fingerprint).
+    forced = QueryPlan.build(Transducer(nfa, omega), sparse_threshold=1.0)
+    assert forced.representation == "sparse"
+    assert forced.sparse is not None
+    assert forced.fingerprint != plan.fingerprint
+
+
+def test_plan_confidence_routes_through_kernel() -> None:
+    rng = random.Random("sparse-dispatch")
+    transducer = make_sparse_transducer(num_states=64)
+    sequence = make_fraction_sequence(("a", "b", "c"), 3, rng)
+    sparse_plan = QueryPlan.build(transducer)
+    dense_plan = QueryPlan.build(transducer, sparse_threshold=-1.0)
+    assert sparse_plan.sparse is not None
+    assert dense_plan.sparse is None
+    for answer in list(brute_force_answers(sequence, transducer))[:4]:
+        want = confidence_deterministic(sequence, transducer, answer)
+        assert plan_confidence(sparse_plan, sequence, answer) == want
+        assert plan_confidence(dense_plan, sequence, answer) == want
+
+
+def test_shrink_off_plan_still_exact() -> None:
+    rng = random.Random("sparse-noshrink")
+    transducer = _chain_transducer()
+    sequence = make_fraction_sequence("ab", 3, rng)
+    plan = QueryPlan.build(transducer, sparse_threshold=1.0, shrink=False)
+    assert plan.shrunk is None
+    assert plan.shrink_report is None
+    assert plan.execution is plan.compiled
+    for answer, want in brute_force_answers(sequence, transducer).items():
+        assert plan_confidence(plan, sequence, answer) == want
+
+
+def test_streaming_restore_with_sparse_plan() -> None:
+    rng = random.Random("sparse-streaming-restore")
+    transducer = make_sparse_transducer(num_states=64)
+    sequence = make_fraction_sequence(("a", "b", "c"), 3, rng)
+    evaluator = StreamingEvaluator(transducer, sequence)
+    assert evaluator.plan.sparse is not None
+    restored = StreamingEvaluator.restore(transducer, sequence, evaluator.frontier)
+    assert restored.confidences() == evaluator.confidences()
+    step = {s: {"a": Fraction(1, 2), "b": Fraction(1, 2)} for s in ("a", "b", "c")}
+    assert evaluator.append(step) == restored.append(step)
+
+
+def test_sparse_metrics_emitted() -> None:
+    telemetry.enable()
+    try:
+        QueryPlan.build(make_sparse_transducer(num_states=64))
+        QueryPlan.build(make_failure_arc_transducer(num_states=64))
+        rng = random.Random("sparse-metrics")
+        sequence = make_fraction_sequence(("a", "b", "c"), 2, rng)
+        plan = QueryPlan.build(make_sparse_transducer(num_states=64))
+        plan_confidence(plan, sequence, ("x", "x"))
+        snap = telemetry.snapshot()
+        counters = snap["counters"]
+        assert counters["sparse.plans.sparse"] >= 3
+        assert counters["sparse.kernel.runs"] >= 1
+        assert counters["sparse.failure_arcs"] >= 32
+        assert "sparse.states_pruned" in counters
+        assert "sparse.push_saved" in counters
+        assert snap["gauges"]["sparse.density"] == pytest.approx(1 / 64)
+        QueryPlan.build(_chain_transducer())  # density 5/20 -> dense? no: 0.25 <= 0.25
+        dense_nfa = NFA("a", ["p"], "p", {"p"}, {("p", "a"): {"p"}})
+        QueryPlan.build(Transducer(dense_nfa, {("p", "a", "p"): ("x",)}))
+        assert telemetry.snapshot()["counters"]["sparse.plans.dense"] >= 1
+    finally:
+        telemetry.disable()
+
+
+def test_fingerprint_mixes_threshold() -> None:
+    transducer = make_sparse_transducer(num_states=8)
+    default = fingerprint(transducer)
+    assert default == fingerprint(transducer, SPARSE_DENSITY_THRESHOLD)
+    assert fingerprint(transducer, 1.0) != default
+    assert fingerprint(transducer, -1.0) != default
+    assert fingerprint(transducer, 1.0) != fingerprint(transducer, -1.0)
